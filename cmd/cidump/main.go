@@ -1,0 +1,134 @@
+// Command cidump inspects the Compiler Interrupts analysis of a
+// textual IR program: per function it prints the hierarchical container
+// tree of §3.2 with evaluated costs, the probe marks the analysis
+// decided on, the applied loop transforms, and the exported cost table.
+// It is the debugging window into the analysis phase.
+//
+//	cidump [-probe-interval N] [-spacing] program.ir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/ci/analysis"
+	"repro/internal/ir"
+)
+
+func main() {
+	probeInterval := flag.Int64("probe-interval", 250, "compile-time probe interval (IR instructions)")
+	allowable := flag.Int64("allowable-error", 0, "allowable error (0 = same as probe interval)")
+	spacing := flag.Bool("spacing", false, "also run the probe-spacing checker on instrumented functions")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cidump [flags] program.ir")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail("%v", err)
+	}
+	m, err := ir.Parse(string(src))
+	if err != nil {
+		fail("%v", err)
+	}
+	res := analysis.Analyze(m, analysis.Options{
+		ProbeInterval:  *probeInterval,
+		AllowableError: *allowable,
+	})
+
+	names := make([]string, 0, len(res.Funcs))
+	for n := range res.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fr := res.Funcs[name]
+		fmt.Printf("== @%s  cost=%s  instrumented=%v  transformed=%d cloned=%d\n",
+			name, fr.Cost, fr.Instrumented, fr.LoopsTransformed, fr.LoopsCloned)
+		if root := fr.Reduction.Root(); root != nil {
+			fmt.Print(indent(root.Dump()))
+		} else {
+			fmt.Printf("  (not fully reducible: %d regions; §3.6 post-processing applied)\n",
+				len(fr.Reduction.Regions))
+			for _, r := range fr.Reduction.Regions {
+				fmt.Print(indent(r.C.Dump()))
+			}
+		}
+		if len(fr.Marks) > 0 {
+			fmt.Printf("  probe marks (%d):\n", len(fr.Marks))
+			for _, mk := range fr.Marks {
+				kind := "ir"
+				if mk.Loop {
+					kind = "irloop"
+				}
+				fmt.Printf("    %-14s @%s+%d inc=%d\n", kind, mk.Block.Name, mk.Index, mk.Inc)
+			}
+		}
+		if *spacing && fr.Instrumented {
+			// Materialize probes in place to validate spacing.
+			applyMarks(fr)
+			if err := analysis.CheckSpacing(fr.Fn, 100, *probeInterval); err != nil {
+				fmt.Printf("  spacing: VIOLATION: %v\n", err)
+			} else {
+				fmt.Printf("  spacing: ok (max gap %d IR)\n", *probeInterval)
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("== exported cost table (§2.6)")
+	data, err := analysis.ExportCosts(res.Costs)
+	if err != nil {
+		fail("%v", err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+func applyMarks(fr *analysis.FuncResult) {
+	byBlock := map[*ir.Block][]analysis.Mark{}
+	for _, mk := range fr.Marks {
+		byBlock[mk.Block] = append(byBlock[mk.Block], mk)
+	}
+	for b, ms := range byBlock {
+		sort.Slice(ms, func(i, j int) bool { return ms[i].Index > ms[j].Index })
+		for _, mk := range ms {
+			kind := ir.ProbeIR
+			pi := &ir.ProbeInfo{Kind: kind, Inc: mk.Inc, IndVar: ir.NoReg, Base: ir.NoReg}
+			if mk.Loop {
+				pi.Kind = ir.ProbeIRLoop
+				pi.IndVar, pi.Base = mk.IndVar, mk.Base
+			}
+			idx := mk.Index
+			if idx > len(b.Instrs) {
+				idx = len(b.Instrs)
+			}
+			b.Instrs = append(b.Instrs, ir.Instr{})
+			copy(b.Instrs[idx+1:], b.Instrs[idx:])
+			b.Instrs[idx] = ir.Instr{Op: ir.OpProbe, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, Probe: pi}
+		}
+	}
+}
+
+func indent(s string) string {
+	out := ""
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '\n' {
+			if i > start {
+				out += "  " + s[start:i] + "\n"
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cidump: "+format+"\n", args...)
+	os.Exit(1)
+}

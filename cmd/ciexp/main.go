@@ -1,0 +1,84 @@
+// Command ciexp regenerates the paper's tables and figures from the
+// command line:
+//
+//	ciexp fig4      mTCP throughput/latency vs concurrent connections
+//	ciexp fig5      mTCP with per-request compute work
+//	ciexp fig6      Shenango latency vs load + miner hash rate
+//	ciexp fig7      delegation vs locks, throughput vs threads
+//	ciexp fig8      client request latency distribution
+//	ciexp fig9      CI-design overhead, 1 thread
+//	ciexp fig10     interval accuracy, 1 thread
+//	ciexp fig11     CI-design overhead, 32 threads
+//	ciexp fig12     CI vs hardware interrupts across intervals
+//	ciexp table7    per-benchmark runtimes (PT, CI, Naive × 1/32 threads)
+//	ciexp hybrid    hybrid CI + hardware-watchdog extension (§5.4 future work)
+//	ciexp allowable §3.3 allowable-error parameter study
+//	ciexp probes    §5.4 dynamic probe executions, CI vs Naive
+//
+// Flags: -scale N (workload size multiplier, default 1),
+// -quick (subset of workloads for fig12).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "workload size multiplier")
+	quick := flag.Bool("quick", false, "use a workload subset where supported")
+	all := flag.Bool("all", false, "fig9/fig11: include Naive-Cycles and CnB-Cycles")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ciexp [flags] fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table7|hybrid|allowable|probes|all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	var err error
+	run := func(name string, f func() error) {
+		if cmd == name || cmd == "all" {
+			if e := f(); e != nil && err == nil {
+				err = fmt.Errorf("%s: %w", name, e)
+			}
+		}
+	}
+	ran := false
+	for _, c := range []struct {
+		name string
+		f    func() error
+	}{
+		{"fig4", func() error { return experiments.PrintFigure4(os.Stdout) }},
+		{"fig5", func() error { return experiments.PrintFigure5(os.Stdout) }},
+		{"fig6", func() error { return experiments.PrintFigure6(os.Stdout) }},
+		{"fig7", func() error { return experiments.PrintFigure7(os.Stdout) }},
+		{"fig8", func() error { return experiments.PrintFigure8(os.Stdout) }},
+		{"fig9", func() error { return experiments.PrintFigureOverhead(os.Stdout, 1, *scale, *all) }},
+		{"fig10", func() error { return experiments.PrintFigure10(os.Stdout, *scale) }},
+		{"fig11", func() error { return experiments.PrintFigureOverhead(os.Stdout, 32, *scale, *all) }},
+		{"fig12", func() error { return experiments.PrintFigure12(os.Stdout, *scale, *quick) }},
+		{"table7", func() error { return experiments.PrintTable7(os.Stdout, *scale) }},
+		{"hybrid", func() error { return experiments.PrintHybrid(os.Stdout, *scale) }},
+		{"allowable", func() error { return experiments.PrintAllowable(os.Stdout, *scale) }},
+		{"probes", func() error { return experiments.PrintProbeCounts(os.Stdout, *scale) }},
+	} {
+		if cmd == c.name || cmd == "all" {
+			ran = true
+			run(c.name, c.f)
+		}
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ciexp:", err)
+		os.Exit(1)
+	}
+}

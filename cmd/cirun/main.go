@@ -1,0 +1,128 @@
+// Command cirun compiles a textual IR program with Compiler Interrupts
+// and runs it on the VM, reporting execution statistics — the
+// repository's equivalent of building a C program with the CI pass and
+// libci.
+//
+//	cirun [flags] program.ir
+//
+// Flags select the probe design, probe interval, CI interval, entry
+// function and arguments. Use -print to dump the instrumented IR
+// instead of running.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/ci/instrument"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+var designByName = map[string]instrument.Design{
+	"ci": instrument.CI, "ci-cycles": instrument.CICycles,
+	"naive": instrument.Naive, "naive-cycles": instrument.NaiveCycles,
+	"cd": instrument.CD, "cnb": instrument.CnB, "cnb-cycles": instrument.CnBCycles,
+}
+
+func main() {
+	design := flag.String("design", "ci", "probe design: ci, ci-cycles, naive, naive-cycles, cd, cnb, cnb-cycles")
+	probeInterval := flag.Int64("probe-interval", 250, "compile-time probe interval (IR instructions)")
+	interval := flag.Int64("interval", 5000, "CI interval in cycles (0 disables the handler)")
+	entry := flag.String("entry", "main", "entry function")
+	argsFlag := flag.String("args", "", "comma-separated int64 arguments for the entry function")
+	threads := flag.Int("threads", 1, "VM threads")
+	limit := flag.Int64("limit", 1_000_000_000, "per-thread instruction limit")
+	optimize := flag.Bool("O", false, "run the IR optimizer before instrumenting")
+	printIR := flag.Bool("print", false, "print the instrumented IR and exit")
+	costs := flag.Bool("costs", false, "print the exported cost file (§2.6) and exit")
+	trace := flag.Int("trace", 0, "record and print the last N interrupt-timeline events")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cirun [flags] program.ir")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	d, ok := designByName[strings.ToLower(*design)]
+	if !ok {
+		fail("unknown design %q", *design)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail("%v", err)
+	}
+	prog, err := core.CompileText(string(src), core.Config{
+		Design:          d,
+		ProbeIntervalIR: *probeInterval,
+		Optimize:        *optimize,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	if *printIR {
+		fmt.Print(prog.Mod.String())
+		return
+	}
+	if *costs {
+		data, err := prog.ExportCosts()
+		if err != nil {
+			fail("%v", err)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		return
+	}
+	var args []int64
+	if *argsFlag != "" {
+		for _, tok := range strings.Split(*argsFlag, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(tok), 10, 64)
+			if err != nil {
+				fail("bad argument %q", tok)
+			}
+			args = append(args, v)
+		}
+	}
+	if *trace > 0 {
+		machine := vm.New(prog.Mod, nil, 1)
+		machine.LimitInstrs = *limit
+		th := machine.NewThread(0)
+		tr := vm.NewTrace(*trace)
+		th.AttachTrace(tr)
+		if *interval > 0 {
+			th.RT.RegisterCI(*interval, func(uint64) {})
+		}
+		rv, err := th.Run(*entry, args...)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("design %s, ret=%d, %d cycles; interrupt timeline:\n%s", d, rv, th.Stats.Cycles, tr)
+		return
+	}
+	res, err := prog.Run(*entry, core.RunConfig{
+		Threads:         *threads,
+		Args:            func(int) []int64 { return args },
+		IntervalCycles:  *interval,
+		RecordIntervals: *interval > 0,
+		LimitInstrs:     *limit,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("design %s, %d static probes\n", d, prog.Instr.Probes)
+	for id, s := range res.Stats {
+		fmt.Printf("thread %d: ret=%d cycles=%d instrs=%d probes=%d interrupts=%d\n",
+			id, res.Returns[id], s.Cycles, s.Instrs, s.Probes, s.HandlerCalls)
+		if ivs := res.Intervals[id]; len(ivs) > 1 {
+			fmt.Printf("  interval cycles: %s\n", stats.Summarize(ivs))
+		}
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cirun: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,38 @@
+// Delegation demonstrates the §5.3 use case: replacing a dedicated
+// FFWD delegation server with a *designated* server — an application
+// thread whose Compiler Interrupt handler runs the server poll loop —
+// on the fetch-and-add microbenchmark.
+//
+//	go run ./examples/delegation
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/ffwd"
+)
+
+func main() {
+	fmt.Println("fetch-and-add throughput, delegation vs locks (Mops)")
+	fmt.Printf("%-8s %12s %14s %10s %8s\n", "threads", "dedicated", "CI-designated", "spinlock", "MCS")
+	for _, t := range []int{1, 2, 4, 8, 16, 32, 56} {
+		ded := ffwd.Run(ffwd.Config{Design: ffwd.DelegationDedicated, Threads: t})
+		ci := ffwd.Run(ffwd.Config{Design: ffwd.DelegationCI, Threads: t})
+		spin := ffwd.Run(ffwd.Config{Design: ffwd.Spinlock, Threads: t})
+		mcs := ffwd.Run(ffwd.Config{Design: ffwd.MCS, Threads: t})
+		marker := ""
+		if ci.ThroughputMops > ded.ThroughputMops && t > 1 {
+			marker = "  <- designated server wins (no core burned)"
+		}
+		fmt.Printf("%-8d %12.2f %14.2f %10.2f %8.2f%s\n",
+			t, ded.ThroughputMops, ci.ThroughputMops, spin.ThroughputMops, mcs.ThroughputMops, marker)
+	}
+
+	fmt.Println("\nclient-observed operation latency at 56 threads (cycles)")
+	for _, d := range []ffwd.Design{ffwd.DelegationDedicated, ffwd.DelegationCI, ffwd.MCS, ffwd.Spinlock} {
+		r := ffwd.Run(ffwd.Config{Design: d, Threads: 56, RecordLatencies: true})
+		s := r.LatencySummary
+		fmt.Printf("%-14s p10=%-9d p50=%-9d p99.9=%-9d max=%d\n", d, s.P10, s.P50, s.P999, s.Max)
+	}
+	fmt.Println("\ndelegation latency is near-constant; locking spans orders of magnitude.")
+}

@@ -1,0 +1,37 @@
+// Netpoll demonstrates the §5.1 use case: a user-level network stack
+// polled from a Compiler Interrupt handler on the application's own
+// thread (CI-mTCP), compared against the stock helper-thread design
+// and kernel networking, on the epserver/epwget workload.
+//
+//	go run ./examples/netpoll
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/mtcp"
+)
+
+func main() {
+	fmt.Println("mTCP epserver/epwget, 1 kB responses over 10 Gbps, 16 server threads")
+	fmt.Println()
+	conns := []int{1, 4, 16, 64, 256}
+
+	fmt.Println("plain HTTP serving (Figure 4):")
+	for _, mode := range []mtcp.Mode{mtcp.Kernel, mtcp.Orig, mtcp.CI} {
+		for _, r := range mtcp.Sweep(mode, conns, 0) {
+			fmt.Println(" ", r)
+		}
+	}
+
+	fmt.Println("\nwith 1M cycles of application work per request (Figure 5):")
+	for _, mode := range []mtcp.Mode{mtcp.Kernel, mtcp.Orig, mtcp.CI} {
+		for _, r := range mtcp.Sweep(mode, []int{16, 64}, 1_000_000) {
+			fmt.Println(" ", r)
+		}
+	}
+
+	fmt.Println("\nCI-mTCP keeps the stack responsive at a fixed ~2500-cycle cadence")
+	fmt.Println("regardless of application behavior: no helper thread, no context")
+	fmt.Println("switches, and packet batches sized by the polling interval.")
+}

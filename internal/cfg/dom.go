@@ -1,0 +1,181 @@
+package cfg
+
+// DomTree is a dominator tree computed with the Cooper-Harvey-Kennedy
+// "A Simple, Fast Dominance Algorithm" iteration.
+type DomTree struct {
+	g *Graph
+	// IDom maps block index to its immediate dominator; the entry maps
+	// to itself and unreachable blocks map to -1.
+	IDom []int
+	// Children maps block index to dominated children indices.
+	Children [][]int
+	// depth in the dominator tree, used for O(h) Dominates queries.
+	depth []int
+}
+
+// Dominators computes the dominator tree of g.
+func Dominators(g *Graph) *DomTree {
+	idom := chk(g.N, g.RPO, g.RPOIndex, g.Preds, 0)
+	return newDomTree(g, idom, 0)
+}
+
+// PostDominators computes the postdominator tree of g. Functions with
+// multiple return blocks are handled with a virtual exit; blocks from
+// which no return is reachable (infinite loops) get IPDom -1.
+type PostDomTree struct {
+	// IPDom maps block index to immediate postdominator; a block that
+	// postdominates all paths to exit(s) from itself maps to -1 when it
+	// is itself a virtual-exit child, i.e. return blocks map to -1.
+	IPDom []int
+}
+
+// PostDominators computes immediate postdominators of each block.
+// Return blocks (and blocks with no path to a return) have IPDom -1.
+func PostDominators(g *Graph) *PostDomTree {
+	// Reverse graph with a virtual exit node N.
+	n := g.N + 1
+	exit := g.N
+	preds := make([][]int, n) // preds in reverse graph = succs in original
+	var exits []int
+	for b := 0; b < g.N; b++ {
+		for _, s := range g.Succs[b] {
+			preds[b] = append(preds[b], s)
+		}
+		if len(g.Succs[b]) == 0 && g.Reachable(b) {
+			exits = append(exits, b)
+			preds[b] = append(preds[b], exit)
+		}
+	}
+	// Postorder on the reverse graph from the virtual exit. Successor
+	// function in the reverse graph is the original Preds, plus
+	// exit → each return block.
+	succs := make([][]int, n)
+	for b := 0; b < g.N; b++ {
+		succs[b] = g.Preds[b]
+	}
+	succs[exit] = exits
+
+	rpo, rpoIndex := orderFrom(n, exit, succs)
+	idom := chk(n, rpo, rpoIndex, preds, exit)
+	out := make([]int, g.N)
+	for b := 0; b < g.N; b++ {
+		d := idom[b]
+		if d == exit || b == idom[b] || rpoIndex[b] < 0 {
+			out[b] = -1
+		} else {
+			out[b] = d
+		}
+	}
+	return &PostDomTree{IPDom: out}
+}
+
+func orderFrom(n, root int, succs [][]int) (rpo, rpoIndex []int) {
+	rpoIndex = make([]int, n)
+	for i := range rpoIndex {
+		rpoIndex[i] = -1
+	}
+	type frame struct{ node, next int }
+	visited := make([]bool, n)
+	post := make([]int, 0, n)
+	stack := []frame{{node: root}}
+	visited[root] = true
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		if fr.next < len(succs[fr.node]) {
+			s := succs[fr.node][fr.next]
+			fr.next++
+			if !visited[s] {
+				visited[s] = true
+				stack = append(stack, frame{node: s})
+			}
+			continue
+		}
+		post = append(post, fr.node)
+		stack = stack[:len(stack)-1]
+	}
+	rpo = make([]int, len(post))
+	for i := range post {
+		rpo[i] = post[len(post)-1-i]
+	}
+	for i, b := range rpo {
+		rpoIndex[b] = i
+	}
+	return rpo, rpoIndex
+}
+
+// chk runs the Cooper-Harvey-Kennedy iteration. rpo/rpoIndex describe
+// a traversal from root over the graph whose predecessor relation is
+// preds. Unvisited nodes get idom -1; the root maps to itself.
+func chk(n int, rpo, rpoIndex []int, preds [][]int, root int) []int {
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[root] = root
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoIndex[a] > rpoIndex[b] {
+				a = idom[a]
+			}
+			for rpoIndex[b] > rpoIndex[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == root {
+				continue
+			}
+			newIdom := -1
+			for _, p := range preds[b] {
+				if rpoIndex[p] < 0 || idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+func newDomTree(g *Graph, idom []int, root int) *DomTree {
+	t := &DomTree{g: g, IDom: idom, Children: make([][]int, g.N), depth: make([]int, g.N)}
+	for b := 0; b < g.N; b++ {
+		if b != root && idom[b] >= 0 {
+			t.Children[idom[b]] = append(t.Children[idom[b]], b)
+		}
+	}
+	// Depths via BFS from root.
+	queue := []int{root}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		for _, c := range t.Children[b] {
+			t.depth[c] = t.depth[b] + 1
+			queue = append(queue, c)
+		}
+	}
+	return t
+}
+
+// Dominates reports whether block a dominates block b (reflexive).
+func (t *DomTree) Dominates(a, b int) bool {
+	if t.IDom[b] == -1 && b != 0 {
+		return false // unreachable
+	}
+	for t.depth[b] > t.depth[a] {
+		b = t.IDom[b]
+	}
+	return a == b
+}

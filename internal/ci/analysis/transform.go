@@ -1,0 +1,271 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// This file implements the loop transform of §3.4 (Table 5) and the
+// single-block loop cloning of §3.5. Both are CFG surgeries that only
+// append blocks and rewire terminators, so previously collected probe
+// marks (which reference blocks by pointer) stay valid.
+
+// findHeaderCmp locates the comparison defining the header's branch
+// condition. Returns nil when the pattern is absent.
+func findHeaderCmp(h *ir.Block) *ir.Instr {
+	if h.Term.Kind != ir.TermBr {
+		return nil
+	}
+	for i := len(h.Instrs) - 1; i >= 0; i-- {
+		in := &h.Instrs[i]
+		if in.Dst == h.Term.Cond && in.Op != ir.OpStore && in.Op != ir.OpProbe {
+			return in
+		}
+	}
+	return nil
+}
+
+// canTransform checks the §3.4 preconditions: a simplified loop with a
+// recognized induction variable, exiting only through its header test,
+// whose bound is stable across the loop and whose body is free of
+// probe barriers.
+func (a *analyzer) canTransform(c *Container) bool {
+	l, iv := c.Loop, c.Ind
+	if l == nil || !iv.Found || l.Preheader < 0 {
+		return false
+	}
+	if len(l.Latches) != 1 || len(l.Exits) != 1 || l.Exits[0] != l.Header {
+		return false
+	}
+	if a.hasBarrier(c) {
+		return false
+	}
+	h := a.f.Blocks[l.Header]
+	if findHeaderCmp(h) == nil {
+		return false
+	}
+	if iv.Bound != ir.NoReg && !a.ri.SingleDefOutside(iv.Bound, l) {
+		return false
+	}
+	return iv.Bound != ir.NoReg || iv.BoundIsConst
+}
+
+// canClone checks the §3.5 preconditions: a simple (small) loop whose
+// trip count is only known at run time.
+func (a *analyzer) canClone(c *Container) bool {
+	if c.Trips.IsConst() || c.NumBlocks() > a.opts.MaxCloneBlocks {
+		return false
+	}
+	return a.canTransform(c)
+}
+
+// incPerStep converts a per-iteration cost into the per-induction-step
+// increment used by dynamic probes: inc_total = (i - k) * incPerStep.
+func incPerStep(perIter, step int64) int64 {
+	inc := (perIter + step/2) / step
+	if inc < 1 {
+		inc = 1
+	}
+	return inc
+}
+
+// transformLoop rewrites the loop per Table 5: an uninstrumented inner
+// loop bounded to roughly ProbeInterval IR, inside an outer loop that
+// probes once per chunk with a dynamically computed increment.
+func (a *analyzer) transformLoop(c *Container, perIter int64) {
+	f, l, iv := a.f, c.Loop, c.Ind
+	h := f.Blocks[l.Header]
+	cmp := findHeaderCmp(h)
+	if cmp == nil {
+		panic("analysis: transformLoop preconditions violated")
+	}
+	// Which branch side exits the loop?
+	thenExits := !l.Blocks[h.Term.Then.Index]
+	exitTarget := h.Term.Then
+	if !thenExits {
+		exitTarget = h.Term.Else
+	}
+
+	// Chunk size: number of iterations that fit in one probe interval.
+	iters := a.opts.ProbeInterval / perIter
+	if iters < 1 {
+		iters = 1
+	}
+	advance := iters * iv.Step
+
+	outer := f.NewBlock(h.Name + ".outer")
+	chunk := f.NewBlock(h.Name + ".chunk")
+	probeB := f.NewBlock(h.Name + ".chunkprobe")
+
+	// outer: re-test the original condition against the original bound.
+	cOut := f.NewReg()
+	cmpCopy := *cmp
+	cmpCopy.Dst = cOut
+	outer.Instrs = append(outer.Instrs, cmpCopy)
+	if thenExits {
+		outer.Term = ir.Terminator{Kind: ir.TermBr, Cond: cOut, Then: exitTarget, Else: chunk, Val: ir.NoReg}
+	} else {
+		outer.Term = ir.Terminator{Kind: ir.TermBr, Cond: cOut, Then: chunk, Else: exitTarget, Val: ir.NoReg}
+	}
+
+	// chunk: k = i; j = min(i + advance, bound[+1]); jump into the loop.
+	k, lim, j := f.NewReg(), f.NewReg(), f.NewReg()
+	chunk.Instrs = append(chunk.Instrs,
+		ir.Instr{Op: ir.OpMov, Dst: k, A: iv.IndVar, B: ir.NoReg},
+		ir.Instr{Op: ir.OpAdd, Dst: lim, A: iv.IndVar, B: ir.NoReg, Imm: advance, BImm: true},
+	)
+	leExtra := int64(0)
+	if iv.CmpOp == ir.OpCmpLe {
+		leExtra = 1
+	}
+	if iv.Bound == ir.NoReg {
+		chunk.Instrs = append(chunk.Instrs,
+			ir.Instr{Op: ir.OpMin, Dst: j, A: lim, B: ir.NoReg, Imm: iv.BoundConst + leExtra, BImm: true})
+	} else if leExtra != 0 {
+		bplus := f.NewReg()
+		chunk.Instrs = append(chunk.Instrs,
+			ir.Instr{Op: ir.OpAdd, Dst: bplus, A: iv.Bound, B: ir.NoReg, Imm: 1, BImm: true},
+			ir.Instr{Op: ir.OpMin, Dst: j, A: lim, B: bplus})
+	} else {
+		chunk.Instrs = append(chunk.Instrs,
+			ir.Instr{Op: ir.OpMin, Dst: j, A: lim, B: iv.Bound})
+	}
+	chunk.Term = ir.Terminator{Kind: ir.TermJmp, Then: h, Cond: ir.NoReg, Val: ir.NoReg}
+
+	// Header now tests i < j (strict, against the chunk limit).
+	cmp.Op = ir.OpCmpLt
+	cmp.A = iv.IndVar
+	cmp.B = j
+	cmp.BImm = false
+	if thenExits {
+		h.Term.Then = probeB
+	} else {
+		h.Term.Else = probeB
+	}
+
+	// probe block: account (i - k) iterations, then re-enter the outer
+	// loop.
+	a.markLoop(probeB, 0, incPerStep(perIter, iv.Step), iv.IndVar, k)
+	probeB.Term = ir.Terminator{Kind: ir.TermJmp, Then: outer, Cond: ir.NoReg, Val: ir.NoReg}
+
+	// The preheader now enters through the outer test.
+	ph := f.Blocks[l.Preheader]
+	retargeted := false
+	if ph.Term.Then == h {
+		ph.Term.Then = outer
+		retargeted = true
+	}
+	if ph.Term.Kind == ir.TermBr && ph.Term.Else == h {
+		ph.Term.Else = outer
+		retargeted = true
+	}
+	if !retargeted {
+		panic(fmt.Sprintf("analysis: preheader %q does not target header %q", ph.Name, h.Name))
+	}
+	f.Reindex()
+}
+
+// cloneLoop implements §3.5: duplicate the (simple) loop into an
+// uninstrumented fast version selected at run time when the whole loop
+// fits under the probe interval, accounted by a single dynamic probe
+// after the loop. The original loop remains and is subsequently
+// transformed (§3.4) as the slow path.
+func (a *analyzer) cloneLoop(c *Container, perIter int64) {
+	f, l, iv := a.f, c.Loop, c.Ind
+	h := f.Blocks[l.Header]
+	ph := f.Blocks[l.Preheader]
+
+	// Deep-copy the loop blocks.
+	cloneOf := make(map[*ir.Block]*ir.Block, len(l.Blocks))
+	var origs []*ir.Block
+	for bi := range l.Blocks {
+		origs = append(origs, f.Blocks[bi])
+	}
+	// Deterministic order.
+	for i := 0; i < len(origs); i++ {
+		for j := i + 1; j < len(origs); j++ {
+			if origs[j].Index < origs[i].Index {
+				origs[i], origs[j] = origs[j], origs[i]
+			}
+		}
+	}
+	for _, ob := range origs {
+		nb := f.NewBlock(ob.Name + ".fast")
+		nb.Instrs = make([]ir.Instr, len(ob.Instrs))
+		for i, in := range ob.Instrs {
+			ci := in
+			if in.Args != nil {
+				ci.Args = append([]ir.Reg(nil), in.Args...)
+			}
+			if in.Probe != nil {
+				p := *in.Probe
+				ci.Probe = &p
+			}
+			nb.Instrs[i] = ci
+		}
+		nb.Term = ob.Term
+		cloneOf[ob] = nb
+	}
+	// Fast-path exit probe: (i - k) * incPerStep, then on to the
+	// original exit target.
+	thenExits := !l.Blocks[h.Term.Then.Index]
+	exitTarget := h.Term.Then
+	if !thenExits {
+		exitTarget = h.Term.Else
+	}
+	fastProbe := f.NewBlock(h.Name + ".fastprobe")
+	kf := f.NewReg()
+	a.markLoop(fastProbe, 0, incPerStep(perIter, iv.Step), iv.IndVar, kf)
+	fastProbe.Term = ir.Terminator{Kind: ir.TermJmp, Then: exitTarget, Cond: ir.NoReg, Val: ir.NoReg}
+
+	// Rewire clone terminators: in-loop targets to clones; the exit
+	// edge to the fast probe.
+	for _, ob := range origs {
+		nb := cloneOf[ob]
+		remap := func(t *ir.Block) *ir.Block {
+			if cl, ok := cloneOf[t]; ok {
+				return cl
+			}
+			if t == exitTarget {
+				return fastProbe
+			}
+			return t
+		}
+		if nb.Term.Then != nil {
+			nb.Term.Then = remap(nb.Term.Then)
+		}
+		if nb.Term.Else != nil {
+			nb.Term.Else = remap(nb.Term.Else)
+		}
+	}
+
+	// Guard in the preheader: estimated loop cost <= probe interval?
+	leExtra := int64(0)
+	if iv.CmpOp == ir.OpCmpLe {
+		leExtra = 1
+	}
+	bound := iv.Bound
+	if bound == ir.NoReg {
+		bound = f.NewReg()
+		ph.Instrs = append(ph.Instrs,
+			ir.Instr{Op: ir.OpMov, Dst: bound, A: ir.NoReg, B: ir.NoReg, Imm: iv.BoundConst, BImm: true})
+	}
+	diff, est, cond := f.NewReg(), f.NewReg(), f.NewReg()
+	ph.Instrs = append(ph.Instrs,
+		ir.Instr{Op: ir.OpMov, Dst: kf, A: iv.IndVar, B: ir.NoReg},
+		ir.Instr{Op: ir.OpSub, Dst: diff, A: bound, B: iv.IndVar})
+	if leExtra != 0 {
+		ph.Instrs = append(ph.Instrs,
+			ir.Instr{Op: ir.OpAdd, Dst: diff, A: diff, B: ir.NoReg, Imm: 1, BImm: true})
+	}
+	if iv.Step != 1 {
+		ph.Instrs = append(ph.Instrs,
+			ir.Instr{Op: ir.OpDiv, Dst: diff, A: diff, B: ir.NoReg, Imm: iv.Step, BImm: true})
+	}
+	ph.Instrs = append(ph.Instrs,
+		ir.Instr{Op: ir.OpMul, Dst: est, A: diff, B: ir.NoReg, Imm: perIter, BImm: true},
+		ir.Instr{Op: ir.OpCmpLe, Dst: cond, A: est, B: ir.NoReg, Imm: a.opts.ProbeInterval, BImm: true})
+	ph.Term = ir.Terminator{Kind: ir.TermBr, Cond: cond, Then: cloneOf[h], Else: h, Val: ir.NoReg}
+	f.Reindex()
+}

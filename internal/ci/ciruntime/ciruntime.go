@@ -1,0 +1,333 @@
+// Package ciruntime is the libci support library of §2: handler
+// registration (Table 2), the probe decision logic of Table 3
+// (call_handlers / update_nextint), nested disable/enable, and the
+// single-handler fast path. One Runtime instance serves one thread —
+// compiler-interrupt state is thread-local by design.
+//
+// The runtime is driven by probe callbacks (ProbeIR, ProbeCycles,
+// ProbeEvent, ProbeEventCycles) that the VM invokes when it executes
+// the corresponding probe instructions. "now" arguments are virtual
+// cycle timestamps supplied by the caller.
+package ciruntime
+
+import "math"
+
+// Handler is a Compiler Interrupt handler. It receives an approximation
+// of the IR instructions executed since its previous invocation (for
+// event-based designs, the event count).
+type Handler func(irSinceLast uint64)
+
+// DefaultIRPerCycle is the heuristic IR-to-cycle ratio of §4 (footnote
+// 3): 4 LLVM IR per cycle.
+const DefaultIRPerCycle = 4.0
+
+const never = math.MaxInt64
+
+type handlerState struct {
+	id             int
+	fn             Handler
+	intervalCycles int64
+	intervalIR     int64
+	eventThreshold int64
+	disable        int
+	lastFireIR     int64
+	lastFireCycles int64
+	lastFireEvents int64
+	fires          int64
+	intervals      []int64
+}
+
+// Runtime holds the per-thread Compiler Interrupt state.
+type Runtime struct {
+	// IRPerCycle converts registered cycle intervals into IR-count
+	// thresholds. Defaults to DefaultIRPerCycle; may be tuned per
+	// application from a profiling run.
+	IRPerCycle float64
+	// EventsPerInterval converts a cycle interval into an event
+	// threshold for CnB designs; the default assumes ~20 IR between
+	// consecutive calls/back-edges.
+	EventsPerInterval func(intervalCycles int64) int64
+	// RecordIntervals enables per-handler inter-fire gap recording (in
+	// cycles), used by the accuracy experiments.
+	RecordIntervals bool
+	// OnFire, when non-nil, observes every handler invocation: handler
+	// id, IR delta, and the gap in cycles since its previous fire.
+	OnFire func(id int, irDelta uint64, gapCycles int64)
+
+	inscount      int64
+	events        int64
+	nextIR        int64 // global gate for IR probes
+	cycGateIR     int64 // IR gate for CI-Cycles probes
+	globalDisable int
+	nextID        int
+	handlers      []*handlerState
+	single        *handlerState // fast path when exactly one handler
+}
+
+// New returns an empty runtime with default tuning.
+func New() *Runtime {
+	rt := &Runtime{IRPerCycle: DefaultIRPerCycle}
+	rt.EventsPerInterval = func(intervalCycles int64) int64 {
+		n := int64(float64(intervalCycles) * rt.IRPerCycle / 20)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	rt.nextIR = never
+	rt.cycGateIR = never
+	return rt
+}
+
+// RegisterCI registers fn to be called approximately every
+// intervalCycles cycles and returns its ciid (§2, Table 2).
+func (rt *Runtime) RegisterCI(intervalCycles int64, fn Handler) int {
+	if intervalCycles <= 0 {
+		intervalCycles = 1
+	}
+	rt.nextID++
+	h := &handlerState{
+		id:             rt.nextID,
+		fn:             fn,
+		intervalCycles: intervalCycles,
+		intervalIR:     int64(float64(intervalCycles) * rt.IRPerCycle),
+		eventThreshold: rt.EventsPerInterval(intervalCycles),
+		lastFireIR:     rt.inscount,
+		lastFireEvents: rt.events,
+	}
+	if h.intervalIR < 1 {
+		h.intervalIR = 1
+	}
+	rt.handlers = append(rt.handlers, h)
+	rt.refresh()
+	return h.id
+}
+
+// Deregister removes the handler with the given ciid.
+func (rt *Runtime) Deregister(ciid int) {
+	out := rt.handlers[:0]
+	for _, h := range rt.handlers {
+		if h.id != ciid {
+			out = append(out, h)
+		}
+	}
+	rt.handlers = out
+	rt.refresh()
+}
+
+// Disable increments the disable count for ciid; ciid 0 disables all
+// handlers (§2.2). Disables nest: n Enable calls undo n Disable calls.
+func (rt *Runtime) Disable(ciid int) {
+	if ciid == 0 {
+		rt.globalDisable++
+		return
+	}
+	if h := rt.find(ciid); h != nil {
+		h.disable++
+	}
+}
+
+// Enable decrements the disable count for ciid (0 = the global count).
+func (rt *Runtime) Enable(ciid int) {
+	if ciid == 0 {
+		if rt.globalDisable > 0 {
+			rt.globalDisable--
+		}
+		return
+	}
+	if h := rt.find(ciid); h != nil && h.disable > 0 {
+		h.disable--
+	}
+}
+
+// Enabled reports whether the handler would currently fire.
+func (rt *Runtime) Enabled(ciid int) bool {
+	h := rt.find(ciid)
+	return h != nil && h.disable == 0 && rt.globalDisable == 0
+}
+
+// InsCount returns the thread's current instruction counter.
+func (rt *Runtime) InsCount() int64 { return rt.inscount }
+
+// Fires returns how many times the handler has been invoked.
+func (rt *Runtime) Fires(ciid int) int64 {
+	if h := rt.find(ciid); h != nil {
+		return h.fires
+	}
+	return 0
+}
+
+// Intervals returns the recorded inter-fire gaps (cycles) for ciid;
+// empty unless RecordIntervals was set before the run.
+func (rt *Runtime) Intervals(ciid int) []int64 {
+	if h := rt.find(ciid); h != nil {
+		return h.intervals
+	}
+	return nil
+}
+
+func (rt *Runtime) find(ciid int) *handlerState {
+	if rt.single != nil && rt.single.id == ciid {
+		return rt.single
+	}
+	for _, h := range rt.handlers {
+		if h.id == ciid {
+			return h
+		}
+	}
+	return nil
+}
+
+// refresh recomputes the fast path and the global IR gate
+// (update_nextint in Table 3).
+func (rt *Runtime) refresh() {
+	rt.single = nil
+	if len(rt.handlers) == 1 {
+		rt.single = rt.handlers[0]
+	}
+	next := int64(never)
+	for _, h := range rt.handlers {
+		if n := h.lastFireIR + h.intervalIR; n < next {
+			next = n
+		}
+	}
+	rt.nextIR = next
+	if rt.cycGateIR == never && len(rt.handlers) > 0 {
+		rt.cycGateIR = rt.inscount
+	}
+	if len(rt.handlers) == 0 {
+		rt.cycGateIR = never
+	}
+}
+
+// fire invokes a handler, disabling it for the duration of its own
+// execution (§2.2), and updates its bookkeeping.
+func (rt *Runtime) fire(h *handlerState, now int64) {
+	delta := rt.inscount - h.lastFireIR
+	gap := now - h.lastFireCycles
+	h.lastFireIR = rt.inscount
+	h.lastFireCycles = now
+	h.lastFireEvents = rt.events
+	h.fires++
+	if rt.RecordIntervals {
+		h.intervals = append(h.intervals, gap)
+	}
+	if rt.OnFire != nil {
+		rt.OnFire(h.id, uint64(delta), gap)
+	}
+	h.disable++
+	h.fn(uint64(delta))
+	h.disable--
+}
+
+// ProbeIR is the pure-IR probe of Table 3: advance the counter by inc
+// and fire any handlers that are due. Returns the number of handlers
+// fired.
+func (rt *Runtime) ProbeIR(inc int64, now int64) int {
+	rt.inscount += inc
+	if rt.inscount <= rt.nextIR {
+		return 0
+	}
+	fired := 0
+	if rt.globalDisable == 0 {
+		if h := rt.single; h != nil { // fast path (footnote 1)
+			if h.disable == 0 && rt.inscount-h.lastFireIR >= h.intervalIR {
+				rt.fire(h, now)
+				fired = 1
+			}
+		} else {
+			for _, h := range rt.handlers {
+				if h.disable == 0 && rt.inscount-h.lastFireIR >= h.intervalIR {
+					rt.fire(h, now)
+					fired++
+				}
+			}
+		}
+	}
+	rt.refresh()
+	return fired
+}
+
+// ProbeCycles is the CI-Cycles probe (§4): the IR count gates a cycle
+// counter read; the handler fires only when the measured cycle interval
+// has elapsed. Returns how many cycle-counter reads were performed and
+// how many handlers fired (for VM cost accounting).
+func (rt *Runtime) ProbeCycles(inc int64, now int64) (reads, fired int) {
+	rt.inscount += inc
+	if rt.inscount < rt.cycGateIR {
+		return 0, 0
+	}
+	reads = 1
+	minRemaining := int64(never)
+	if rt.globalDisable == 0 {
+		for _, h := range rt.handlers {
+			if h.disable != 0 {
+				continue
+			}
+			elapsed := now - h.lastFireCycles
+			if elapsed >= h.intervalCycles {
+				rt.fire(h, now)
+				fired++
+				if h.intervalCycles < minRemaining {
+					minRemaining = h.intervalCycles
+				}
+			} else if rem := h.intervalCycles - elapsed; rem < minRemaining {
+				minRemaining = rem
+			}
+		}
+	} else {
+		for _, h := range rt.handlers {
+			if h.intervalCycles < minRemaining {
+				minRemaining = h.intervalCycles
+			}
+		}
+	}
+	// Check again after roughly half the remaining time, in IR.
+	if minRemaining == never {
+		rt.cycGateIR = never
+	} else {
+		step := int64(float64(minRemaining) * rt.IRPerCycle / 2)
+		if step < 1 {
+			step = 1
+		}
+		rt.cycGateIR = rt.inscount + step
+	}
+	rt.refresh()
+	return reads, fired
+}
+
+// ProbeEvent is the CnB probe: count one event (a call or back-edge)
+// and fire handlers whose event threshold has been reached.
+func (rt *Runtime) ProbeEvent(weight int64, now int64) int {
+	rt.events += weight
+	rt.inscount += weight
+	fired := 0
+	if rt.globalDisable != 0 {
+		return 0
+	}
+	for _, h := range rt.handlers {
+		if h.disable == 0 && rt.events-h.lastFireEvents >= h.eventThreshold {
+			rt.fire(h, now)
+			fired++
+		}
+	}
+	return fired
+}
+
+// ProbeEventCycles is the CnB-Cycles probe: read the cycle counter on
+// every event and fire handlers past their cycle interval.
+func (rt *Runtime) ProbeEventCycles(now int64) (reads, fired int) {
+	rt.events++
+	rt.inscount++
+	reads = 1
+	if rt.globalDisable != 0 {
+		return reads, 0
+	}
+	for _, h := range rt.handlers {
+		if h.disable == 0 && now-h.lastFireCycles >= h.intervalCycles {
+			rt.fire(h, now)
+			fired++
+		}
+	}
+	return reads, fired
+}

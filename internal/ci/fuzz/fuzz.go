@@ -1,0 +1,186 @@
+// Package fuzz generates random—but always valid and terminating—IR
+// programs for differential testing of the Compiler Interrupts
+// pipeline: every instrumentation design must preserve a program's
+// result, and the analysis must never produce IR that fails
+// verification.
+//
+// Programs are built from a grammar of nested, terminating constructs
+// (counted loops with constant/parameter/data-derived bounds, branches,
+// calls, memory traffic) so generated code exercises the container
+// rules, the loop transform, cloning and barrier handling.
+package fuzz
+
+import (
+	"repro/internal/ir"
+	"repro/internal/sim"
+)
+
+// Options bounds program generation.
+type Options struct {
+	// MaxDepth bounds construct nesting (default 3).
+	MaxDepth int
+	// MaxStmts bounds statements per block sequence (default 6).
+	MaxStmts int
+	// MaxFuncs bounds callee functions (default 3).
+	MaxFuncs int
+	// WithExterns permits uninstrumented external calls.
+	WithExterns bool
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.MaxDepth <= 0 {
+		out.MaxDepth = 3
+	}
+	if out.MaxStmts <= 0 {
+		out.MaxStmts = 6
+	}
+	if out.MaxFuncs <= 0 {
+		out.MaxFuncs = 3
+	}
+	return out
+}
+
+type gen struct {
+	rng  *sim.RNG
+	opts Options
+	m    *ir.Module
+	// callables are functions generated so far (callable from later
+	// ones without recursion).
+	callables []string
+}
+
+// Generate builds a random module whose entry is `main(%n)`. The
+// program always terminates: every loop has a bounded trip count.
+func Generate(seed uint64, opts Options) *ir.Module {
+	g := &gen{rng: sim.NewRNG(seed), opts: opts.withDefaults()}
+	g.m = ir.NewModule("fuzz")
+	g.m.MemWords = 4096
+	if g.opts.WithExterns {
+		g.m.DeclareExtern("ext", 50+g.rng.Intn(400))
+	}
+	nf := 1 + int(g.rng.Intn(int64(g.opts.MaxFuncs)))
+	for i := 0; i < nf; i++ {
+		g.genFunc(i)
+	}
+	g.genMain()
+	if err := g.m.Verify(); err != nil {
+		panic("fuzz: generated module invalid: " + err.Error())
+	}
+	return g.m
+}
+
+// genFunc creates helper function fi taking one parameter.
+func (g *gen) genFunc(i int) {
+	name := "f" + string(rune('a'+i))
+	f := g.m.NewFunc(name, 1)
+	b := ir.NewBuilder(f)
+	acc := b.BinI(ir.OpAnd, 0, 1023)
+	g.genBody(f, b, acc, 0, g.opts.MaxDepth-1)
+	b.Ret(acc)
+	f.Reindex()
+	g.callables = append(g.callables, name)
+}
+
+func (g *gen) genMain() {
+	f := g.m.NewFunc("main", 1)
+	b := ir.NewBuilder(f)
+	acc := b.BinI(ir.OpAnd, 0, 255)
+	// Seed some memory so loads are meaningful.
+	b.ConstLoop(64, func(i ir.Reg) {
+		v := b.BinI(ir.OpMul, i, 37)
+		addr := b.BinI(ir.OpAnd, v, 4095)
+		b.Store(addr, 0, v)
+	})
+	g.genBody(f, b, acc, 0, g.opts.MaxDepth)
+	b.Ret(acc)
+	f.Reindex()
+}
+
+// genBody emits a random statement sequence mutating acc.
+func (g *gen) genBody(f *ir.Func, b *ir.Builder, acc ir.Reg, depth, maxDepth int) {
+	n := 1 + int(g.rng.Intn(int64(g.opts.MaxStmts)))
+	for i := 0; i < n; i++ {
+		g.genStmt(f, b, acc, depth, maxDepth)
+	}
+}
+
+func (g *gen) genStmt(f *ir.Func, b *ir.Builder, acc ir.Reg, depth, maxDepth int) {
+	choice := g.rng.Intn(10)
+	switch {
+	case choice < 3: // arithmetic
+		ops := []ir.Opcode{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpXor, ir.OpOr, ir.OpShr}
+		op := ops[g.rng.Intn(int64(len(ops)))]
+		imm := 1 + g.rng.Intn(100)
+		if op == ir.OpShr {
+			imm = g.rng.Intn(8)
+		}
+		b.BinToI(acc, op, acc, imm)
+	case choice < 4: // memory
+		addr := b.BinI(ir.OpAnd, acc, 4095)
+		v := b.Load(addr, 0)
+		b.BinTo(acc, ir.OpAdd, acc, v)
+		b.Store(addr, 0, acc)
+	case choice < 5 && len(g.callables) > 0: // call
+		callee := g.callables[g.rng.Intn(int64(len(g.callables)))]
+		arg := b.BinI(ir.OpAnd, acc, 511)
+		r := b.Call(callee, arg)
+		b.BinTo(acc, ir.OpXor, acc, r)
+	case choice < 6 && g.opts.WithExterns: // external call
+		r := b.ExtCall("ext", acc)
+		b.BinTo(acc, ir.OpAdd, acc, r)
+	case choice < 8 && depth < maxDepth: // branch
+		cond := b.BinI(ir.OpAnd, acc, 1+g.rng.Intn(7))
+		then := b.Block("f.then")
+		els := b.Block("f.else")
+		join := b.Block("f.join")
+		b.Br(cond, then, els)
+		b.SetBlock(then)
+		g.genBody(f, b, acc, depth+1, maxDepth)
+		b.Jmp(join)
+		b.SetBlock(els)
+		if g.rng.Intn(2) == 0 {
+			g.genBody(f, b, acc, depth+1, maxDepth)
+		} else {
+			b.BinToI(acc, ir.OpAdd, acc, 1)
+		}
+		b.Jmp(join)
+		b.SetBlock(join)
+	case depth < maxDepth: // loop
+		g.genLoop(f, b, acc, depth, maxDepth)
+	default:
+		b.BinToI(acc, ir.OpAdd, acc, 7)
+	}
+}
+
+// genLoop emits a terminating loop with one of several bound styles:
+// compile-time constant (big or small), the function parameter masked,
+// or a data-derived runtime value.
+func (g *gen) genLoop(f *ir.Func, b *ir.Builder, acc ir.Reg, depth, maxDepth int) {
+	var bound ir.Reg
+	switch g.rng.Intn(4) {
+	case 0: // small constant: foldable
+		bound = b.Mov(1 + g.rng.Intn(12))
+	case 1: // big constant: needs the transform
+		bound = b.Mov(200 + g.rng.Intn(2000))
+	case 2: // parameter-derived
+		bound = b.BinI(ir.OpAnd, 0, 255)
+	default: // data-derived (unknown to the analysis)
+		mask := b.BinI(ir.OpAnd, acc, 4095)
+		v := b.Load(mask, 0)
+		bound = b.BinI(ir.OpAnd, v, 127)
+	}
+	step := int64(1)
+	if g.rng.Intn(3) == 0 {
+		step = 1 + g.rng.Intn(4)
+	}
+	from := b.Mov(0)
+	b.CountedLoop(from, bound, step, func(i ir.Reg) {
+		if depth+1 < maxDepth && g.rng.Intn(3) == 0 {
+			g.genBody(f, b, acc, depth+1, maxDepth)
+		} else {
+			b.BinTo(acc, ir.OpAdd, acc, i)
+			b.BinToI(acc, ir.OpAnd, acc, (1<<40)-1)
+		}
+	})
+}

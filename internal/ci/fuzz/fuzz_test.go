@@ -1,0 +1,140 @@
+package fuzz
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ci/analysis"
+	"repro/internal/ci/instrument"
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+func runModule(t *testing.T, m *ir.Module, arg int64) int64 {
+	t.Helper()
+	machine := vm.New(m, nil, 1)
+	machine.LimitInstrs = 80_000_000
+	th := machine.NewThread(0)
+	th.RT.RegisterCI(5000, func(uint64) {})
+	rv, err := th.Run("main", arg)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, m)
+	}
+	return rv
+}
+
+func TestGenerateProducesValidPrograms(t *testing.T) {
+	for seed := uint64(1); seed <= 30; seed++ {
+		m := Generate(seed, Options{WithExterns: seed%2 == 0})
+		if err := m.Verify(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if m.FuncByName("main") == nil {
+			t.Fatalf("seed %d: no main", seed)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(7, Options{})
+	b := Generate(7, Options{})
+	if a.String() != b.String() {
+		t.Error("same seed produced different programs")
+	}
+}
+
+// Differential test: every instrumentation design preserves the result
+// of randomly generated programs across several inputs. This is the
+// broadest check on the loop transform (§3.4), cloning (§3.5) and
+// probe-placement correctness.
+func TestDifferentialSemanticPreservation(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := 1; seed <= seeds; seed++ {
+		seed := uint64(seed)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			src := Generate(seed, Options{WithExterns: seed%3 == 0})
+			args := []int64{0, 1, 17, 255, 10000}
+			want := make([]int64, len(args))
+			for i, a := range args {
+				want[i] = runModule(t, src.Clone(), a)
+			}
+			for _, d := range instrument.Designs {
+				for _, probeInterval := range []int64{60, 250, 2000} {
+					m := src.Clone()
+					if _, err := instrument.Instrument(m, instrument.Options{
+						Design:   d,
+						Analysis: analysis.Options{ProbeInterval: probeInterval},
+					}); err != nil {
+						t.Fatalf("%v/pi=%d: %v", d, probeInterval, err)
+					}
+					if err := m.Verify(); err != nil {
+						t.Fatalf("%v/pi=%d: invalid IR: %v", d, probeInterval, err)
+					}
+					for i, a := range args {
+						if got := runModule(t, m, a); got != want[i] {
+							t.Errorf("%v/pi=%d: main(%d) = %d, want %d",
+								d, probeInterval, a, got, want[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// The CI counter must stay within a bounded relative error of actual
+// execution on random programs, not just the curated workloads.
+func TestDifferentialCounterFidelity(t *testing.T) {
+	for seed := uint64(1); seed <= 15; seed++ {
+		m := Generate(seed, Options{})
+		if _, err := instrument.Instrument(m, instrument.Options{
+			Design:   instrument.CI,
+			Analysis: analysis.Options{ProbeInterval: 250},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		machine := vm.New(m, nil, 1)
+		machine.LimitInstrs = 80_000_000
+		th := machine.NewThread(0)
+		th.RT.RegisterCI(5000, func(uint64) {})
+		if _, err := th.Run("main", 4095); err != nil {
+			t.Fatal(err)
+		}
+		if th.Stats.Instrs < 1000 {
+			continue // too tiny to judge
+		}
+		expected := th.Stats.Instrs + 100*th.Stats.ExtCalls
+		ratio := float64(th.RT.InsCount()) / float64(expected)
+		if ratio < 0.55 || ratio > 1.6 {
+			t.Errorf("seed %d: counted/expected = %.3f (instrs %d)", seed, ratio, th.Stats.Instrs)
+		}
+	}
+}
+
+// Ablation configurations must also preserve semantics.
+func TestDifferentialAblations(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		src := Generate(seed, Options{})
+		want := runModule(t, src.Clone(), 999)
+		for _, opts := range []analysis.Options{
+			{ProbeInterval: 250, DisableLoopTransform: true},
+			{ProbeInterval: 250, DisableLoopClone: true},
+			{ProbeInterval: 250, AllowableError: 10},
+			{ProbeInterval: 5000},
+		} {
+			m := src.Clone()
+			if _, err := instrument.Instrument(m, instrument.Options{
+				Design: instrument.CI, Analysis: opts,
+			}); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if got := runModule(t, m, 999); got != want {
+				t.Errorf("seed %d opts %+v: got %d want %d", seed, opts, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package core is the public driver of the Compiler Interrupts
+// library: it ties together canonicalization, the analysis phase (§3),
+// the instrumentation phase (§4) and the virtual machine, behind a
+// small API mirroring how the paper's LLVM pass is used.
+//
+// Typical usage:
+//
+//	prog, err := core.CompileText(src, core.Config{
+//	    Design:          instrument.CI,
+//	    ProbeIntervalIR: 250,
+//	})
+//	stats, err := prog.Run("main", core.RunConfig{
+//	    Threads:        1,
+//	    IntervalCycles: 5000,
+//	    Handler:        func(irDelta uint64) { ... },
+//	})
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ci/analysis"
+	"repro/internal/ci/instrument"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/vm"
+)
+
+// Config selects the instrumentation design and analysis parameters.
+type Config struct {
+	// Design is the probe design (instrument.CI by default).
+	Design instrument.Design
+	// ProbeIntervalIR is the compile-time probe interval in IR
+	// instructions (default 1000).
+	ProbeIntervalIR int64
+	// AllowableErrorIR bounds branch-arm summarization (§3.3); defaults
+	// to the probe interval, as the paper chooses heuristically.
+	AllowableErrorIR int64
+	// ExternCostIR is the heuristic cost of uninstrumented calls (§4;
+	// default 100).
+	ExternCostIR int64
+	// ImportedCosts supplies cost files from other build units (§2.6).
+	ImportedCosts analysis.CostTable
+	// DisableLoopTransform / DisableLoopClone switch off the §3.4/§3.5
+	// rewrites, for ablation studies.
+	DisableLoopTransform bool
+	DisableLoopClone     bool
+	// Optimize runs the IR optimizer (package opt) before the CI
+	// analysis, mirroring the paper's use of -O3 IR.
+	Optimize bool
+}
+
+// Program is a compiled (instrumented) module ready to run on the VM.
+type Program struct {
+	// Mod is the instrumented module.
+	Mod *ir.Module
+	// Source is the pristine module the program was compiled from.
+	Source *ir.Module
+	// Instr reports what the instrumentation phase did.
+	Instr *instrument.Result
+	cfg   Config
+}
+
+// Compile clones src and instruments the clone per cfg. src itself is
+// not modified.
+func Compile(src *ir.Module, cfg Config) (*Program, error) {
+	if err := src.Verify(); err != nil {
+		return nil, fmt.Errorf("core: input module invalid: %w", err)
+	}
+	m := src.Clone()
+	if cfg.Optimize {
+		opt.Module(m)
+	}
+	res, err := instrument.Instrument(m, instrument.Options{
+		Design: cfg.Design,
+		Analysis: analysis.Options{
+			ProbeInterval:        cfg.ProbeIntervalIR,
+			AllowableError:       cfg.AllowableErrorIR,
+			ExternCostIR:         cfg.ExternCostIR,
+			Imported:             cfg.ImportedCosts,
+			DisableLoopTransform: cfg.DisableLoopTransform,
+			DisableLoopClone:     cfg.DisableLoopClone,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Mod: m, Source: src, Instr: res, cfg: cfg}, nil
+}
+
+// CompileText parses textual IR and compiles it.
+func CompileText(src string, cfg Config) (*Program, error) {
+	m, err := ir.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(m, cfg)
+}
+
+// ExportCosts serializes the program's function cost table for
+// dependent build units (§2.6). Only meaningful for CI designs.
+func (p *Program) ExportCosts() ([]byte, error) {
+	if p.Instr.Analysis == nil {
+		return nil, fmt.Errorf("core: design %v exports no cost table", p.cfg.Design)
+	}
+	return analysis.ExportCosts(p.Instr.Analysis.Costs)
+}
+
+// RunConfig configures a VM run of a compiled program.
+type RunConfig struct {
+	// Threads runs the entry function on this many VM threads (default
+	// 1); Args(id) supplies per-thread arguments (default: thread id).
+	Threads int
+	Args    func(id int) []int64
+	// IntervalCycles registers Handler with this CI interval on every
+	// thread. Zero skips registration.
+	IntervalCycles int64
+	Handler        func(irSinceLast uint64)
+	// IRPerCycle tunes the runtime's IR-to-cycle ratio; zero keeps the
+	// paper's default of 4. Use Profile to measure it.
+	IRPerCycle float64
+	// RecordIntervals records inter-fire gaps on handler id 1.
+	RecordIntervals bool
+	// Model overrides the VM cost model.
+	Model *vm.CostModel
+	// LimitInstrs bounds per-thread execution (0 = none).
+	LimitInstrs int64
+}
+
+// RunResult aggregates a run.
+type RunResult struct {
+	// Stats holds per-thread VM statistics.
+	Stats []vm.Stats
+	// Intervals holds recorded handler gaps (cycles) per thread, when
+	// RecordIntervals was set.
+	Intervals [][]int64
+	// Returns holds each thread's return value.
+	Returns []int64
+}
+
+// Run executes the program's function fn under the configured VM.
+func (p *Program) Run(fn string, rc RunConfig) (*RunResult, error) {
+	threads := rc.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	args := rc.Args
+	if args == nil {
+		args = func(id int) []int64 { return []int64{int64(id)} }
+	}
+	f := p.Mod.FuncByName(fn)
+	if f == nil {
+		return nil, fmt.Errorf("core: no function %q", fn)
+	}
+	if f.NumParams == 0 {
+		args = func(int) []int64 { return nil }
+	}
+	machine := vm.New(p.Mod, rc.Model, threads)
+	machine.LimitInstrs = rc.LimitInstrs
+	res := &RunResult{
+		Stats:     make([]vm.Stats, threads),
+		Intervals: make([][]int64, threads),
+		Returns:   make([]int64, threads),
+	}
+	// Sequential execution keeps interval recording and return values
+	// simple and deterministic; the contention model already accounts
+	// for the thread count. Threads are virtual-time independent.
+	for id := 0; id < threads; id++ {
+		th := machine.NewThread(id)
+		if rc.IRPerCycle > 0 {
+			th.RT.IRPerCycle = rc.IRPerCycle
+		}
+		th.RT.RecordIntervals = rc.RecordIntervals
+		hid := 0
+		if rc.IntervalCycles > 0 {
+			h := rc.Handler
+			if h == nil {
+				h = func(uint64) {}
+			}
+			hid = th.RT.RegisterCI(rc.IntervalCycles, h)
+		}
+		rv, err := th.Run(fn, args(id)...)
+		if err != nil {
+			return nil, fmt.Errorf("core: thread %d: %w", id, err)
+		}
+		res.Returns[id] = rv
+		res.Stats[id] = th.Stats
+		if hid != 0 {
+			res.Intervals[id] = th.RT.Intervals(hid)
+		}
+	}
+	return res, nil
+}
+
+// Profile measures the program's achieved IR-per-cycle ratio with a
+// short uninstrumented run — the per-application tuning of §4
+// (footnote 3). Run it on the *source* module so probes don't skew the
+// ratio.
+func Profile(src *ir.Module, fn string, args []int64, threads int, model *vm.CostModel, limit int64) (float64, error) {
+	machine := vm.New(src, model, threads)
+	machine.LimitInstrs = limit
+	th := machine.NewThread(0)
+	if _, err := th.Run(fn, args...); err != nil {
+		return 0, err
+	}
+	if th.Stats.Cycles == 0 {
+		return 0, fmt.Errorf("core: empty profile run")
+	}
+	return float64(th.Stats.Instrs) / float64(th.Stats.Cycles), nil
+}

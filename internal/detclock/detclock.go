@@ -1,0 +1,87 @@
+// Package detclock implements the deterministic-logical-clock
+// application sketched in the paper's related work (§6): the pure-IR
+// variant of Compiler Interrupts is deterministic, so the instruction
+// count delivered to the handler can serve as a logical clock for
+// deterministic multithreading (à la CoreDet/Kendo) — unlike hardware
+// performance counters, which are "not guaranteed to be deterministic,
+// making them unsuitable for enforcing determinism".
+//
+// Capture runs an instrumented program and records one event per
+// handler invocation, stamped with the logical (IR-count) clock. With
+// the pure-IR design the event trace is a pure function of the program
+// and its inputs: it does not change when the machine's timing
+// (cost model, cache behaviour, contention) changes. With the
+// cycle-gated design, it does.
+package detclock
+
+import (
+	"fmt"
+
+	"repro/internal/ci/instrument"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// Event is one logical-clock observation.
+type Event struct {
+	// Seq is the event's position in the thread's trace.
+	Seq int
+	// Logical is the instruction-count clock at the event.
+	Logical int64
+	// Cycles is the physical time of the event (non-deterministic
+	// across machines; recorded for comparison).
+	Cycles int64
+}
+
+// Capture compiles the module with the given design and runs fn,
+// recording an event at every compiler interrupt. The cost model
+// controls the machine's physical timing.
+func Capture(src *ir.Module, fn string, args []int64, design instrument.Design,
+	intervalCycles int64, model *vm.CostModel) ([]Event, error) {
+
+	prog, err := core.Compile(src, core.Config{Design: design, ProbeIntervalIR: 250})
+	if err != nil {
+		return nil, err
+	}
+	machine := vm.New(prog.Mod, model, 1)
+	machine.LimitInstrs = 200_000_000
+	th := machine.NewThread(0)
+	var events []Event
+	th.RT.OnFire = func(id int, irDelta uint64, gap int64) {
+		events = append(events, Event{
+			Seq:     len(events),
+			Logical: th.RT.InsCount(),
+			Cycles:  th.Now(),
+		})
+	}
+	th.RT.RegisterCI(intervalCycles, func(uint64) {})
+	if _, err := th.Run(fn, args...); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// LogicalEqual reports whether two traces agree on the logical clock
+// (same length, same Logical stamps).
+func LogicalEqual(a, b []Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Logical != b[i].Logical {
+			return false
+		}
+	}
+	return true
+}
+
+// Describe renders a short trace summary for diagnostics.
+func Describe(events []Event) string {
+	if len(events) == 0 {
+		return "no events"
+	}
+	last := events[len(events)-1]
+	return fmt.Sprintf("%d events, last logical=%d cycles=%d",
+		len(events), last.Logical, last.Cycles)
+}

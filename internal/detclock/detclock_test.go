@@ -1,0 +1,86 @@
+package detclock
+
+import (
+	"testing"
+
+	"repro/internal/ci/instrument"
+	"repro/internal/ir"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// fastMachine / slowMachine are two physically different machines: the
+// slow one has a pricier memory system and different miss behaviour,
+// so the same program takes different cycle counts on each.
+func fastMachine() *vm.CostModel { return vm.Default() }
+
+func slowMachine() *vm.CostModel {
+	m := vm.Default()
+	m.OpCost[ir.OpLoad] = 9
+	m.OpCost[ir.OpStore] = 5
+	m.MissP1, m.MissCost1 = 200, 40
+	m.MissP2, m.MissCost2 = 30, 500
+	return m
+}
+
+func capture(t *testing.T, design instrument.Design, model *vm.CostModel) []Event {
+	t.Helper()
+	src := workloads.ByName("histogram").Build(1)
+	events, err := Capture(src, "main", []int64{0}, design, 5000, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 20 {
+		t.Fatalf("only %d events", len(events))
+	}
+	return events
+}
+
+// The §6 claim: the pure-IR logical clock is a function of the program
+// alone — identical on physically different machines.
+func TestPureIRClockDeterministicAcrossMachines(t *testing.T) {
+	fast := capture(t, instrument.CI, fastMachine())
+	slow := capture(t, instrument.CI, slowMachine())
+	if !LogicalEqual(fast, slow) {
+		t.Fatalf("pure-IR logical clock diverged:\nfast: %s\nslow: %s",
+			Describe(fast), Describe(slow))
+	}
+	// Physical time must have diverged (the machines really differ).
+	if fast[len(fast)-1].Cycles == slow[len(slow)-1].Cycles {
+		t.Error("machines are supposed to differ physically")
+	}
+}
+
+// The contrast: the cycle-gated design follows physical time, so its
+// event trace is machine-dependent — unusable as a deterministic clock.
+func TestCycleClockIsMachineDependent(t *testing.T) {
+	fast := capture(t, instrument.CICycles, fastMachine())
+	slow := capture(t, instrument.CICycles, slowMachine())
+	if LogicalEqual(fast, slow) {
+		t.Error("cycle-gated clock unexpectedly machine-independent")
+	}
+}
+
+// Repeated runs on the same machine agree exactly for both designs
+// (the VM itself is deterministic).
+func TestRepeatableOnSameMachine(t *testing.T) {
+	for _, d := range []instrument.Design{instrument.CI, instrument.CICycles} {
+		a := capture(t, d, fastMachine())
+		b := capture(t, d, fastMachine())
+		if !LogicalEqual(a, b) {
+			t.Errorf("%v: same machine, different traces", d)
+		}
+	}
+}
+
+// The logical clock is monotone and advances by roughly the configured
+// interval's worth of IR between events.
+func TestLogicalClockMonotone(t *testing.T) {
+	events := capture(t, instrument.CI, fastMachine())
+	for i := 1; i < len(events); i++ {
+		if events[i].Logical <= events[i-1].Logical {
+			t.Fatalf("logical clock not monotone at %d: %d -> %d",
+				i, events[i-1].Logical, events[i].Logical)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ffwd"
+	"repro/internal/mtcp"
+	"repro/internal/shenango"
+)
+
+// mtcpConns is the Figure 4/5 x axis: concurrent connections per
+// server thread.
+var mtcpConns = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+func printMTCP(w io.Writer, title string, work int64) error {
+	fmt.Fprintln(w, title)
+	for _, mode := range []mtcp.Mode{mtcp.Kernel, mtcp.Orig, mtcp.CI} {
+		for _, r := range mtcp.Sweep(mode, mtcpConns, work) {
+			fmt.Fprintln(w, r)
+		}
+	}
+	return nil
+}
+
+// PrintFigure4 renders the mTCP throughput/latency comparison
+// (epserver/epwget, 1 kB responses, no server-side compute).
+func PrintFigure4(w io.Writer) error {
+	return printMTCP(w, "Figure 4: mTCP epserver/epwget, 10 Gbps, 16 threads", 0)
+}
+
+// PrintFigure5 renders the mTCP comparison with a 1M-cycle compute
+// loop per request (an application-server-like workload).
+func PrintFigure5(w io.Writer) error {
+	return printMTCP(w, "Figure 5: mTCP with 1M-cycle work per request", 1_000_000)
+}
+
+// PrintFigure6 renders the Shenango comparison: memcached latency vs
+// offered load for the dedicated-core IOKernel and CI IOKernels at
+// three intervals, plus the CPUMiner hash rate on the IOKernel core.
+func PrintFigure6(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 6: Shenango memcached latency and CPUMiner hash rate")
+	loads := []float64{50e3, 100e3, 200e3, 400e3, 600e3, 800e3}
+	cfgs := []shenango.Config{
+		{Kind: shenango.Dedicated},
+		{Kind: shenango.CIHosted, IntervalCycles: 2000},
+		{Kind: shenango.CIHosted, IntervalCycles: 8000},
+		{Kind: shenango.CIHosted, IntervalCycles: 64000},
+		{Kind: shenango.Pthreads},
+		{Kind: shenango.PthreadsShared},
+	}
+	for _, cfg := range cfgs {
+		for _, load := range loads {
+			c := cfg
+			c.OfferedLoad = load
+			r := shenango.Run(c)
+			fmt.Fprintln(w, r)
+		}
+	}
+	return nil
+}
+
+// PrintFigure7 renders the fetch-and-add throughput scaling of
+// delegation (dedicated and CI-designated) against lock designs.
+func PrintFigure7(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 7: fetch-and-add throughput (Mops) vs threads")
+	threads := []int{1, 2, 4, 8, 16, 24, 32, 40, 48, 56}
+	fmt.Fprintf(w, "%-10s", "threads")
+	for _, d := range ffwd.Designs {
+		fmt.Fprintf(w, "%14s", d)
+	}
+	fmt.Fprintln(w)
+	for _, t := range threads {
+		fmt.Fprintf(w, "%-10d", t)
+		for _, d := range ffwd.Designs {
+			r := ffwd.Run(ffwd.Config{Design: d, Threads: t})
+			fmt.Fprintf(w, "%14.2f", r.ThroughputMops)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// PrintFigure8 renders the client request latency distribution at 56
+// threads.
+func PrintFigure8(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 8: client request latency distribution (cycles), 56 threads")
+	for _, d := range []ffwd.Design{ffwd.DelegationDedicated, ffwd.DelegationCI, ffwd.MCS, ffwd.Spinlock} {
+		r := ffwd.Run(ffwd.Config{Design: d, Threads: 56, RecordLatencies: true})
+		s := r.LatencySummary
+		fmt.Fprintf(w, "%-22s p10=%-8d p50=%-8d p90=%-8d p99=%-9d p99.9=%-9d max=%d\n",
+			d.String(), s.P10, s.P50, s.P90, s.P99, s.P999, s.Max)
+	}
+	return nil
+}

@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ci/instrument"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func TestMeasureBaseline(t *testing.T) {
+	wl := workloads.ByName("histogram")
+	base, err := MeasureBaseline(wl, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Cycles <= 0 || base.Instrs <= 0 {
+		t.Fatalf("baseline = %+v", base)
+	}
+	if base.IRPerCycle <= 0.1 || base.IRPerCycle > 2 {
+		t.Errorf("IR/cycle = %v, implausible", base.IRPerCycle)
+	}
+	base32, err := MeasureBaseline(wl, 1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base32.Cycles <= base.Cycles {
+		t.Error("32-thread contention should slow the baseline")
+	}
+}
+
+// The headline ordering of Figures 9/11: CI ≈ CI-Cycles < CnB < CD ≈
+// Naive, and everything shrinks with 32 threads.
+func TestOverheadOrdering(t *testing.T) {
+	names := []string{"radix", "volrend", "kmeans", "fluidanimate", "streamcluster", "word_count"}
+	designs := []instrument.Design{instrument.CI, instrument.CnB, instrument.Naive}
+	med := func(threads int) map[instrument.Design]float64 {
+		per := make(map[instrument.Design][]float64)
+		for _, n := range names {
+			wl := workloads.ByName(n)
+			base, err := MeasureBaseline(wl, 1, threads)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range designs {
+				row, err := MeasureOverhead(wl, d, base, 1, threads, 5000, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if row.Overhead < 0 {
+					t.Errorf("%s/%v: negative overhead %v", n, d, row.Overhead)
+				}
+				per[d] = append(per[d], row.Overhead)
+			}
+		}
+		out := make(map[instrument.Design]float64)
+		for d, xs := range per {
+			out[d] = stats.MedianF(xs)
+		}
+		return out
+	}
+	m1 := med(1)
+	if !(m1[instrument.CI] < m1[instrument.CnB] && m1[instrument.CnB] < m1[instrument.Naive]) {
+		t.Errorf("1-thread ordering violated: CI=%.3f CnB=%.3f Naive=%.3f",
+			m1[instrument.CI], m1[instrument.CnB], m1[instrument.Naive])
+	}
+	m32 := med(32)
+	for _, d := range designs {
+		if m32[d] >= m1[d] {
+			t.Errorf("%v: overhead should shrink at 32 threads (%.3f -> %.3f)", d, m1[d], m32[d])
+		}
+	}
+}
+
+// Figure 12's shape: hardware interrupts collapse at short intervals
+// (≈10x at 5k cycles), CI stays nearly flat, and hardware wins only at
+// very long intervals.
+func TestFigure12Shape(t *testing.T) {
+	pts, err := MeasureFigure12(1, []int64{2000, 5000, 500000},
+		[]string{"radix", "histogram", "volrend", "barnes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byInterval := map[int64]SweepPoint{}
+	for _, p := range pts {
+		byInterval[p.IntervalCycles] = p
+	}
+	if hw := byInterval[5000].HWSlowdown; hw < 5 || hw > 15 {
+		t.Errorf("HW slowdown at 5k = %.1fx, want ~9x", hw)
+	}
+	if ci := byInterval[2000].CISlowdown; ci > 1.6 {
+		t.Errorf("CI slowdown at 2k = %.2fx, want small", ci)
+	}
+	if byInterval[2000].HWSlowdown < 10*byInterval[2000].CISlowdown {
+		t.Error("CI should be ~10-100x cheaper than HW at 2k cycles")
+	}
+	p5 := byInterval[500000]
+	if p5.HWSlowdown > p5.CISlowdown {
+		t.Errorf("HW should win at 500k cycles: HW %.2fx vs CI %.2fx",
+			p5.HWSlowdown, p5.CISlowdown)
+	}
+}
+
+// Accuracy calibration drives each design's median error toward zero.
+func TestAccuracyCalibration(t *testing.T) {
+	wl := workloads.ByName("ocean-cp")
+	base, err := MeasureBaseline(wl, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []instrument.Design{instrument.CI, instrument.Naive, instrument.CnB} {
+		row, err := MeasureOverhead(wl, d, base, 1, 1, 5000, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(row.Intervals) < 50 {
+			t.Fatalf("%v: only %d intervals", d, len(row.Intervals))
+		}
+		med := stats.Median(row.Intervals)
+		if med < 3500 || med > 6500 {
+			t.Errorf("%v: calibrated median interval %d, want ~5000", d, med)
+		}
+	}
+}
+
+func TestCICyclesNeverEarly(t *testing.T) {
+	wl := workloads.ByName("swaptions")
+	base, err := MeasureBaseline(wl, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := MeasureOverhead(wl, instrument.CICycles, base, 1, 1, 5000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range row.Intervals {
+		if g < 5000 {
+			t.Fatalf("CI-Cycles fired early: %d < 5000", g)
+		}
+	}
+}
+
+func TestTable7Full(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all 28 workloads at 2 thread counts")
+	}
+	rows, geo, err := MeasureTable7(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 28 {
+		t.Fatalf("rows = %d, want 28", len(rows))
+	}
+	for _, r := range rows {
+		if r.PTms1 <= 0 || r.CI1 < 1 || r.N1 < r.CI1*0.95 {
+			t.Errorf("%s: PT=%.2f CI=%.2f N=%.2f", r.Workload, r.PTms1, r.CI1, r.N1)
+		}
+	}
+	if geo.CI1 <= 1 || geo.N1 <= geo.CI1 {
+		t.Errorf("geo-means: CI %.3f, Naive %.3f", geo.CI1, geo.N1)
+	}
+	if geo.CI32 >= geo.CI1 || geo.N32 >= geo.N1 {
+		t.Errorf("32-thread geo-means should shrink: CI %.3f->%.3f N %.3f->%.3f",
+			geo.CI1, geo.CI32, geo.N1, geo.N32)
+	}
+}
+
+func TestPrintersProduceRows(t *testing.T) {
+	var sb strings.Builder
+	if err := PrintFigure7(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := PrintFigure8(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 7", "delegation", "MCS", "Figure 8", "spinlock"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q", want)
+		}
+	}
+}
+
+// The hybrid watchdog (§5.4 future work) must bound late interrupts on
+// gap-heavy programs and stay inert on gap-free ones.
+func TestHybridWatchdog(t *testing.T) {
+	rows, err := MeasureHybrid([]string{"syscall-gaps", "word_count"}, 5000, 2.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := rows[0]
+	if gaps.WatchdogFires == 0 {
+		t.Fatal("watchdog never fired on syscall-gaps")
+	}
+	if gaps.HybridMax >= gaps.CIMax/2 {
+		t.Errorf("hybrid max late error %d should be far below CI-only %d",
+			gaps.HybridMax, gaps.CIMax)
+	}
+	// Bounded at roughly deadline (2x target) + trap cost.
+	if gaps.HybridMax > 20000 {
+		t.Errorf("hybrid max late error %d exceeds the watchdog bound", gaps.HybridMax)
+	}
+	wc := rows[1]
+	if wc.WatchdogFires != 0 {
+		t.Errorf("watchdog fired %d times on a gap-free workload", wc.WatchdogFires)
+	}
+	if wc.HybridOverhead > wc.CIOverhead*1.02+0.005 {
+		t.Errorf("hybrid overhead %v should match CI %v when the watchdog is idle",
+			wc.HybridOverhead, wc.CIOverhead)
+	}
+}
+
+// §3.3: the allowable-error parameter's impact is negligible beyond
+// ~500 IR, and larger settings can only remove probes.
+func TestAllowableErrorStudy(t *testing.T) {
+	pts, err := MeasureAllowableError([]int64{50, 500, 2000}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	p500, p2000 := pts[1], pts[2]
+	if d := p2000.MedianOverhead - p500.MedianOverhead; d > 0.01 || d < -0.01 {
+		t.Errorf("overhead changes past 500 IR: %.3f vs %.3f", p500.MedianOverhead, p2000.MedianOverhead)
+	}
+	diff := p2000.MedianAbsError - p500.MedianAbsError
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 250 {
+		t.Errorf("accuracy changes past 500 IR: %d vs %d cycles", p500.MedianAbsError, p2000.MedianAbsError)
+	}
+	if pts[0].Probes < pts[1].Probes {
+		t.Errorf("larger allowable error should not add probes: %d -> %d", pts[0].Probes, pts[1].Probes)
+	}
+}
+
+// §5.4: CI reduces dynamic probe executions by more than 50% versus
+// Naive in the vast majority of workloads.
+func TestProbeExecutionReduction(t *testing.T) {
+	rows, err := MeasureProbeCounts(1, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over50 := 0
+	for _, r := range rows {
+		if r.CIProbes >= r.NaiveProbes {
+			t.Errorf("%s: CI executes more probes than Naive (%d vs %d)",
+				r.Workload, r.CIProbes, r.NaiveProbes)
+		}
+		if r.Reduction > 0.5 {
+			over50++
+		}
+		if r.TakenRate <= 0 || r.TakenRate > 0.6 {
+			t.Errorf("%s: CI taken rate %.2f implausible", r.Workload, r.TakenRate)
+		}
+	}
+	if over50 < len(rows)*2/3 {
+		t.Errorf("only %d/%d workloads above 50%% probe reduction", over50, len(rows))
+	}
+}

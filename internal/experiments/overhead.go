@@ -1,0 +1,407 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§5) on the VM substrate: the overhead and
+// interval-accuracy microbenchmarks over the 28 workloads (Figures
+// 9-12, Table 7) and, via the app simulators, the mTCP, Shenango and
+// FFWD results (Figures 4-8).
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/ci/instrument"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/stats"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// HandlerWorkCycles models the paper's measurement handler ("collects
+// statistics using RDTSCP and nothing else").
+const HandlerWorkCycles = 25
+
+// runLimit bounds every experiment run.
+const runLimit = 400_000_000
+
+// Baseline holds one workload's uninstrumented reference run.
+type Baseline struct {
+	Workload   string
+	Threads    int
+	Cycles     int64
+	Instrs     int64
+	IRPerCycle float64
+}
+
+// MeasureBaseline runs the workload uninstrumented on one
+// representative thread of a T-thread machine (threads are
+// virtual-time independent; the contention model carries the thread
+// count) and returns the reference cycles and the profiled IR/cycle
+// ratio used to tune the CI runtime (§4 footnote 3).
+func MeasureBaseline(wl *workloads.Workload, scale, threads int) (Baseline, error) {
+	m := wl.Build(scale)
+	machine := vm.New(m, nil, threads)
+	machine.LimitInstrs = runLimit
+	th := machine.NewThread(0)
+	if _, err := th.Run("main", 0); err != nil {
+		return Baseline{}, fmt.Errorf("%s baseline: %w", wl.Name, err)
+	}
+	return Baseline{
+		Workload:   wl.Name,
+		Threads:    threads,
+		Cycles:     th.Stats.Cycles,
+		Instrs:     th.Stats.Instrs,
+		IRPerCycle: float64(th.Stats.Instrs) / float64(th.Stats.Cycles),
+	}, nil
+}
+
+// OverheadRow is one (workload, design) overhead measurement.
+type OverheadRow struct {
+	Workload string
+	Design   instrument.Design
+	Threads  int
+	// Norm is instrumented runtime normalized to the uninstrumented
+	// baseline (Table 7's CI / N columns).
+	Norm float64
+	// Overhead is Norm-1 (Figure 9/11's y axis).
+	Overhead float64
+	Cycles   int64
+	Probes   int64
+	Taken    int64
+	Handler  int64
+	// Intervals holds the measured inter-interrupt gaps in cycles when
+	// recording was requested.
+	Intervals []int64
+}
+
+// MeasureOverhead instruments the workload with the design, tuned for
+// the target cycle interval, and measures its runtime against the
+// baseline. When record is set, a calibration pass first adjusts the
+// design's ratio so its median interval lands near the target — the
+// paper's §5.4 methodology ("we tune the interrupt interval for each
+// method to approximate a target interval in cycles").
+func MeasureOverhead(wl *workloads.Workload, d instrument.Design, base Baseline,
+	scale, threads int, intervalCycles int64, record bool) (OverheadRow, error) {
+
+	m := wl.Build(scale)
+	prog, err := core.Compile(m, core.Config{Design: d, ProbeIntervalIR: ProbeIntervalIR})
+	if err != nil {
+		return OverheadRow{}, fmt.Errorf("%s/%v: %w", wl.Name, d, err)
+	}
+	irPerCycle := base.IRPerCycle
+	eventScale := 1.0
+	if record {
+		cal := func() (int64, error) {
+			machine := vm.New(prog.Mod, nil, threads)
+			machine.LimitInstrs = runLimit
+			th := machine.NewThread(0)
+			th.RT.IRPerCycle = irPerCycle
+			th.RT.RecordIntervals = true
+			th.RT.EventsPerInterval = func(ic int64) int64 {
+				n := int64(float64(ic) * irPerCycle / 20 * eventScale)
+				if n < 1 {
+					n = 1
+				}
+				return n
+			}
+			id := th.RT.RegisterCI(intervalCycles, func(uint64) { th.Charge(HandlerWorkCycles) })
+			if _, err := th.Run("main", 0); err != nil {
+				return 0, err
+			}
+			ivs := th.RT.Intervals(id)
+			if len(ivs) == 0 {
+				return intervalCycles, nil
+			}
+			return stats.Median(ivs), nil
+		}
+		for pass := 0; pass < 2; pass++ {
+			med, err := cal()
+			if err != nil {
+				return OverheadRow{}, fmt.Errorf("%s/%v calibration: %w", wl.Name, d, err)
+			}
+			if med <= 0 {
+				break
+			}
+			s := float64(med) / float64(intervalCycles)
+			if s > 0.95 && s < 1.05 {
+				break
+			}
+			switch d {
+			case instrument.CnB, instrument.CnBCycles:
+				eventScale /= s
+			default:
+				irPerCycle /= s
+			}
+		}
+	}
+	machine := vm.New(prog.Mod, nil, threads)
+	machine.LimitInstrs = runLimit
+	th := machine.NewThread(0)
+	th.RT.IRPerCycle = irPerCycle
+	th.RT.RecordIntervals = record
+	th.RT.EventsPerInterval = func(ic int64) int64 {
+		n := int64(float64(ic) * irPerCycle / 20 * eventScale)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	id := th.RT.RegisterCI(intervalCycles, func(uint64) { th.Charge(HandlerWorkCycles) })
+	if _, err := th.Run("main", 0); err != nil {
+		return OverheadRow{}, fmt.Errorf("%s/%v: %w", wl.Name, d, err)
+	}
+	row := OverheadRow{
+		Workload: wl.Name,
+		Design:   d,
+		Threads:  threads,
+		Norm:     float64(th.Stats.Cycles) / float64(base.Cycles),
+		Cycles:   th.Stats.Cycles,
+		Probes:   th.Stats.Probes,
+		Taken:    th.Stats.ProbesTaken,
+		Handler:  th.Stats.HandlerCalls,
+	}
+	row.Overhead = row.Norm - 1
+	if record {
+		row.Intervals = th.RT.Intervals(id)
+	}
+	return row, nil
+}
+
+// ProbeIntervalIR is the compile-time probe interval used across the
+// evaluation.
+const ProbeIntervalIR = 250
+
+// FigureOverhead computes Figure 9 (threads=1) or Figure 11
+// (threads=32): per-workload overhead for each design at a 5,000-cycle
+// target interval.
+type FigureOverhead struct {
+	Threads        int
+	IntervalCycles int64
+	Designs        []instrument.Design
+	// Rows[workload][design index]
+	Rows map[string][]OverheadRow
+	// Medians[design index] is the median overhead across workloads.
+	Medians []float64
+}
+
+// MeasureFigureOverhead runs the Figure 9/11 sweep.
+func MeasureFigureOverhead(threads, scale int, designs []instrument.Design) (*FigureOverhead, error) {
+	fig := &FigureOverhead{
+		Threads:        threads,
+		IntervalCycles: 5000,
+		Designs:        designs,
+		Rows:           make(map[string][]OverheadRow),
+	}
+	perDesign := make([][]float64, len(designs))
+	for i := range workloads.All {
+		wl := &workloads.All[i]
+		base, err := MeasureBaseline(wl, scale, threads)
+		if err != nil {
+			return nil, err
+		}
+		rows := make([]OverheadRow, 0, len(designs))
+		for di, d := range designs {
+			row, err := MeasureOverhead(wl, d, base, scale, threads, fig.IntervalCycles, false)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+			perDesign[di] = append(perDesign[di], row.Overhead)
+		}
+		fig.Rows[wl.Name] = rows
+	}
+	fig.Medians = make([]float64, len(designs))
+	for di := range designs {
+		fig.Medians[di] = stats.MedianF(perDesign[di])
+	}
+	return fig, nil
+}
+
+// AccuracyRow is one workload's interval-error distribution (Figure 10).
+type AccuracyRow struct {
+	Workload string
+	Design   instrument.Design
+	// Errors summarizes (gap - target) in cycles.
+	Errors stats.Summary
+	// MedianError is the signed median error.
+	MedianError int64
+}
+
+// MeasureFigureAccuracy computes Figure 10: interval error percentiles
+// per workload at a 5,000-cycle target, single thread.
+func MeasureFigureAccuracy(scale int, designs []instrument.Design) ([]AccuracyRow, error) {
+	const target = 5000
+	var out []AccuracyRow
+	for i := range workloads.All {
+		wl := &workloads.All[i]
+		base, err := MeasureBaseline(wl, scale, 1)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range designs {
+			row, err := MeasureOverhead(wl, d, base, scale, 1, target, true)
+			if err != nil {
+				return nil, err
+			}
+			errs := make([]int64, 0, len(row.Intervals))
+			for _, gap := range row.Intervals {
+				errs = append(errs, gap-target)
+			}
+			if len(errs) == 0 {
+				errs = []int64{0}
+			}
+			sum := stats.Summarize(errs)
+			out = append(out, AccuracyRow{
+				Workload:    wl.Name,
+				Design:      d,
+				Errors:      sum,
+				MedianError: sum.P50,
+			})
+		}
+	}
+	return out, nil
+}
+
+// SweepPoint is one (interval, kind) aggregate of Figure 12.
+type SweepPoint struct {
+	IntervalCycles int64
+	// CISlowdown / HWSlowdown are the median slowdown factors across
+	// workloads for compiler interrupts and hardware interrupts.
+	CISlowdown float64
+	HWSlowdown float64
+	// CIAll / HWAll hold the per-workload factors (the overlaid points
+	// in the paper's plot).
+	CIAll, HWAll []float64
+}
+
+// MeasureFigure12 sweeps the interrupt interval and compares CI against
+// hardware (performance-counter) interrupts across all workloads.
+func MeasureFigure12(scale int, intervals []int64, names []string) ([]SweepPoint, error) {
+	if len(intervals) == 0 {
+		intervals = []int64{500, 1000, 2000, 5000, 10000, 20000, 50000, 100000, 500000}
+	}
+	sel := workloads.All
+	if len(names) > 0 {
+		sel = nil
+		for _, n := range names {
+			wl := workloads.ByName(n)
+			if wl == nil {
+				return nil, fmt.Errorf("unknown workload %q", n)
+			}
+			sel = append(sel, *wl)
+		}
+	}
+	type prep struct {
+		wl   *workloads.Workload
+		base Baseline
+		mod  *ir.Module // CI-instrumented module, compiled once
+	}
+	preps := make([]prep, 0, len(sel))
+	for i := range sel {
+		wl := &sel[i]
+		base, err := MeasureBaseline(wl, scale, 1)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := core.Compile(wl.Build(scale), core.Config{
+			Design: instrument.CI, ProbeIntervalIR: ProbeIntervalIR,
+		})
+		if err != nil {
+			return nil, err
+		}
+		preps = append(preps, prep{wl: wl, base: base, mod: prog.Mod})
+	}
+	var out []SweepPoint
+	for _, interval := range intervals {
+		pt := SweepPoint{IntervalCycles: interval}
+		for _, p := range preps {
+			// CI run.
+			machine := vm.New(p.mod, nil, 1)
+			machine.LimitInstrs = runLimit
+			th := machine.NewThread(0)
+			th.RT.IRPerCycle = p.base.IRPerCycle
+			th.RT.RegisterCI(interval, func(uint64) { th.Charge(HandlerWorkCycles) })
+			if _, err := th.Run("main", 0); err != nil {
+				return nil, err
+			}
+			pt.CIAll = append(pt.CIAll, float64(th.Stats.Cycles)/float64(p.base.Cycles))
+
+			// Hardware-interrupt run on the uninstrumented program.
+			hwMod := p.wl.Build(scale)
+			hwMachine := vm.New(hwMod, nil, 1)
+			hwMachine.LimitInstrs = runLimit
+			hwMachine.HW = &vm.HWConfig{
+				IntervalCycles: interval,
+				Handler:        func(t *vm.Thread) { t.Charge(HandlerWorkCycles) },
+			}
+			hth := hwMachine.NewThread(0)
+			if _, err := hth.Run("main", 0); err != nil {
+				return nil, err
+			}
+			pt.HWAll = append(pt.HWAll, float64(hth.Stats.Cycles)/float64(p.base.Cycles))
+		}
+		pt.CISlowdown = stats.MedianF(pt.CIAll)
+		pt.HWSlowdown = stats.MedianF(pt.HWAll)
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// Table7Row mirrors one row of Table 7.
+type Table7Row struct {
+	Workload string
+	// PTms1/PTms32 are the uninstrumented ("pthreads") runtimes in
+	// virtual milliseconds at a 2.6 GHz model clock.
+	PTms1, PTms32 float64
+	// CI1, N1, CI32, N32 are normalized runtimes.
+	CI1, N1, CI32, N32 float64
+}
+
+// ModelGHz converts virtual cycles to milliseconds for Table 7's
+// absolute column.
+const ModelGHz = 2.6
+
+// MeasureTable7 reproduces Table 7: per-workload absolute baseline
+// runtime plus normalized CI and Naive runtimes for 1 and 32 threads,
+// with the geo-mean row.
+func MeasureTable7(scale int) ([]Table7Row, Table7Row, error) {
+	var rows []Table7Row
+	var g Table7Row
+	var ci1s, n1s, ci32s, n32s []float64
+	for i := range workloads.All {
+		wl := &workloads.All[i]
+		row := Table7Row{Workload: wl.Name}
+		for _, threads := range []int{1, 32} {
+			base, err := MeasureBaseline(wl, scale, threads)
+			if err != nil {
+				return nil, g, err
+			}
+			ci, err := MeasureOverhead(wl, instrument.CI, base, scale, threads, 5000, false)
+			if err != nil {
+				return nil, g, err
+			}
+			nv, err := MeasureOverhead(wl, instrument.Naive, base, scale, threads, 5000, false)
+			if err != nil {
+				return nil, g, err
+			}
+			ms := float64(base.Cycles) / (ModelGHz * 1e6)
+			if threads == 1 {
+				row.PTms1, row.CI1, row.N1 = ms, ci.Norm, nv.Norm
+			} else {
+				row.PTms32, row.CI32, row.N32 = ms, ci.Norm, nv.Norm
+			}
+		}
+		ci1s = append(ci1s, row.CI1)
+		n1s = append(n1s, row.N1)
+		ci32s = append(ci32s, row.CI32)
+		n32s = append(n32s, row.N32)
+		rows = append(rows, row)
+	}
+	g = Table7Row{
+		Workload: "geo-mean",
+		CI1:      stats.GeoMean(ci1s),
+		N1:       stats.GeoMean(n1s),
+		CI32:     stats.GeoMean(ci32s),
+		N32:      stats.GeoMean(n32s),
+	}
+	return rows, g, nil
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ci/instrument"
+)
+
+// figureDesigns are the designs plotted in Figures 9-11.
+var figureDesigns = []instrument.Design{
+	instrument.CI, instrument.CICycles, instrument.CnB,
+	instrument.CD, instrument.Naive,
+}
+
+// allDesigns adds the two the paper reports in prose only ("we omit
+// CnB-cycles and Naive-cycles to conserve room in the plots").
+var allDesigns = append(append([]instrument.Design{}, figureDesigns...),
+	instrument.NaiveCycles, instrument.CnBCycles)
+
+// PrintFigureOverhead renders Figure 9 (threads=1) / Figure 11
+// (threads=32) as a table of per-workload overheads. With all set, the
+// prose-only designs (Naive-Cycles, CnB-Cycles) are included.
+func PrintFigureOverhead(w io.Writer, threads, scale int, all bool) error {
+	designs := figureDesigns
+	if all {
+		designs = allDesigns
+	}
+	fig, err := MeasureFigureOverhead(threads, scale, designs)
+	if err != nil {
+		return err
+	}
+	figName := "Figure 9"
+	if threads != 1 {
+		figName = "Figure 11"
+	}
+	fmt.Fprintf(w, "%s: overhead of CI designs, %d thread(s), %d-cycle interval\n",
+		figName, threads, fig.IntervalCycles)
+	fmt.Fprintf(w, "%-18s", "workload")
+	for _, d := range fig.Designs {
+		fmt.Fprintf(w, "%12s", d)
+	}
+	fmt.Fprintln(w)
+	for _, wlRow := range orderedRows(fig) {
+		fmt.Fprintf(w, "%-18s", wlRow[0].Workload)
+		for _, row := range wlRow {
+			fmt.Fprintf(w, "%11.1f%%", row.Overhead*100)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-18s", "median")
+	for _, m := range fig.Medians {
+		fmt.Fprintf(w, "%11.1f%%", m*100)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func orderedRows(fig *FigureOverhead) [][]OverheadRow {
+	var out [][]OverheadRow
+	for _, name := range workloadOrder() {
+		if rows, ok := fig.Rows[name]; ok {
+			out = append(out, rows)
+		}
+	}
+	return out
+}
+
+// PrintFigure10 renders the interval-accuracy table.
+func PrintFigure10(w io.Writer, scale int) error {
+	designs := []instrument.Design{
+		instrument.CI, instrument.CICycles, instrument.CnB,
+		instrument.CD, instrument.Naive,
+	}
+	rows, err := MeasureFigureAccuracy(scale, designs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 10: interval error vs 5000-cycle target (cycles), 1 thread")
+	fmt.Fprintf(w, "%-18s%-12s%10s%10s%10s%10s%10s\n",
+		"workload", "design", "p10", "median", "p90", "p99", "mean")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s%-12s%10d%10d%10d%10d%10.0f\n",
+			r.Workload, r.Design.String(), r.Errors.P10, r.Errors.P50,
+			r.Errors.P90, r.Errors.P99, r.Errors.MeanVal)
+	}
+	return nil
+}
+
+// PrintFigure12 renders the CI vs hardware-interrupt interval sweep.
+func PrintFigure12(w io.Writer, scale int, quick bool) error {
+	var names []string
+	if quick {
+		names = []string{"radix", "histogram", "barnes", "matrix_multiply",
+			"volrend", "swaptions", "water-nsquared", "dedup"}
+	}
+	pts, err := MeasureFigure12(scale, nil, names)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 12: slowdown vs interrupt interval (median across workloads)")
+	fmt.Fprintf(w, "%12s%14s%14s\n", "interval", "CI", "HW-interrupt")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%12d%13.2fx%13.2fx\n", p.IntervalCycles, p.CISlowdown, p.HWSlowdown)
+	}
+	return nil
+}
+
+// PrintTable7 renders Table 7.
+func PrintTable7(w io.Writer, scale int) error {
+	rows, geo, err := MeasureTable7(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Table 7: runtimes (PT in model-ms) and normalized CI / Naive, 1 & 32 threads")
+	fmt.Fprintf(w, "%-18s%10s%8s%8s%10s%8s%8s\n", "workload", "PT(1)", "CI(1)", "N(1)", "PT(32)", "CI(32)", "N(32)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s%10.1f%8.2f%8.2f%10.1f%8.2f%8.2f\n",
+			r.Workload, r.PTms1, r.CI1, r.N1, r.PTms32, r.CI32, r.N32)
+	}
+	fmt.Fprintf(w, "%-18s%10s%8.2f%8.2f%10s%8.2f%8.2f\n", "geo-mean", "", geo.CI1, geo.N1, "", geo.CI32, geo.N32)
+	return nil
+}
+
+func workloadOrder() []string {
+	return []string{
+		"water-nsquared", "water-spatial", "ocean-cp", "ocean-ncp",
+		"barnes", "volrend", "fmm", "raytrace", "radiosity", "radix",
+		"fft", "lu-c", "lu-nc", "cholesky", "reverse_index", "histogram",
+		"kmeans", "pca", "matrix_multiply", "string_match",
+		"linear_regression", "word_count", "blackscholes",
+		"fluidanimate", "swaptions", "canneal", "streamcluster", "dedup",
+	}
+}

@@ -1,0 +1,107 @@
+package ffwd
+
+import "testing"
+
+func TestAllDesignsRun(t *testing.T) {
+	for _, d := range Designs {
+		for _, threads := range []int{1, 8, 56} {
+			r := Run(Config{Design: d, Threads: threads})
+			if r.ThroughputMops <= 0 {
+				t.Errorf("%v T=%d: throughput %v", d, threads, r.ThroughputMops)
+			}
+			if r.MeanLatency <= 0 {
+				t.Errorf("%v T=%d: mean latency %v", d, threads, r.MeanLatency)
+			}
+		}
+	}
+}
+
+func TestSingleThreadDegeneratesToDirectAccess(t *testing.T) {
+	ded := Run(Config{Design: DelegationDedicated, Threads: 1})
+	ci := Run(Config{Design: DelegationCI, Threads: 1})
+	spin := Run(Config{Design: Spinlock, Threads: 1})
+	if ded.ThroughputMops != ci.ThroughputMops || ded.ThroughputMops != spin.ThroughputMops {
+		t.Errorf("single-thread rates differ: %v / %v / %v",
+			ded.ThroughputMops, ci.ThroughputMops, spin.ThroughputMops)
+	}
+}
+
+// Figure 7 headline shapes.
+func TestFigure7Shape(t *testing.T) {
+	// CI-designated delegation beats dedicated up to ~8 threads…
+	for _, T := range []int{2, 4} {
+		ded := Run(Config{Design: DelegationDedicated, Threads: T})
+		ci := Run(Config{Design: DelegationCI, Threads: T})
+		if ci.ThroughputMops <= ded.ThroughputMops {
+			t.Errorf("T=%d: CI (%v) should beat dedicated (%v)", T, ci.ThroughputMops, ded.ThroughputMops)
+		}
+	}
+	// …and the dedicated server wins beyond that.
+	for _, T := range []int{16, 56} {
+		ded := Run(Config{Design: DelegationDedicated, Threads: T})
+		ci := Run(Config{Design: DelegationCI, Threads: T})
+		if ded.ThroughputMops < ci.ThroughputMops {
+			t.Errorf("T=%d: dedicated (%v) should beat CI (%v)", T, ded.ThroughputMops, ci.ThroughputMops)
+		}
+	}
+	// Delegation crushes locks at high thread counts.
+	ded56 := Run(Config{Design: DelegationDedicated, Threads: 56})
+	for _, d := range []Design{Spinlock, TicketLock, MCS, PthreadMutex} {
+		r := Run(Config{Design: d, Threads: 56})
+		if r.ThroughputMops*3 > ded56.ThroughputMops {
+			t.Errorf("%v at 56 threads (%v) too close to delegation (%v)",
+				d, r.ThroughputMops, ded56.ThroughputMops)
+		}
+	}
+	// Spin/ticket collapse with threads; MCS stays stable at ~4-5 Mops.
+	spin8 := Run(Config{Design: Spinlock, Threads: 8})
+	spin56 := Run(Config{Design: Spinlock, Threads: 56})
+	if spin56.ThroughputMops > spin8.ThroughputMops/2 {
+		t.Errorf("spinlock should collapse: %v -> %v", spin8.ThroughputMops, spin56.ThroughputMops)
+	}
+	mcs8 := Run(Config{Design: MCS, Threads: 8})
+	mcs56 := Run(Config{Design: MCS, Threads: 56})
+	if mcs56.ThroughputMops < 3.5 || mcs56.ThroughputMops > 6 {
+		t.Errorf("MCS at 56 threads = %v Mops, want ~4-5", mcs56.ThroughputMops)
+	}
+	if mcs8.ThroughputMops != mcs56.ThroughputMops {
+		t.Errorf("MCS should be flat: %v vs %v", mcs8.ThroughputMops, mcs56.ThroughputMops)
+	}
+}
+
+// Figure 8 headline: delegation latency is essentially constant;
+// locking spans orders of magnitude.
+func TestFigure8Shape(t *testing.T) {
+	ded := Run(Config{Design: DelegationDedicated, Threads: 56, RecordLatencies: true})
+	ci := Run(Config{Design: DelegationCI, Threads: 56, RecordLatencies: true})
+	spin := Run(Config{Design: Spinlock, Threads: 56, RecordLatencies: true})
+
+	if spread := float64(ded.LatencySummary.P999) / float64(ded.LatencySummary.P10); spread > 3 {
+		t.Errorf("dedicated delegation latency spread %.1fx, want near-constant", spread)
+	}
+	if spread := float64(ci.LatencySummary.P999) / float64(ci.LatencySummary.P10); spread > 3 {
+		t.Errorf("CI delegation latency spread %.1fx, want near-constant", spread)
+	}
+	// Designated delegation increases latency modestly over dedicated.
+	if ci.LatencySummary.P50 <= ded.LatencySummary.P50 {
+		t.Error("CI delegation median should sit slightly above dedicated")
+	}
+	if ci.LatencySummary.P50 > 2*ded.LatencySummary.P50 {
+		t.Error("CI delegation median should only be modestly higher")
+	}
+	// Locking spans from tens of cycles to far beyond 100k.
+	if spin.LatencySummary.Max < 100_000 {
+		t.Errorf("spinlock max latency %d, want >100k", spin.LatencySummary.Max)
+	}
+	if spread := float64(spin.LatencySummary.P999) / float64(spin.LatencySummary.P10); spread < 20 {
+		t.Errorf("spinlock spread %.1fx, want wide", spread)
+	}
+}
+
+func TestDeterministicSampling(t *testing.T) {
+	a := Run(Config{Design: MCS, Threads: 16, RecordLatencies: true})
+	b := Run(Config{Design: MCS, Threads: 16, RecordLatencies: true})
+	if a.LatencySummary != b.LatencySummary {
+		t.Error("same seed produced different distributions")
+	}
+}

@@ -1,0 +1,46 @@
+package ir
+
+import "fmt"
+
+// Link merges separately built modules into one executable module: the
+// §2.6 modular-compilation story's final step. Function and extern
+// names must be unique across inputs; every imported function must be
+// defined by one of the linked modules. The result uses the largest
+// declared data-memory size. Input modules are not modified.
+func Link(name string, mods ...*Module) (*Module, error) {
+	out := NewModule(name)
+	for _, m := range mods {
+		c := m.Clone()
+		for _, f := range c.Funcs {
+			if out.FuncByName(f.Name) != nil {
+				return nil, fmt.Errorf("ir: link: duplicate function @%s", f.Name)
+			}
+			f.Mod = out
+			out.Funcs = append(out.Funcs, f)
+		}
+		for n, e := range c.Externs {
+			if prev, ok := out.Externs[n]; ok {
+				if prev.Cost != e.Cost || prev.Blocking != e.Blocking {
+					return nil, fmt.Errorf("ir: link: conflicting extern @%s", n)
+				}
+				continue
+			}
+			out.Externs[n] = e
+		}
+		if c.MemWords > out.MemWords {
+			out.MemWords = c.MemWords
+		}
+	}
+	// All imports must now resolve to definitions.
+	for _, m := range mods {
+		for name := range m.Imports {
+			if out.FuncByName(name) == nil {
+				return nil, fmt.Errorf("ir: link: unresolved import @%s", name)
+			}
+		}
+	}
+	if err := out.Verify(); err != nil {
+		return nil, fmt.Errorf("ir: link: %w", err)
+	}
+	return out, nil
+}

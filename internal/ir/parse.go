@@ -1,0 +1,484 @@
+package ir
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError reports a syntax or semantic error with its source line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ir: parse error at line %d: %s", e.Line, e.Msg)
+}
+
+type parser struct {
+	mod  *Module
+	line int
+
+	// per-function state
+	fn      *Func
+	regs    map[string]Reg
+	cur     *Block
+	pending []pendingTerm
+}
+
+type pendingTerm struct {
+	line  int
+	block *Block
+	kind  TermKind
+	cond  Reg
+	val   Reg
+	then  string
+	els   string
+}
+
+// Parse reads a module in the textual IR syntax produced by
+// Module.String. The result is verified before being returned.
+func Parse(src string) (*Module, error) {
+	p := &parser{mod: NewModule("m")}
+	sc := bufio.NewScanner(strings.NewReader(src))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		p.line++
+		if err := p.parseLine(sc.Text()); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if p.fn != nil {
+		return nil, p.errf("missing closing '}' for func @%s", p.fn.Name)
+	}
+	if err := p.mod.Verify(); err != nil {
+		return nil, err
+	}
+	return p.mod, nil
+}
+
+// MustParse is Parse that panics on error; for tests and fixed programs.
+func MustParse(src string) *Module {
+	m, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func tokenize(line string) []string {
+	if i := strings.IndexAny(line, ";#"); i >= 0 {
+		line = line[:i]
+	}
+	r := strings.NewReplacer("(", " ", ")", " ", ",", " ", "=", " = ")
+	return strings.Fields(r.Replace(line))
+}
+
+func (p *parser) parseLine(raw string) error {
+	toks := tokenize(raw)
+	if len(toks) == 0 {
+		return nil
+	}
+	if p.fn == nil {
+		return p.parseTopLevel(toks)
+	}
+	return p.parseBody(toks)
+}
+
+func (p *parser) parseTopLevel(toks []string) error {
+	switch toks[0] {
+	case "module":
+		if len(toks) != 2 {
+			return p.errf("usage: module <name>")
+		}
+		p.mod.Name = toks[1]
+	case "mem":
+		if len(toks) != 2 {
+			return p.errf("usage: mem <words>")
+		}
+		n, err := strconv.ParseInt(toks[1], 10, 64)
+		if err != nil || n < 0 {
+			return p.errf("bad memory size %q", toks[1])
+		}
+		p.mod.MemWords = n
+	case "import":
+		if len(toks) != 2 || !strings.HasPrefix(toks[1], "@") {
+			return p.errf("usage: import @name")
+		}
+		p.mod.DeclareImport(toks[1][1:])
+	case "extern":
+		// extern @name cost N [blocking]
+		if len(toks) < 4 || toks[2] != "cost" || !strings.HasPrefix(toks[1], "@") {
+			return p.errf("usage: extern @name cost <n> [blocking]")
+		}
+		cost, err := strconv.ParseInt(toks[3], 10, 64)
+		if err != nil || cost < 0 {
+			return p.errf("bad extern cost %q", toks[3])
+		}
+		e := p.mod.DeclareExtern(toks[1][1:], cost)
+		if len(toks) == 5 && toks[4] == "blocking" {
+			e.Blocking = true
+		} else if len(toks) > 4 {
+			return p.errf("unexpected tokens after extern declaration")
+		}
+	case "func":
+		return p.parseFuncHeader(toks)
+	default:
+		return p.errf("unexpected token %q at top level", toks[0])
+	}
+	return nil
+}
+
+func (p *parser) parseFuncHeader(toks []string) error {
+	// func @name %a %b ... [noinstrument] {
+	if len(toks) < 3 || !strings.HasPrefix(toks[1], "@") || toks[len(toks)-1] != "{" {
+		return p.errf("usage: func @name(%%p0, ...) [noinstrument] {")
+	}
+	name := toks[1][1:]
+	if p.mod.FuncByName(name) != nil {
+		return p.errf("duplicate function @%s", name)
+	}
+	body := toks[2 : len(toks)-1]
+	noInstr := false
+	if n := len(body); n > 0 && body[n-1] == "noinstrument" {
+		noInstr = true
+		body = body[:n-1]
+	}
+	p.fn = p.mod.NewFunc(name, len(body))
+	p.fn.NoInstrument = noInstr
+	p.regs = make(map[string]Reg)
+	p.cur = nil
+	p.pending = nil
+	for i, t := range body {
+		if !strings.HasPrefix(t, "%") {
+			return p.errf("bad parameter %q", t)
+		}
+		p.regs[t[1:]] = Reg(i)
+	}
+	return nil
+}
+
+// reg resolves a register token (%name or %number or _), allocating
+// registers for new names.
+func (p *parser) reg(tok string) (Reg, error) {
+	if tok == "_" {
+		return NoReg, nil
+	}
+	if !strings.HasPrefix(tok, "%") {
+		return NoReg, p.errf("expected register, got %q", tok)
+	}
+	name := tok[1:]
+	if n, err := strconv.Atoi(name); err == nil {
+		for Reg(n) >= Reg(p.fn.NumRegs) {
+			p.fn.NewReg()
+		}
+		return Reg(n), nil
+	}
+	if r, ok := p.regs[name]; ok {
+		return r, nil
+	}
+	r := p.fn.NewReg()
+	p.regs[name] = r
+	return r, nil
+}
+
+// regOrImm resolves a token to either a register or an immediate.
+func (p *parser) regOrImm(tok string) (r Reg, imm int64, isImm bool, err error) {
+	if strings.HasPrefix(tok, "%") || tok == "_" {
+		r, err = p.reg(tok)
+		return r, 0, false, err
+	}
+	imm, perr := strconv.ParseInt(tok, 10, 64)
+	if perr != nil {
+		return NoReg, 0, false, p.errf("expected register or immediate, got %q", tok)
+	}
+	return NoReg, imm, true, nil
+}
+
+func (p *parser) imm(tok string) (int64, error) {
+	v, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil {
+		return 0, p.errf("expected immediate, got %q", tok)
+	}
+	return v, nil
+}
+
+var opcodeByName = func() map[string]Opcode {
+	m := make(map[string]Opcode)
+	for op := Opcode(0); op < Opcode(NumOpcodes); op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+var probeKindByName = func() map[string]ProbeKind {
+	m := make(map[string]ProbeKind)
+	for k := ProbeIR; k <= ProbeEventCycles; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+func (p *parser) parseBody(toks []string) error {
+	if toks[0] == "}" {
+		if len(p.fn.Blocks) == 0 {
+			return p.errf("function @%s has no blocks", p.fn.Name)
+		}
+		if err := p.resolveTerms(); err != nil {
+			return err
+		}
+		p.fn.Reindex()
+		p.fn = nil
+		return nil
+	}
+	// Block label?
+	if len(toks) == 1 && strings.HasSuffix(toks[0], ":") {
+		name := strings.TrimSuffix(toks[0], ":")
+		if p.fn.blockByName(name) != nil {
+			return p.errf("duplicate block label %q", name)
+		}
+		p.cur = p.fn.NewBlock(name)
+		return nil
+	}
+	if p.cur == nil {
+		return p.errf("instruction before any block label")
+	}
+	if p.cur.Term.Kind != TermNone {
+		// The terminator was recorded pending; real terminators are
+		// resolved at '}', so Term.Kind stays TermNone until then.
+		return p.errf("instruction after terminator in block %q", p.cur.Name)
+	}
+	return p.parseInstrOrTerm(toks)
+}
+
+func (p *parser) haveTerm(b *Block) bool {
+	for _, pt := range p.pending {
+		if pt.block == b {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) parseInstrOrTerm(toks []string) error {
+	if p.haveTerm(p.cur) {
+		return p.errf("instruction after terminator in block %q", p.cur.Name)
+	}
+	switch toks[0] {
+	case "jmp":
+		if len(toks) != 2 {
+			return p.errf("usage: jmp <label>")
+		}
+		p.pending = append(p.pending, pendingTerm{line: p.line, block: p.cur, kind: TermJmp, then: toks[1], cond: NoReg, val: NoReg})
+		return nil
+	case "br":
+		if len(toks) != 4 {
+			return p.errf("usage: br %%cond, <then>, <else>")
+		}
+		c, err := p.reg(toks[1])
+		if err != nil {
+			return err
+		}
+		p.pending = append(p.pending, pendingTerm{line: p.line, block: p.cur, kind: TermBr, cond: c, then: toks[2], els: toks[3], val: NoReg})
+		return nil
+	case "ret":
+		val := NoReg
+		if len(toks) == 2 {
+			v, err := p.reg(toks[1])
+			if err != nil {
+				return err
+			}
+			val = v
+		} else if len(toks) > 2 {
+			return p.errf("usage: ret [%%val]")
+		}
+		p.pending = append(p.pending, pendingTerm{line: p.line, block: p.cur, kind: TermRet, val: val, cond: NoReg})
+		return nil
+	}
+	in, err := p.parseInstr(toks)
+	if err != nil {
+		return err
+	}
+	p.cur.Instrs = append(p.cur.Instrs, in)
+	return nil
+}
+
+func (p *parser) parseInstr(toks []string) (Instr, error) {
+	var dst Reg = NoReg
+	if len(toks) >= 2 && toks[1] == "=" {
+		d, err := p.reg(toks[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		dst = d
+		toks = toks[2:]
+		if len(toks) == 0 {
+			return Instr{}, p.errf("missing opcode after '='")
+		}
+	}
+	opName := toks[0]
+	args := toks[1:]
+	op, ok := opcodeByName[opName]
+	if !ok {
+		return Instr{}, p.errf("unknown opcode %q", opName)
+	}
+	switch {
+	case op == OpNop:
+		return Instr{Op: OpNop, Dst: NoReg, A: NoReg, B: NoReg}, nil
+	case op == OpMov:
+		if len(args) != 1 {
+			return Instr{}, p.errf("usage: %%d = mov <reg|imm>")
+		}
+		r, imm, isImm, err := p.regOrImm(args[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpMov, Dst: dst, A: r, B: NoReg, Imm: imm, BImm: isImm}, nil
+	case op.IsBinary():
+		if len(args) != 2 {
+			return Instr{}, p.errf("usage: %%d = %s %%a, <reg|imm>", opName)
+		}
+		a, err := p.reg(args[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		b, imm, isImm, err := p.regOrImm(args[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: op, Dst: dst, A: a, B: b, Imm: imm, BImm: isImm}, nil
+	case op == OpLoad:
+		if len(args) != 2 {
+			return Instr{}, p.errf("usage: %%d = load <base|_>, <off>")
+		}
+		a, err := p.reg(args[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		off, err := p.imm(args[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpLoad, Dst: dst, A: a, B: NoReg, Imm: off}, nil
+	case op == OpStore:
+		if len(args) != 3 {
+			return Instr{}, p.errf("usage: store <base|_>, <off>, %%val")
+		}
+		a, err := p.reg(args[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		off, err := p.imm(args[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		v, err := p.reg(args[2])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpStore, Dst: NoReg, A: a, B: v, Imm: off}, nil
+	case op == OpAtomicAdd:
+		if len(args) != 3 {
+			return Instr{}, p.errf("usage: %%d = aadd <base|_>, <off>, %%val")
+		}
+		a, err := p.reg(args[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		off, err := p.imm(args[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		v, err := p.reg(args[2])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpAtomicAdd, Dst: dst, A: a, B: v, Imm: off}, nil
+	case op == OpCall || op == OpExtCall:
+		if len(args) < 1 || !strings.HasPrefix(args[0], "@") {
+			return Instr{}, p.errf("usage: [%%d =] %s @name(args...)", opName)
+		}
+		callee := args[0][1:]
+		var regs []Reg
+		for _, t := range args[1:] {
+			r, err := p.reg(t)
+			if err != nil {
+				return Instr{}, err
+			}
+			regs = append(regs, r)
+		}
+		return Instr{Op: op, Dst: dst, A: NoReg, B: NoReg, Callee: callee, Args: regs}, nil
+	case op == OpReadCycles:
+		if len(args) != 0 {
+			return Instr{}, p.errf("usage: %%d = rdcyc")
+		}
+		return Instr{Op: OpReadCycles, Dst: dst, A: NoReg, B: NoReg}, nil
+	case op == OpProbe:
+		if len(args) < 2 {
+			return Instr{}, p.errf("usage: probe <kind> <inc> [%%ind %%base]")
+		}
+		kind, ok := probeKindByName[args[0]]
+		if !ok {
+			return Instr{}, p.errf("unknown probe kind %q", args[0])
+		}
+		inc, err := p.imm(args[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		pi := &ProbeInfo{Kind: kind, Inc: inc, IndVar: NoReg, Base: NoReg}
+		if kind == ProbeIRLoop || kind == ProbeCyclesLoop {
+			if len(args) != 4 {
+				return Instr{}, p.errf("loop probe requires %%ind and %%base")
+			}
+			if pi.IndVar, err = p.reg(args[2]); err != nil {
+				return Instr{}, err
+			}
+			if pi.Base, err = p.reg(args[3]); err != nil {
+				return Instr{}, err
+			}
+		} else if len(args) != 2 {
+			return Instr{}, p.errf("usage: probe <kind> <inc>")
+		}
+		return Instr{Op: OpProbe, Dst: NoReg, A: NoReg, B: NoReg, Probe: pi}, nil
+	}
+	return Instr{}, p.errf("unhandled opcode %q", opName)
+}
+
+func (p *parser) resolveTerms() error {
+	terminated := make(map[*Block]bool)
+	for _, pt := range p.pending {
+		t := Terminator{Kind: pt.kind, Cond: pt.cond, Val: pt.val}
+		switch pt.kind {
+		case TermJmp, TermBr:
+			t.Then = p.fn.blockByName(pt.then)
+			if t.Then == nil {
+				p.line = pt.line
+				return p.errf("unknown block label %q", pt.then)
+			}
+			if pt.kind == TermBr {
+				t.Else = p.fn.blockByName(pt.els)
+				if t.Else == nil {
+					p.line = pt.line
+					return p.errf("unknown block label %q", pt.els)
+				}
+			}
+		}
+		pt.block.Term = t
+		terminated[pt.block] = true
+	}
+	for _, b := range p.fn.Blocks {
+		if !terminated[b] {
+			return p.errf("block %q in @%s lacks a terminator", b.Name, p.fn.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,336 @@
+package ir
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleProgram = `
+module sample
+mem 1024
+extern @print cost 120
+extern @read cost 4000 blocking
+
+; computes sum of 0..n-1 and prints it
+func @main(%n) {
+entry:
+  %sum = mov 0
+  %i = mov 0
+  jmp head
+head:
+  %c = lt %i, %n        # loop condition
+  br %c, body, done
+body:
+  %sum = add %sum, %i
+  %i = add %i, 1
+  jmp head
+done:
+  %r = call @scale(%sum)
+  extcall @print(%r)
+  ret %r
+}
+
+func @scale(%x) noinstrument {
+entry:
+  %y = mul %x, 2
+  ret %y
+}
+`
+
+func TestParseSample(t *testing.T) {
+	m, err := Parse(sampleProgram)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if m.Name != "sample" {
+		t.Errorf("module name = %q", m.Name)
+	}
+	if m.MemWords != 1024 {
+		t.Errorf("MemWords = %d", m.MemWords)
+	}
+	if len(m.Externs) != 2 {
+		t.Fatalf("externs = %d, want 2", len(m.Externs))
+	}
+	if !m.Externs["read"].Blocking || m.Externs["read"].Cost != 4000 {
+		t.Errorf("extern read = %+v", m.Externs["read"])
+	}
+	main := m.FuncByName("main")
+	if main == nil || main.NumParams != 1 {
+		t.Fatalf("main = %+v", main)
+	}
+	if len(main.Blocks) != 4 {
+		t.Errorf("main blocks = %d, want 4", len(main.Blocks))
+	}
+	scale := m.FuncByName("scale")
+	if scale == nil || !scale.NoInstrument {
+		t.Errorf("scale should carry noinstrument")
+	}
+}
+
+func TestParsePrintRoundTrip(t *testing.T) {
+	m := MustParse(sampleProgram)
+	text := m.String()
+	m2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if m2.String() != text {
+		t.Errorf("round trip not stable:\n-- first --\n%s\n-- second --\n%s", text, m2.String())
+	}
+}
+
+func TestParseProbeRoundTrip(t *testing.T) {
+	src := `
+module p
+func @f(%n) {
+entry:
+  probe ir 250
+  probe cycles 500
+  probe event 1
+  %k = mov 0
+  probe irloop 7 %n %k
+  ret
+}
+`
+	m := MustParse(src)
+	text := m.String()
+	m2 := MustParse(text)
+	if m2.String() != text {
+		t.Fatalf("probe round trip unstable:\n%s\nvs\n%s", text, m2.String())
+	}
+	f := m.FuncByName("f")
+	probes := 0
+	for _, in := range f.Blocks[0].Instrs {
+		if in.Op == OpProbe {
+			probes++
+			if in.Probe.Kind == ProbeIRLoop && (in.Probe.IndVar == NoReg || in.Probe.Base == NoReg) {
+				t.Error("loop probe lost registers")
+			}
+		}
+	}
+	if probes != 4 {
+		t.Errorf("parsed %d probes, want 4", probes)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown opcode", "func @f() {\nentry:\n %x = frob 1\n ret\n}", "unknown opcode"},
+		{"unknown label", "func @f() {\nentry:\n jmp nowhere\n}", "unknown block label"},
+		{"missing brace", "func @f() {\nentry:\n ret\n", "missing closing"},
+		{"instr after term", "func @f() {\nentry:\n ret\n %x = mov 1\n}", "after terminator"},
+		{"instr before label", "func @f() {\n %x = mov 1\nentry:\n ret\n}", "before any block"},
+		{"duplicate label", "func @f() {\nentry:\n ret\nentry:\n ret\n}", "duplicate block label"},
+		{"duplicate func", "func @f() {\nentry:\n ret\n}\nfunc @f() {\nentry:\n ret\n}", "duplicate function"},
+		{"bad extern", "extern @x price 4", "usage: extern"},
+		{"bad mem", "mem lots", "bad memory size"},
+		{"bad br arity", "func @f() {\nentry:\n br %c, a\n}", "usage: br"},
+		{"store immediate value", "func @f() {\nentry:\n store _, 0, 5\n ret\n}", "expected register"},
+		{"call undefined", "func @f() {\nentry:\n call @g()\n ret\n}", "undefined function"},
+		{"unterminated block", "func @f() {\nentry:\n %x = mov 1\nnext:\n ret\n}", "lacks a terminator"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseNamedAndNumericRegisters(t *testing.T) {
+	src := `
+func @f(%a) {
+entry:
+  %1 = mov 5
+  %x = add %a, %1
+  ret %x
+}
+`
+	m := MustParse(src)
+	f := m.FuncByName("f")
+	// %a is param reg 0, %1 is numeric reg 1, %x allocated fresh (2).
+	add := f.Blocks[0].Instrs[1]
+	if add.A != 0 || add.B != 1 || add.Dst != 2 {
+		t.Errorf("add operands = dst %d, a %d, b %d; want 2, 0, 1", add.Dst, add.A, add.B)
+	}
+}
+
+// randomModule builds a random but always-valid module, for the
+// round-trip property test.
+func randomModule(r *rand.Rand) *Module {
+	m := NewModule("rnd")
+	m.MemWords = 256
+	m.DeclareExtern("ext0", 50+r.Int63n(500))
+	nf := 1 + r.Intn(3)
+	for fi := 0; fi < nf; fi++ {
+		f := m.NewFunc("f"+string(rune('a'+fi)), r.Intn(3))
+		if f.NumParams == 0 {
+			f.NumRegs = 1 // ensure at least one register exists for operands
+		}
+		b := NewBuilder(f)
+		var blocks []*Block
+		blocks = append(blocks, b.B)
+		extra := r.Intn(3)
+		for i := 0; i < extra; i++ {
+			blocks = append(blocks, b.Block(""))
+		}
+		for bi, blk := range blocks {
+			b.SetBlock(blk)
+			n := r.Intn(5)
+			last := Reg(0)
+			for i := 0; i < n; i++ {
+				switch r.Intn(5) {
+				case 0:
+					last = b.Mov(r.Int63n(100))
+				case 1:
+					last = b.BinI(OpAdd, last, r.Int63n(10))
+				case 2:
+					last = b.Load(NoReg, r.Int63n(256))
+				case 3:
+					b.Store(NoReg, r.Int63n(256), last)
+				case 4:
+					last = b.ExtCall("ext0", last)
+				}
+			}
+			// Terminate: last block rets, others jump/branch forward to
+			// avoid infinite loops in any later interpretation.
+			if bi == len(blocks)-1 {
+				b.Ret(last)
+			} else if r.Intn(2) == 0 {
+				b.Jmp(blocks[bi+1])
+			} else {
+				t := blocks[bi+1]
+				e := blocks[len(blocks)-1]
+				b.Br(last, t, e)
+			}
+		}
+		f.Reindex()
+	}
+	return m
+}
+
+func TestQuickParsePrintRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomModule(r)
+		if err := m.Verify(); err != nil {
+			t.Logf("random module does not verify: %v", err)
+			return false
+		}
+		text := m.String()
+		m2, err := Parse(text)
+		if err != nil {
+			t.Logf("reparse failed: %v\n%s", err, text)
+			return false
+		}
+		return m2.String() == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImportsParsePrintAndLink(t *testing.T) {
+	lib := MustParse(`
+module libm
+mem 256
+func @scale(%x) {
+entry:
+  %y = mul %x, 3
+  ret %y
+}
+`)
+	app := MustParse(`
+module app
+mem 1024
+import @scale
+func @main(%n) {
+entry:
+  %r = call @scale(%n)
+  ret %r
+}
+`)
+	if !app.Imports["scale"] {
+		t.Fatal("import not recorded")
+	}
+	text := app.String()
+	if !strings.Contains(text, "import @scale") {
+		t.Errorf("printer lost import:\n%s", text)
+	}
+	reparsed := MustParse(text)
+	if !reparsed.Imports["scale"] {
+		t.Error("round trip lost import")
+	}
+	linked, err := Link("prog", app, lib)
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	if linked.FuncByName("scale") == nil || linked.FuncByName("main") == nil {
+		t.Error("linked module missing functions")
+	}
+	if linked.MemWords != 1024 {
+		t.Errorf("MemWords = %d, want max(256,1024)", linked.MemWords)
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	lib := MustParse("func @f() {\nentry:\n ret\n}")
+	dup := MustParse("func @f() {\nentry:\n ret\n}")
+	if _, err := Link("p", lib, dup); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate link err = %v", err)
+	}
+	app := MustParse("import @missing\nfunc @main() {\nentry:\n call @missing()\n ret\n}")
+	if _, err := Link("p", app); err == nil || !strings.Contains(err.Error(), "unresolved") {
+		t.Errorf("unresolved link err = %v", err)
+	}
+	e1 := MustParse("extern @x cost 5\nfunc @a() {\nentry:\n extcall @x()\n ret\n}")
+	e2 := MustParse("extern @x cost 9\nfunc @b() {\nentry:\n extcall @x()\n ret\n}")
+	if _, err := Link("p", e1, e2); err == nil || !strings.Contains(err.Error(), "conflicting extern") {
+		t.Errorf("conflicting extern err = %v", err)
+	}
+}
+
+func TestCallToUndeclaredImportFails(t *testing.T) {
+	_, err := Parse("func @main() {\nentry:\n call @ghost()\n ret\n}")
+	if err == nil || !strings.Contains(err.Error(), "undefined function") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// FuzzParse exercises the parser with arbitrary input: it must never
+// panic, and anything it accepts must verify, print, and reparse to
+// the same text.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleProgram)
+	f.Add("func @f() {\nentry:\n ret\n}")
+	f.Add("import @x\nextern @y cost 5\nmem 64")
+	f.Add("func @f(%a) {\nentry:\n %b = add %a, 1\n br %b, entry, e\ne:\n ret %b\n}")
+	f.Add("probe ir 5")
+	f.Add("func @f() {")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if verr := m.Verify(); verr != nil {
+			t.Fatalf("accepted module does not verify: %v\n%s", verr, src)
+		}
+		text := m.String()
+		m2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("printer output does not reparse: %v\n%s", err, text)
+		}
+		if m2.String() != text {
+			t.Fatalf("round trip unstable:\n%s\nvs\n%s", text, m2.String())
+		}
+	})
+}

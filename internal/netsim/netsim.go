@@ -1,0 +1,91 @@
+// Package netsim models the networking substrate of the mTCP and
+// Shenango experiments: a 10 Gbps link with serialization and
+// propagation delay, and a NIC receive ring with finite capacity and
+// drop accounting.
+package netsim
+
+// Cycle-domain constants at the 2.6 GHz model clock.
+const (
+	// CyclesPerByte10G is the serialization cost on a 10 Gbps link:
+	// 2.6e9 cycles/s ÷ 1.25e9 bytes/s.
+	CyclesPerByte10G = 2.08
+	// PropagationCycles models NIC/switch/NIC propagation (~1 µs).
+	PropagationCycles = 2600
+)
+
+// Link is a point-to-point link with a fixed per-byte serialization
+// cost and propagation delay.
+type Link struct {
+	CyclesPerByte float64
+	Propagation   int64
+}
+
+// TenGbps returns the experiments' 10 Gbps link.
+func TenGbps() *Link {
+	return &Link{CyclesPerByte: CyclesPerByte10G, Propagation: PropagationCycles}
+}
+
+// Delay returns the one-way latency for a packet of the given size.
+func (l *Link) Delay(bytes int64) int64 {
+	return int64(l.CyclesPerByte*float64(bytes)) + l.Propagation
+}
+
+// Packet is a unit of network traffic.
+type Packet struct {
+	// Arrival is the cycle the packet reached the NIC.
+	Arrival int64
+	// Conn identifies the connection.
+	Conn int
+	// Seq is a connection-local sequence number.
+	Seq int64
+	// Bytes is the wire size.
+	Bytes int64
+	// Retransmit marks a retransmitted packet.
+	Retransmit bool
+}
+
+// NIC is a receive ring of finite capacity.
+type NIC struct {
+	// Capacity is the ring size in packets; pushes beyond it drop.
+	Capacity int
+	ring     []Packet
+	// Dropped counts packets lost to ring overflow.
+	Dropped int64
+	// Received counts all packets that entered the ring.
+	Received int64
+}
+
+// NewNIC returns a NIC with the given ring capacity.
+func NewNIC(capacity int) *NIC {
+	return &NIC{Capacity: capacity}
+}
+
+// Push adds a packet to the ring; returns false (and counts a drop) on
+// overflow.
+func (n *NIC) Push(p Packet) bool {
+	if len(n.ring) >= n.Capacity {
+		n.Dropped++
+		return false
+	}
+	n.ring = append(n.ring, p)
+	n.Received++
+	return true
+}
+
+// Pending returns the current ring occupancy.
+func (n *NIC) Pending() int { return len(n.ring) }
+
+// Drain removes and returns up to max packets that arrived at or
+// before now (max <= 0 means no limit).
+func (n *NIC) Drain(now int64, max int) []Packet {
+	cut := 0
+	for cut < len(n.ring) && n.ring[cut].Arrival <= now {
+		cut++
+		if max > 0 && cut == max {
+			break
+		}
+	}
+	out := append([]Packet(nil), n.ring[:cut]...)
+	n.ring = n.ring[:copy(n.ring, n.ring[cut:])]
+	return out
+}

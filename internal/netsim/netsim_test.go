@@ -1,0 +1,76 @@
+package netsim
+
+import "testing"
+
+func TestLinkDelay(t *testing.T) {
+	l := TenGbps()
+	d := l.Delay(1000)
+	// 1000 bytes at ~2.08 cy/B plus propagation.
+	if d < 2000+PropagationCycles || d > 2200+PropagationCycles {
+		t.Errorf("Delay(1000) = %d", d)
+	}
+	if l.Delay(0) != PropagationCycles {
+		t.Errorf("zero-byte delay = %d, want propagation only", l.Delay(0))
+	}
+	if l.Delay(2000) <= l.Delay(1000) {
+		t.Error("delay must grow with size")
+	}
+}
+
+func TestNICPushDrainDrop(t *testing.T) {
+	n := NewNIC(3)
+	for i := 0; i < 3; i++ {
+		if !n.Push(Packet{Arrival: int64(i), Conn: i}) {
+			t.Fatalf("push %d rejected", i)
+		}
+	}
+	if n.Push(Packet{Arrival: 9}) {
+		t.Error("push into full ring accepted")
+	}
+	if n.Dropped != 1 || n.Received != 3 {
+		t.Errorf("dropped=%d received=%d", n.Dropped, n.Received)
+	}
+	if n.Pending() != 3 {
+		t.Errorf("pending = %d", n.Pending())
+	}
+	// Drain respects arrival times.
+	got := n.Drain(1, 0)
+	if len(got) != 2 || got[0].Conn != 0 || got[1].Conn != 1 {
+		t.Errorf("Drain(1) = %+v", got)
+	}
+	if n.Pending() != 1 {
+		t.Errorf("pending after drain = %d", n.Pending())
+	}
+	// Now there is room again.
+	if !n.Push(Packet{Arrival: 5}) {
+		t.Error("push after drain rejected")
+	}
+}
+
+func TestNICDrainMax(t *testing.T) {
+	n := NewNIC(10)
+	for i := 0; i < 6; i++ {
+		n.Push(Packet{Arrival: 0, Conn: i})
+	}
+	got := n.Drain(100, 4)
+	if len(got) != 4 || got[3].Conn != 3 {
+		t.Errorf("Drain max=4 returned %d packets", len(got))
+	}
+	got = n.Drain(100, 0)
+	if len(got) != 2 || got[0].Conn != 4 {
+		t.Errorf("second drain = %+v", got)
+	}
+}
+
+func TestNICDrainPreservesFutureArrivals(t *testing.T) {
+	n := NewNIC(10)
+	n.Push(Packet{Arrival: 5})
+	n.Push(Packet{Arrival: 50})
+	got := n.Drain(10, 0)
+	if len(got) != 1 {
+		t.Fatalf("drained %d, want 1", len(got))
+	}
+	if n.Pending() != 1 {
+		t.Errorf("future packet lost")
+	}
+}

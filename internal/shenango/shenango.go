@@ -1,0 +1,303 @@
+// Package shenango models the §5.2 experiment: Shenango's IOKernel —
+// the dedicated core that polls the NIC, steers packets to worker
+// cores and reallocates cores — compared against running the same
+// IOKernel loop body as a Compiler Interrupt handler hosted inside a
+// CPU-bound application (CPUMiner), and against plain pthreads/kernel
+// networking.
+//
+// A memcached-like latency-sensitive service runs on worker cores with
+// Poisson request arrivals; the figure-of-merit is the median and
+// 99.9th-percentile request latency versus offered load, plus the hash
+// rate the hosted miner achieves on the IOKernel core.
+package shenango
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Kind selects the IOKernel / networking design.
+type Kind int
+
+const (
+	// Dedicated is stock Shenango: the IOKernel busy-polls on its own
+	// core (0% efficiency on that core).
+	Dedicated Kind = iota
+	// CIHosted runs the IOKernel loop body as a CI handler inside
+	// CPUMiner on the same core.
+	CIHosted
+	// Pthreads is conventional kernel networking with a thread per
+	// connection on dedicated cores.
+	Pthreads
+	// PthreadsShared is kernel networking with the service sharing its
+	// cores with a batch job (swaptions).
+	PthreadsShared
+)
+
+var kindNames = [...]string{
+	Dedicated: "shenango", CIHosted: "shenango+CI",
+	Pthreads: "pthreads", PthreadsShared: "pthreads+batch",
+}
+
+// String names the design as the paper's legend does.
+func (k Kind) String() string { return kindNames[k] }
+
+// Model constants (cycles at 2.6 GHz).
+const (
+	// dedicatedPollGap is the busy-poll iteration time of the stock
+	// IOKernel.
+	dedicatedPollGap   = 150
+	dedicatedPollFixed = 100
+	// ciPollFixed is the cost of one full IOKernel loop body when run
+	// as a CI handler (queue scans + core-allocation check).
+	ciPollFixed       = 2600
+	ciHandlerInvoke   = 60
+	perPacket         = 600    // steer one packet to/from a worker queue (incl. queue scans)
+	serviceMean       = 1000   // memcached request service time (exponential)
+	networkRTT        = 40000  // client <-> server wire round trip (~15 µs)
+	kernelPerReq      = 9000   // pthreads: IRQ + socket syscalls per request
+	kernelWakeMean    = 13000  // pthreads: scheduler wakeup latency (~5 µs)
+	sharedQuantumMean = 650000 // batch job steals the core for ~0.25 ms
+	// minerCIOverheadPct is the CPUMiner slowdown from CI
+	// instrumentation.
+	minerCIOverheadPct = 4
+)
+
+// Config parameterizes one run.
+type Config struct {
+	Kind Kind
+	// IntervalCycles is the CI polling interval (CIHosted only).
+	IntervalCycles int64
+	// OfferedLoad is the request arrival rate in requests/second.
+	OfferedLoad float64
+	// Workers is the number of application worker cores (default 16).
+	Workers int
+	// DurationCycles is the simulated time (default 130M ≈ 50 ms).
+	DurationCycles int64
+	Seed           uint64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Workers <= 0 {
+		out.Workers = 16
+	}
+	if out.DurationCycles <= 0 {
+		out.DurationCycles = 130_000_000
+	}
+	if out.IntervalCycles <= 0 {
+		out.IntervalCycles = 8000
+	}
+	if out.Seed == 0 {
+		out.Seed = 7
+	}
+	if out.OfferedLoad <= 0 {
+		out.OfferedLoad = 100e3
+	}
+	return out
+}
+
+// Result reports one run's metrics.
+type Result struct {
+	Kind           Kind
+	IntervalCycles int64
+	OfferedLoad    float64
+	// AchievedLoad is the completed request rate (requests/s).
+	AchievedLoad float64
+	// MedianUs / P999Us are request latencies in microseconds.
+	MedianUs, P999Us float64
+	// MinerHashRate is the hosted miner's throughput on the IOKernel
+	// core relative to an unmodified miner on a dedicated core
+	// (CIHosted only; 0 for Dedicated, which burns the core).
+	MinerHashRate float64
+	// BatchShare is the fraction of worker-core capacity left to the
+	// batch application (swaptions); the paper reports it identical
+	// between the CI and dedicated IOKernels.
+	BatchShare float64
+}
+
+// String renders a result row.
+func (r Result) String() string {
+	tag := r.Kind.String()
+	if r.Kind == CIHosted {
+		tag = fmt.Sprintf("%s(%d)", tag, r.IntervalCycles)
+	}
+	return fmt.Sprintf("%-18s load=%7.0f/s  achieved=%7.0f/s  p50=%7.1fµs  p99.9=%8.1fµs  miner=%4.0f%%",
+		tag, r.OfferedLoad, r.AchievedLoad, r.MedianUs, r.P999Us, r.MinerHashRate*100)
+}
+
+type request struct {
+	arrival int64
+}
+
+type state struct {
+	cfg Config
+	eng *sim.Engine
+	rng *sim.RNG
+
+	ingress []request // packets waiting for the IOKernel to steer
+	egress  []request // responses waiting to leave via the IOKernel
+
+	workerFree []int64
+
+	latencies []int64
+	completed int64
+	warmup    int64
+
+	iokBusy    int64 // cycles the IOKernel consumed on its core
+	workerBusy int64 // cycles worker cores spent serving requests
+}
+
+// Run simulates one configuration.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	s := &state{
+		cfg:        cfg,
+		eng:        sim.NewEngine(),
+		rng:        sim.NewRNG(cfg.Seed),
+		workerFree: make([]int64, cfg.Workers),
+		warmup:     cfg.DurationCycles / 5,
+	}
+	interArrival := 2.6e9 / cfg.OfferedLoad
+	var scheduleArrival func()
+	scheduleArrival = func() {
+		s.eng.After(s.rng.Exp(interArrival), func() {
+			now := s.eng.Now()
+			if cfg.Kind == Pthreads || cfg.Kind == PthreadsShared {
+				s.kernelRequest(now)
+			} else {
+				s.ingress = append(s.ingress, request{arrival: now})
+			}
+			scheduleArrival()
+		})
+	}
+	scheduleArrival()
+	if cfg.Kind == Dedicated || cfg.Kind == CIHosted {
+		s.schedulePoll()
+	}
+	s.eng.Run(cfg.DurationCycles)
+	return s.result()
+}
+
+// schedulePoll runs the IOKernel loop: stock Shenango spins on a short
+// gap; the CI version fires every interval with the full loop body as
+// handler cost.
+func (s *state) schedulePoll() {
+	gap := int64(dedicatedPollGap)
+	if s.cfg.Kind == CIHosted {
+		gap = s.cfg.IntervalCycles
+	}
+	s.eng.After(gap, func() {
+		t := s.eng.Now()
+		var cost int64
+		if s.cfg.Kind == CIHosted {
+			cost = ciHandlerInvoke + ciPollFixed
+		} else {
+			cost = dedicatedPollFixed
+		}
+		cost += int64(len(s.ingress)+len(s.egress)) * perPacket
+		tEnd := t + cost
+		s.iokBusy += cost
+		// Steer ingress packets to the least-loaded workers.
+		for _, rq := range s.ingress {
+			w := s.leastLoaded()
+			start := s.workerFree[w]
+			if start < tEnd {
+				start = tEnd
+			}
+			svc := s.rng.Exp(serviceMean)
+			end := start + svc
+			s.workerFree[w] = end
+			s.workerBusy += svc
+			arrival := rq.arrival
+			s.eng.At(end, func() {
+				s.egress = append(s.egress, request{arrival: arrival})
+			})
+		}
+		s.ingress = s.ingress[:0]
+		// Responses leave now.
+		for _, rq := range s.egress {
+			s.complete(rq.arrival, tEnd)
+		}
+		s.egress = s.egress[:0]
+		// The next handler fires one interval after this one returns
+		// (the stock IOKernel likewise restarts its loop after a poll).
+		s.eng.At(tEnd, func() { s.schedulePoll() })
+	})
+}
+
+func (s *state) leastLoaded() int {
+	best := 0
+	for i, f := range s.workerFree {
+		if f < s.workerFree[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// kernelRequest models the pthreads path: per-request kernel cost,
+// scheduler wakeup, service on a FIFO worker, and (for the shared
+// variant) batch-job preemption delays.
+func (s *state) kernelRequest(now int64) {
+	wake := s.rng.Exp(kernelWakeMean)
+	if s.cfg.Kind == PthreadsShared {
+		// The batch job holds the core for part of a quantum.
+		if s.rng.Float64() < 0.4 {
+			wake += s.rng.Exp(sharedQuantumMean)
+		}
+	}
+	w := s.leastLoaded()
+	start := now + wake + kernelPerReq
+	if s.workerFree[w] > start {
+		start = s.workerFree[w]
+	}
+	end := start + s.rng.Exp(serviceMean) + kernelPerReq/2
+	s.workerFree[w] = end
+	s.complete(now, end)
+}
+
+func (s *state) complete(arrival, leave int64) {
+	if leave <= s.warmup {
+		return
+	}
+	s.latencies = append(s.latencies, leave-arrival+networkRTT)
+	s.completed++
+}
+
+func (s *state) result() Result {
+	cfg := s.cfg
+	res := Result{
+		Kind:           cfg.Kind,
+		IntervalCycles: cfg.IntervalCycles,
+		OfferedLoad:    cfg.OfferedLoad,
+	}
+	window := float64(cfg.DurationCycles-s.warmup) / 2.6e9
+	res.AchievedLoad = float64(s.completed) / window
+	if len(s.latencies) > 0 {
+		res.MedianUs = float64(stats.Median(s.latencies)) / 2600
+		res.P999Us = float64(stats.Percentile(s.latencies, 99.9)) / 2600
+	}
+	if cfg.Kind == Dedicated || cfg.Kind == CIHosted {
+		capacity := float64(cfg.Workers) * float64(cfg.DurationCycles)
+		share := 1 - float64(s.workerBusy)/capacity
+		if share < 0 {
+			share = 0
+		}
+		res.BatchShare = share
+	}
+	if cfg.Kind == CIHosted {
+		busyFrac := float64(s.iokBusy) / float64(cfg.DurationCycles)
+		if busyFrac > 1 {
+			busyFrac = 1
+		}
+		rate := (1 - busyFrac) * (1 - minerCIOverheadPct/100.0)
+		if rate < 0 {
+			rate = 0
+		}
+		res.MinerHashRate = rate
+	}
+	return res
+}

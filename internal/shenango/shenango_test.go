@@ -1,0 +1,100 @@
+package shenango
+
+import "testing"
+
+func TestKindsRunAndServeLoad(t *testing.T) {
+	for _, k := range []Kind{Dedicated, CIHosted, Pthreads, PthreadsShared} {
+		r := Run(Config{Kind: k, OfferedLoad: 200e3})
+		if r.AchievedLoad < 0.9*r.OfferedLoad {
+			t.Errorf("%v: achieved %v of offered %v", k, r.AchievedLoad, r.OfferedLoad)
+		}
+		if r.MedianUs <= 0 || r.P999Us < r.MedianUs {
+			t.Errorf("%v: latencies p50=%v p99.9=%v", k, r.MedianUs, r.P999Us)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Run(Config{Kind: CIHosted, IntervalCycles: 8000, OfferedLoad: 200e3})
+	b := Run(Config{Kind: CIHosted, IntervalCycles: 8000, OfferedLoad: 200e3})
+	if a.MedianUs != b.MedianUs || a.AchievedLoad != b.AchievedLoad {
+		t.Errorf("runs differ: %+v vs %+v", a, b)
+	}
+}
+
+// Figure 6 headline: the CI IOKernel keeps latency close to stock
+// Shenango at moderate intervals while recovering most of the core for
+// the miner; bigger intervals trade latency for hash rate.
+func TestFigure6Shape(t *testing.T) {
+	stock := Run(Config{Kind: Dedicated, OfferedLoad: 200e3})
+	ci8k := Run(Config{Kind: CIHosted, IntervalCycles: 8000, OfferedLoad: 200e3})
+	ci64k := Run(Config{Kind: CIHosted, IntervalCycles: 64000, OfferedLoad: 50e3})
+
+	if stock.MinerHashRate != 0 {
+		t.Error("dedicated IOKernel burns its core; hash rate must be 0")
+	}
+	// Moderate interval: latency within ~2x of stock, hash rate ~50%+.
+	if ci8k.MedianUs > 2*stock.MedianUs {
+		t.Errorf("CI(8k) median %.1f too far above stock %.1f", ci8k.MedianUs, stock.MedianUs)
+	}
+	if ci8k.MinerHashRate < 0.4 {
+		t.Errorf("CI(8k) hash rate %.2f, want ~0.5+", ci8k.MinerHashRate)
+	}
+	// Large interval at near-zero load: ~90% hash rate, >2x latency.
+	if ci64k.MinerHashRate < 0.8 {
+		t.Errorf("CI(64k) hash rate %.2f, want ~0.9", ci64k.MinerHashRate)
+	}
+	if ci64k.MedianUs < 2*stock.MedianUs {
+		t.Errorf("CI(64k) median %.1f should more than double stock %.1f",
+			ci64k.MedianUs, stock.MedianUs)
+	}
+}
+
+func TestShorterIntervalLowersLatencyAndHashRate(t *testing.T) {
+	fast := Run(Config{Kind: CIHosted, IntervalCycles: 2000, OfferedLoad: 200e3})
+	slow := Run(Config{Kind: CIHosted, IntervalCycles: 64000, OfferedLoad: 200e3})
+	if fast.MedianUs >= slow.MedianUs {
+		t.Errorf("shorter interval must lower latency: %v vs %v", fast.MedianUs, slow.MedianUs)
+	}
+	if fast.MinerHashRate >= slow.MinerHashRate {
+		t.Errorf("shorter interval must lower hash rate: %v vs %v",
+			fast.MinerHashRate, slow.MinerHashRate)
+	}
+}
+
+func TestHashRateFallsWithLoad(t *testing.T) {
+	lo := Run(Config{Kind: CIHosted, IntervalCycles: 8000, OfferedLoad: 50e3})
+	hi := Run(Config{Kind: CIHosted, IntervalCycles: 8000, OfferedLoad: 800e3})
+	if hi.MinerHashRate >= lo.MinerHashRate {
+		t.Errorf("hash rate must fall with load: %v -> %v", lo.MinerHashRate, hi.MinerHashRate)
+	}
+}
+
+func TestPthreadsTailWorseThanShenango(t *testing.T) {
+	stock := Run(Config{Kind: Dedicated, OfferedLoad: 400e3})
+	pt := Run(Config{Kind: Pthreads, OfferedLoad: 400e3})
+	shared := Run(Config{Kind: PthreadsShared, OfferedLoad: 400e3})
+	if pt.P999Us <= stock.P999Us {
+		t.Errorf("pthreads p99.9 (%v) should exceed shenango (%v)", pt.P999Us, stock.P999Us)
+	}
+	if shared.P999Us <= pt.P999Us {
+		t.Errorf("sharing with batch must hurt the tail: %v vs %v", shared.P999Us, pt.P999Us)
+	}
+}
+
+// The paper's omitted plot: batch (swaptions) throughput on the worker
+// cores is the same under the CI IOKernel as under the dedicated one.
+func TestBatchThroughputUnchangedByCIIOKernel(t *testing.T) {
+	stock := Run(Config{Kind: Dedicated, OfferedLoad: 400e3})
+	ci := Run(Config{Kind: CIHosted, IntervalCycles: 8000, OfferedLoad: 400e3})
+	if stock.BatchShare <= 0 || stock.BatchShare >= 1 {
+		t.Fatalf("batch share = %v, implausible", stock.BatchShare)
+	}
+	diff := stock.BatchShare - ci.BatchShare
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.02 {
+		t.Errorf("batch share differs: dedicated %.3f vs CI %.3f", stock.BatchShare, ci.BatchShare)
+	}
+}

@@ -1,0 +1,173 @@
+// Package stats provides the small statistical toolkit used by the
+// evaluation harness: percentiles, means, geometric means and compact
+// distribution summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Percentile returns the p-th percentile (0..100) of xs using
+// nearest-rank on a sorted copy. It panics on an empty slice.
+func Percentile(xs []int64, p float64) int64 {
+	if len(xs) == 0 {
+		panic("stats: percentile of empty slice")
+	}
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return percentileSorted(s, p)
+}
+
+func percentileSorted(s []int64, p float64) int64 {
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	// The epsilon guards against float artifacts like 99.9/100*1000
+	// evaluating to 999.0000000000001.
+	rank := int(math.Ceil(p/100*float64(len(s)) - 1e-9))
+	if rank < 1 {
+		rank = 1
+	}
+	return s[rank-1]
+}
+
+// Median returns the 50th percentile.
+func Median(xs []int64) int64 { return Percentile(xs, 50) }
+
+// Mean returns the arithmetic mean.
+func Mean(xs []int64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += float64(x)
+	}
+	return sum / float64(len(xs))
+}
+
+// MeanF returns the arithmetic mean of float64 values.
+func MeanF(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values; zero and
+// negative inputs are skipped.
+func GeoMean(xs []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			logSum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// MedianF returns the median of float64 values.
+func MedianF(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Summary captures the distribution percentiles the paper reports
+// (Figure 10: median with 10-90 spread and labeled outer percentiles).
+type Summary struct {
+	N                   int
+	Min, Max            int64
+	P1, P10, P25, P50   int64
+	P75, P90, P99, P999 int64
+	MeanVal             float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []int64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return Summary{
+		N:       len(s),
+		Min:     s[0],
+		Max:     s[len(s)-1],
+		P1:      percentileSorted(s, 1),
+		P10:     percentileSorted(s, 10),
+		P25:     percentileSorted(s, 25),
+		P50:     percentileSorted(s, 50),
+		P75:     percentileSorted(s, 75),
+		P90:     percentileSorted(s, 90),
+		P99:     percentileSorted(s, 99),
+		P999:    percentileSorted(s, 99.9),
+		MeanVal: Mean(s),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%d p10=%d p50=%d p90=%d p99=%d p99.9=%d max=%d mean=%.1f",
+		s.N, s.Min, s.P10, s.P50, s.P90, s.P99, s.P999, s.Max, s.MeanVal)
+}
+
+// Histogram counts values into log2-spaced buckets, for latency
+// distribution plots (Figure 8).
+type Histogram struct {
+	// Buckets[i] counts values v with 2^i <= v < 2^(i+1); Buckets[0]
+	// also counts v < 1.
+	Buckets [64]int64
+	Total   int64
+}
+
+// Add records one value.
+func (h *Histogram) Add(v int64) {
+	h.Total++
+	if v < 1 {
+		h.Buckets[0]++
+		return
+	}
+	h.Buckets[63-bitsLeadingZeros(uint64(v))]++
+}
+
+func bitsLeadingZeros(x uint64) int {
+	n := 0
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+		if n == 64 {
+			break
+		}
+	}
+	return n
+}
+
+// Fraction returns the share of samples in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Buckets[i]) / float64(h.Total)
+}

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	xs := []int64{5, 1, 4, 2, 3}
+	if got := Median(xs); got != 3 {
+		t.Errorf("median = %d, want 3", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %d, want 1", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("p100 = %d, want 5", got)
+	}
+	if got := Percentile(xs, 20); got != 1 {
+		t.Errorf("p20 = %d, want 1", got)
+	}
+	// Input must not be reordered.
+	if xs[0] != 5 || xs[4] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestMeans(t *testing.T) {
+	if got := Mean([]int64{2, 4, 6}); got != 4 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := MeanF([]float64{1.5, 2.5}); got != 2 {
+		t.Errorf("meanf = %v", got)
+	}
+	if got := GeoMean([]float64{1, 4, 16}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("geomean = %v, want 4", got)
+	}
+	if got := GeoMean([]float64{0, -3}); got != 0 {
+		t.Errorf("geomean of nonpositives = %v, want 0", got)
+	}
+	if got := MedianF([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("medianf even = %v", got)
+	}
+	if got := MedianF([]float64{7, 1, 3}); got != 3 {
+		t.Errorf("medianf odd = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]int64, 1000)
+	for i := range xs {
+		xs[i] = int64(i + 1) // 1..1000
+	}
+	s := Summarize(xs)
+	if s.N != 1000 || s.Min != 1 || s.Max != 1000 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.P50 != 500 || s.P90 != 900 || s.P999 != 999 {
+		t.Errorf("percentiles = p50 %d p90 %d p999 %d", s.P50, s.P90, s.P999)
+	}
+	if math.Abs(s.MeanVal-500.5) > 1e-9 {
+		t.Errorf("mean = %v", s.MeanVal)
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	h.Add(0)
+	h.Add(1)
+	h.Add(2)
+	h.Add(3)
+	h.Add(1024)
+	if h.Total != 5 {
+		t.Errorf("total = %d", h.Total)
+	}
+	if h.Buckets[0] != 2 { // 0 and 1
+		t.Errorf("bucket0 = %d, want 2", h.Buckets[0])
+	}
+	if h.Buckets[1] != 2 { // 2 and 3
+		t.Errorf("bucket1 = %d, want 2", h.Buckets[1])
+	}
+	if h.Buckets[10] != 1 { // 1024
+		t.Errorf("bucket10 = %d, want 1", h.Buckets[10])
+	}
+	if got := h.Fraction(1); math.Abs(got-0.4) > 1e-9 {
+		t.Errorf("fraction = %v", got)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := int(n%100) + 1
+		xs := make([]int64, m)
+		for i := range xs {
+			xs[i] = r.Int63n(10000) - 5000
+		}
+		prev := Percentile(xs, 0)
+		for p := 5.0; p <= 100; p += 5 {
+			cur := Percentile(xs, p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+// Package vm executes IR programs on a virtual machine with an
+// explicit cycle cost model. It is the substitute for the paper's
+// x86 testbed: all overhead, accuracy, throughput and latency numbers
+// are measured in deterministic virtual cycles, and the machine
+// provides both Compiler Interrupt probes and a hardware
+// (performance-counter) interrupt mode for the Figure 12 comparison.
+package vm
+
+import (
+	"math"
+
+	"repro/internal/ir"
+)
+
+// CostModel assigns virtual cycle costs to instruction execution.
+type CostModel struct {
+	// OpCost is the base cost per opcode. Loads and stores additionally
+	// go through the memory model below.
+	OpCost [ir.NumOpcodes]int64
+	// TermCost is charged per executed terminator.
+	TermCost int64
+	// MemContention multiplies memory-op cost as a function of the
+	// number of threads sharing the machine; this is what shrinks the
+	// *relative* cost of (ALU-only) probes in multi-threaded runs.
+	MemContention func(threads int) float64
+	// Cache-miss model: per memory op, with probability MissP1/1024 add
+	// MissCost1 cycles, with probability MissP2/1024 add MissCost2
+	// (modelling L2/LLC misses and the resulting interval jitter).
+	MissP1, MissP2       int64
+	MissCost1, MissCost2 int64
+
+	// ProbeBase is the cost of executing an untaken IR probe
+	// (increment + compare + untaken branch on a thread-local counter).
+	ProbeBase int64
+	// ProbeTakenExtra is charged when a probe passes its gate and runs
+	// the handler-dispatch logic.
+	ProbeTakenExtra int64
+	// HandlerInvoke is the cost of invoking one handler (the call, the
+	// bookkeeping, update_nextint) — the handler body itself bills its
+	// own work via Thread.Charge.
+	HandlerInvoke int64
+	// CycleRead is the cost of reading the cycle counter (RDTSC-like).
+	CycleRead int64
+
+	// HWInterruptCost is the total per-interrupt cost of a hardware
+	// performance-counter interrupt: trap, kernel perf handling, signal
+	// delivery and sigreturn (§2.4).
+	HWInterruptCost int64
+	// HWTrapCost is the portion of HWInterruptCost paid before the
+	// handler runs (trap + kernel entry + signal setup); the rest is
+	// paid on the way out (sigreturn). Delivery latency experiments see
+	// only the pre-handler part.
+	HWTrapCost int64
+}
+
+// Default returns the calibrated default cost model. The absolute
+// numbers are loosely modeled on a Skylake-class core; what matters for
+// the reproduction is their ratios (probe ≈ a few cycles, hardware
+// interrupt ≈ tens of thousands).
+func Default() *CostModel {
+	m := &CostModel{}
+	for op := 0; op < ir.NumOpcodes; op++ {
+		m.OpCost[op] = 1
+	}
+	m.OpCost[ir.OpMul] = 3
+	m.OpCost[ir.OpDiv] = 12
+	m.OpCost[ir.OpRem] = 12
+	m.OpCost[ir.OpLoad] = 4
+	m.OpCost[ir.OpStore] = 2
+	m.OpCost[ir.OpAtomicAdd] = 20
+	m.OpCost[ir.OpCall] = 4
+	m.OpCost[ir.OpExtCall] = 0 // the extern declaration carries the cost
+	m.OpCost[ir.OpReadCycles] = 8
+	m.OpCost[ir.OpNop] = 0
+	m.TermCost = 1
+	m.MemContention = func(threads int) float64 {
+		if threads <= 1 {
+			return 1
+		}
+		return 1 + 0.44*math.Log2(float64(threads))
+	}
+	m.MissP1, m.MissCost1 = 96, 18  // ~9.4% "L2 miss"
+	m.MissP2, m.MissCost2 = 10, 220 // ~1% "LLC miss"
+	m.ProbeBase = 5
+	m.ProbeTakenExtra = 6
+	m.HandlerInvoke = 24
+	m.CycleRead = 9
+	m.HWInterruptCost = 40000
+	m.HWTrapCost = 6000
+	return m
+}

@@ -1,0 +1,107 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TraceKind classifies a traced event.
+type TraceKind uint8
+
+const (
+	// TraceProbe is a probe execution that fired at least one handler.
+	TraceProbe TraceKind = iota
+	// TraceHandler is a CI handler invocation.
+	TraceHandler
+	// TraceHW is a hardware interrupt delivery.
+	TraceHW
+	// TraceExtCall is an external (uninstrumented) call.
+	TraceExtCall
+)
+
+var traceKindNames = [...]string{
+	TraceProbe: "probe", TraceHandler: "handler", TraceHW: "hw-int",
+	TraceExtCall: "extcall",
+}
+
+// String names the event kind.
+func (k TraceKind) String() string { return traceKindNames[k] }
+
+// TraceEvent is one timeline entry.
+type TraceEvent struct {
+	Kind TraceKind
+	// Cycle is the virtual time of the event.
+	Cycle int64
+	// Detail carries the event payload: IR delta for handlers, cost for
+	// external calls.
+	Detail int64
+	// Name is the extern name for TraceExtCall.
+	Name string
+}
+
+// Trace is a bounded ring buffer of VM events. Attach one to a thread
+// with Thread.AttachTrace; it records handler fires, hardware
+// interrupts and external calls with negligible simulation cost.
+type Trace struct {
+	cap    int
+	events []TraceEvent
+	// Dropped counts events lost to the ring bound.
+	Dropped int64
+}
+
+// NewTrace returns a trace holding up to capacity events (default 4096).
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Trace{cap: capacity}
+}
+
+func (tr *Trace) add(e TraceEvent) {
+	if len(tr.events) >= tr.cap {
+		copy(tr.events, tr.events[1:])
+		tr.events[len(tr.events)-1] = e
+		tr.Dropped++
+		return
+	}
+	tr.events = append(tr.events, e)
+}
+
+// Events returns the recorded timeline, oldest first.
+func (tr *Trace) Events() []TraceEvent { return tr.events }
+
+// String renders the timeline with inter-event gaps.
+func (tr *Trace) String() string {
+	var sb strings.Builder
+	var last int64
+	for _, e := range tr.events {
+		fmt.Fprintf(&sb, "%12d (+%7d) %-8s", e.Cycle, e.Cycle-last, e.Kind)
+		switch e.Kind {
+		case TraceHandler:
+			fmt.Fprintf(&sb, " ir=%d", e.Detail)
+		case TraceExtCall:
+			fmt.Fprintf(&sb, " @%s cost=%d", e.Name, e.Detail)
+		case TraceHW:
+			fmt.Fprintf(&sb, " cost=%d", e.Detail)
+		}
+		sb.WriteByte('\n')
+		last = e.Cycle
+	}
+	if tr.Dropped > 0 {
+		fmt.Fprintf(&sb, "(%d earlier events dropped)\n", tr.Dropped)
+	}
+	return sb.String()
+}
+
+// AttachTrace starts recording this thread's interrupt-relevant events
+// into tr. Call before Run.
+func (t *Thread) AttachTrace(tr *Trace) {
+	t.trace = tr
+	prev := t.RT.OnFire
+	t.RT.OnFire = func(id int, irDelta uint64, gap int64) {
+		tr.add(TraceEvent{Kind: TraceHandler, Cycle: t.Stats.Cycles, Detail: int64(irDelta)})
+		if prev != nil {
+			prev(id, irDelta, gap)
+		}
+	}
+}

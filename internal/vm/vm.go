@@ -1,0 +1,533 @@
+package vm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ci/ciruntime"
+	"repro/internal/ir"
+)
+
+// HWConfig enables hardware (performance-counter) interrupts: every
+// IntervalCycles of a thread's virtual time, the machine charges the
+// model's HWInterruptCost and invokes Handler. This is the baseline CIs
+// are compared against in Figure 12.
+type HWConfig struct {
+	IntervalCycles int64
+	// Handler runs in interrupt context; it may call Thread.Charge to
+	// bill its own work.
+	Handler func(t *Thread)
+}
+
+// VM is a virtual machine instance: a module, a cost model, flat shared
+// memory and a thread count (used by the contention model).
+type VM struct {
+	Mod     *ir.Module
+	Model   *CostModel
+	Threads int
+	Mem     []int64
+	// HW, when non-nil, enables hardware interrupts on all threads.
+	HW *HWConfig
+	// LimitInstrs aborts a run after this many executed IR instructions
+	// per thread (0 = no limit); a guard against accidental infinite
+	// loops in tests.
+	LimitInstrs int64
+}
+
+// New creates a VM for the module with the given cost model (nil for
+// Default) and thread count (minimum 1).
+func New(mod *ir.Module, model *CostModel, threads int) *VM {
+	if model == nil {
+		model = Default()
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	mem := mod.MemWords
+	if mem < 1 {
+		mem = 1
+	}
+	return &VM{Mod: mod, Model: model, Threads: threads, Mem: make([]int64, mem)}
+}
+
+// Stats aggregates one thread's execution counters.
+type Stats struct {
+	// Cycles is the thread's virtual time.
+	Cycles int64
+	// Instrs counts executed IR instructions (probes excluded).
+	Instrs int64
+	// Probes / ProbesTaken count probe executions and probes that fired
+	// at least one handler.
+	Probes      int64
+	ProbesTaken int64
+	// HandlerCalls counts handler invocations (CI or hardware).
+	HandlerCalls int64
+	// CycleReads counts cycle-counter reads performed by probes.
+	CycleReads int64
+	// ExtCalls counts external (uninstrumented) calls.
+	ExtCalls int64
+	// HWInterrupts counts hardware interrupts delivered.
+	HWInterrupts int64
+}
+
+// Thread executes IR on the VM. Each thread has its own virtual clock,
+// register frames, CI runtime and RNG; memory is shared.
+type Thread struct {
+	VM    *VM
+	ID    int
+	RT    *ciruntime.Runtime
+	Stats Stats
+
+	model      *CostModel
+	memMul     float64
+	rng        uint64
+	nextHW     int64
+	hwOverhead int64
+	trace      *Trace
+	inExt      bool
+	depth      int
+	limit      int64
+	funcMap    map[string]*ir.Func
+}
+
+// NewThread creates thread id with a fresh CI runtime whose clock is
+// the thread's virtual cycle counter.
+func (vm *VM) NewThread(id int) *Thread {
+	t := &Thread{
+		VM:     vm,
+		ID:     id,
+		RT:     ciruntime.New(),
+		model:  vm.Model,
+		memMul: vm.Model.MemContention(vm.Threads),
+		rng:    uint64(id)*0x9e3779b97f4a7c15 + 0x243f6a8885a308d3,
+		limit:  vm.LimitInstrs,
+	}
+	if vm.HW != nil {
+		t.nextHW = vm.HW.IntervalCycles
+	}
+	t.funcMap = make(map[string]*ir.Func, len(vm.Mod.Funcs))
+	for _, f := range vm.Mod.Funcs {
+		t.funcMap[f.Name] = f
+	}
+	return t
+}
+
+// Now returns the thread's virtual time in cycles.
+func (t *Thread) Now() int64 { return t.Stats.Cycles }
+
+// RearmHW pushes the next hardware-interrupt deadline one full
+// interval into the future. In watchdog (hybrid CI+HW) mode the CI
+// handler calls this on every fire, so the hardware timer only
+// triggers when compiler interrupts have gone quiet — e.g. during long
+// uninstrumented gaps.
+func (t *Thread) RearmHW() {
+	if hw := t.VM.HW; hw != nil {
+		t.nextHW = t.Stats.Cycles - t.hwOverhead + hw.IntervalCycles
+	}
+}
+
+// Charge bills extra cycles to the thread (used by interrupt handlers
+// to account for their own work).
+func (t *Thread) Charge(cycles int64) { t.Stats.Cycles += cycles }
+
+// Run executes the named function with the given arguments and returns
+// its result.
+func (t *Thread) Run(fn string, args ...int64) (int64, error) {
+	f := t.funcMap[fn]
+	if f == nil {
+		return 0, fmt.Errorf("vm: no function %q", fn)
+	}
+	if len(args) != f.NumParams {
+		return 0, fmt.Errorf("vm: %q takes %d args, got %d", fn, f.NumParams, len(args))
+	}
+	return t.call(f, args)
+}
+
+func (t *Thread) rand() uint64 {
+	t.rng += 0x9e3779b97f4a7c15
+	z := t.rng
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// memCost models a load/store: base plus stochastic cache misses, all
+// scaled by the contention factor (more threads sharing the memory
+// system slow every memory operation, including miss handling).
+func (t *Thread) memCost(base int64) int64 {
+	c := base
+	r := int64(t.rand() & 1023)
+	m := t.model
+	if r < m.MissP2 {
+		c += m.MissCost2
+	} else if r < m.MissP2+m.MissP1 {
+		c += m.MissCost1
+	}
+	return int64(float64(c) * t.memMul)
+}
+
+func (t *Thread) memAddr(regs []int64, base ir.Reg, off int64) (int64, error) {
+	addr := off
+	if base != ir.NoReg {
+		addr += regs[base]
+	}
+	if addr < 0 || addr >= int64(len(t.VM.Mem)) {
+		return 0, fmt.Errorf("vm: memory fault at %d (mem size %d)", addr, len(t.VM.Mem))
+	}
+	return addr, nil
+}
+
+// checkHW delivers due hardware interrupts. Scheduling is against
+// "work cycles" (total minus interrupt overhead): a performance-counter
+// interrupt counts user work, not the trap/kernel/signal cost of
+// delivering the previous interrupt.
+func (t *Thread) checkHW() {
+	hw := t.VM.HW
+	if hw == nil {
+		return
+	}
+	for t.Stats.Cycles-t.hwOverhead >= t.nextHW {
+		pre := t.model.HWTrapCost
+		if pre <= 0 || pre > t.model.HWInterruptCost {
+			pre = t.model.HWInterruptCost
+		}
+		post := t.model.HWInterruptCost - pre
+		t.Stats.Cycles += pre
+		t.hwOverhead += pre
+		t.Stats.HWInterrupts++
+		t.Stats.HandlerCalls++
+		if t.trace != nil {
+			t.trace.add(TraceEvent{Kind: TraceHW, Cycle: t.Stats.Cycles, Detail: t.model.HWInterruptCost})
+		}
+		// Default periodic schedule first, so a handler calling RearmHW
+		// (watchdog mode) can override it.
+		t.nextHW += hw.IntervalCycles
+		if hw.Handler != nil {
+			hw.Handler(t)
+		}
+		t.Stats.Cycles += post
+		t.hwOverhead += post
+		if t.inExt {
+			// During a blocking call, coalesce to a single delivery.
+			if t.nextHW <= t.Stats.Cycles-t.hwOverhead {
+				t.nextHW = t.Stats.Cycles - t.hwOverhead + hw.IntervalCycles
+			}
+			return
+		}
+	}
+}
+
+const maxDepth = 4096
+
+func (t *Thread) call(f *ir.Func, args []int64) (int64, error) {
+	t.depth++
+	if t.depth > maxDepth {
+		t.depth--
+		return 0, fmt.Errorf("vm: call depth exceeds %d in %q", maxDepth, f.Name)
+	}
+	defer func() { t.depth-- }()
+
+	regs := make([]int64, f.NumRegs)
+	copy(regs, args)
+	m := t.model
+	b := f.Blocks[0]
+	for {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Op {
+			case ir.OpProbe:
+				t.execProbe(in.Probe, regs)
+				continue
+			case ir.OpNop:
+				continue
+			}
+			t.Stats.Instrs++
+			switch in.Op {
+			case ir.OpMov:
+				t.Stats.Cycles += m.OpCost[ir.OpMov]
+				if in.BImm {
+					regs[in.Dst] = in.Imm
+				} else {
+					regs[in.Dst] = regs[in.A]
+				}
+			case ir.OpLoad:
+				t.Stats.Cycles += t.memCost(m.OpCost[ir.OpLoad])
+				addr, err := t.memAddr(regs, in.A, in.Imm)
+				if err != nil {
+					return 0, err
+				}
+				regs[in.Dst] = t.VM.Mem[addr]
+			case ir.OpStore:
+				t.Stats.Cycles += t.memCost(m.OpCost[ir.OpStore])
+				addr, err := t.memAddr(regs, in.A, in.Imm)
+				if err != nil {
+					return 0, err
+				}
+				t.VM.Mem[addr] = regs[in.B]
+			case ir.OpAtomicAdd:
+				t.Stats.Cycles += t.memCost(m.OpCost[ir.OpAtomicAdd])
+				addr, err := t.memAddr(regs, in.A, in.Imm)
+				if err != nil {
+					return 0, err
+				}
+				old := atomic.AddInt64(&t.VM.Mem[addr], regs[in.B]) - regs[in.B]
+				if in.Dst != ir.NoReg {
+					regs[in.Dst] = old
+				}
+			case ir.OpCall:
+				t.Stats.Cycles += m.OpCost[ir.OpCall]
+				callee := t.funcMap[in.Callee]
+				if callee == nil {
+					return 0, fmt.Errorf("vm: call to unknown function %q", in.Callee)
+				}
+				cargs := make([]int64, len(in.Args))
+				for k, r := range in.Args {
+					cargs[k] = regs[r]
+				}
+				rv, err := t.call(callee, cargs)
+				if err != nil {
+					return 0, err
+				}
+				if in.Dst != ir.NoReg {
+					regs[in.Dst] = rv
+				}
+			case ir.OpExtCall:
+				// libci intrinsics (Table 2): programs call
+				// ci_disable/ci_enable as externs; the VM routes them
+				// to the thread's CI runtime. ciid comes from the
+				// first argument (0 = all handlers, per §2.2).
+				if in.Callee == "ci_disable" || in.Callee == "ci_enable" {
+					t.Stats.Cycles += 4
+					ciid := 0
+					if len(in.Args) > 0 {
+						ciid = int(regs[in.Args[0]])
+					}
+					if in.Callee == "ci_disable" {
+						t.RT.Disable(ciid)
+					} else {
+						t.RT.Enable(ciid)
+					}
+					if in.Dst != ir.NoReg {
+						regs[in.Dst] = 0
+					}
+					continue
+				}
+				ext := t.VM.Mod.Externs[in.Callee]
+				if ext == nil {
+					return 0, fmt.Errorf("vm: extcall to unknown extern %q", in.Callee)
+				}
+				t.Stats.ExtCalls++
+				if t.trace != nil {
+					t.trace.add(TraceEvent{Kind: TraceExtCall, Cycle: t.Stats.Cycles, Detail: ext.Cost, Name: ext.Name})
+				}
+				if ext.Blocking {
+					// Blocking system call: interrupts are deferred and
+					// coalesce to a single delivery at completion.
+					t.inExt = true
+					t.Stats.Cycles += ext.Cost
+					t.checkHW()
+					t.inExt = false
+				} else if t.VM.HW != nil {
+					// Uninstrumented library code still takes hardware
+					// interrupts mid-call: deliver them at their
+					// deadlines inside the call.
+					remaining := ext.Cost
+					for remaining > 0 {
+						until := t.nextHW - (t.Stats.Cycles - t.hwOverhead)
+						if until > remaining {
+							t.Stats.Cycles += remaining
+							break
+						}
+						if until < 0 {
+							until = 0
+						}
+						t.Stats.Cycles += until
+						remaining -= until
+						t.checkHW()
+					}
+				} else {
+					t.Stats.Cycles += ext.Cost
+				}
+				if in.Dst != ir.NoReg {
+					regs[in.Dst] = 0
+				}
+			case ir.OpReadCycles:
+				t.Stats.Cycles += m.OpCost[ir.OpReadCycles]
+				regs[in.Dst] = t.Stats.Cycles
+			default:
+				t.Stats.Cycles += m.OpCost[in.Op]
+				var bv int64
+				if in.BImm {
+					bv = in.Imm
+				} else {
+					bv = regs[in.B]
+				}
+				av := regs[in.A]
+				var out int64
+				switch in.Op {
+				case ir.OpAdd:
+					out = av + bv
+				case ir.OpSub:
+					out = av - bv
+				case ir.OpMul:
+					out = av * bv
+				case ir.OpDiv:
+					if bv != 0 {
+						out = av / bv
+					}
+				case ir.OpRem:
+					if bv != 0 {
+						out = av % bv
+					}
+				case ir.OpAnd:
+					out = av & bv
+				case ir.OpOr:
+					out = av | bv
+				case ir.OpXor:
+					out = av ^ bv
+				case ir.OpShl:
+					out = av << (uint64(bv) & 63)
+				case ir.OpShr:
+					out = av >> (uint64(bv) & 63)
+				case ir.OpCmpEq:
+					out = b2i(av == bv)
+				case ir.OpCmpNe:
+					out = b2i(av != bv)
+				case ir.OpCmpLt:
+					out = b2i(av < bv)
+				case ir.OpCmpLe:
+					out = b2i(av <= bv)
+				case ir.OpCmpGt:
+					out = b2i(av > bv)
+				case ir.OpCmpGe:
+					out = b2i(av >= bv)
+				case ir.OpMin:
+					out = min(av, bv)
+				case ir.OpMax:
+					out = max(av, bv)
+				default:
+					return 0, fmt.Errorf("vm: unhandled opcode %v", in.Op)
+				}
+				regs[in.Dst] = out
+			}
+		}
+		// Block finished: terminator, limits, hardware interrupts.
+		t.Stats.Cycles += m.TermCost
+		t.Stats.Instrs++
+		if t.limit > 0 && t.Stats.Instrs > t.limit {
+			return 0, fmt.Errorf("vm: instruction limit %d exceeded in %q", t.limit, f.Name)
+		}
+		t.checkHW()
+		switch b.Term.Kind {
+		case ir.TermJmp:
+			b = b.Term.Then
+		case ir.TermBr:
+			if regs[b.Term.Cond] != 0 {
+				b = b.Term.Then
+			} else {
+				b = b.Term.Else
+			}
+		case ir.TermRet:
+			if b.Term.Val == ir.NoReg {
+				return 0, nil
+			}
+			return regs[b.Term.Val], nil
+		default:
+			return 0, fmt.Errorf("vm: unterminated block %q in %q", b.Name, f.Name)
+		}
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// execProbe runs one probe instruction, charging model costs and
+// driving the CI runtime.
+func (t *Thread) execProbe(p *ir.ProbeInfo, regs []int64) {
+	m := t.model
+	t.Stats.Probes++
+	inc := p.Inc
+	switch p.Kind {
+	case ir.ProbeIRLoop, ir.ProbeCyclesLoop:
+		iters := regs[p.IndVar] - regs[p.Base]
+		if iters < 0 {
+			iters = 0
+		}
+		inc = iters * p.Inc
+	}
+	switch p.Kind {
+	case ir.ProbeIR, ir.ProbeIRLoop:
+		t.Stats.Cycles += m.ProbeBase
+		fired := t.RT.ProbeIR(inc, t.Stats.Cycles)
+		if fired > 0 {
+			t.Stats.ProbesTaken++
+			t.Stats.HandlerCalls += int64(fired)
+			t.Stats.Cycles += m.ProbeTakenExtra + int64(fired)*m.HandlerInvoke
+		}
+	case ir.ProbeCycles, ir.ProbeCyclesLoop:
+		t.Stats.Cycles += m.ProbeBase
+		reads, fired := t.RT.ProbeCycles(inc, t.Stats.Cycles)
+		t.Stats.CycleReads += int64(reads)
+		t.Stats.Cycles += int64(reads) * m.CycleRead
+		if fired > 0 {
+			t.Stats.ProbesTaken++
+			t.Stats.HandlerCalls += int64(fired)
+			t.Stats.Cycles += m.ProbeTakenExtra + int64(fired)*m.HandlerInvoke
+		}
+	case ir.ProbeEvent:
+		t.Stats.Cycles += m.ProbeBase
+		fired := t.RT.ProbeEvent(inc, t.Stats.Cycles)
+		if fired > 0 {
+			t.Stats.ProbesTaken++
+			t.Stats.HandlerCalls += int64(fired)
+			t.Stats.Cycles += m.ProbeTakenExtra + int64(fired)*m.HandlerInvoke
+		}
+	case ir.ProbeEventCycles:
+		reads, fired := t.RT.ProbeEventCycles(t.Stats.Cycles)
+		t.Stats.CycleReads += int64(reads)
+		t.Stats.Cycles += m.ProbeBase + int64(reads)*m.CycleRead
+		if fired > 0 {
+			t.Stats.ProbesTaken++
+			t.Stats.HandlerCalls += int64(fired)
+			t.Stats.Cycles += m.ProbeTakenExtra + int64(fired)*m.HandlerInvoke
+		}
+	}
+}
+
+// RunParallel executes fn on n threads concurrently, calling args(id)
+// for each thread's arguments and setup(t) — which may register CI
+// handlers — before each thread starts. It returns the per-thread
+// stats. Shared-memory programs must confine cross-thread communication
+// to atomic operations.
+func (vm *VM) RunParallel(n int, fn string, args func(id int) []int64, setup func(t *Thread)) ([]Stats, error) {
+	stats := make([]Stats, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := vm.NewThread(id)
+			if setup != nil {
+				setup(th)
+			}
+			_, err := th.Run(fn, args(id)...)
+			errs[id] = err
+			stats[id] = th.Stats
+		}(id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,200 @@
+package workloads
+
+import "repro/internal/ir"
+
+// blackscholes: straight-line pricing math per option with two
+// uninstrumented math-library calls each.
+func blackscholes(scale int) *ir.Module {
+	w := newBench("blackscholes", 16384)
+	w.M.DeclareExtern("exp", 55)
+	w.M.DeclareExtern("log", 50)
+	b := w.B
+	n := int64(6000 * scale)
+	w.fill(n, 2047)
+	acc := b.Mov(0)
+	b.ConstLoop(n, func(i ir.Reg) {
+		s := w.loadAt(i, 0)
+		k := b.BinI(ir.OpAdd, s, 100)
+		// Inline CNDF polynomial approximation (the hot path); the
+		// library call happens only for the rare deep-in-the-money
+		// branch below.
+		t1 := b.BinI(ir.OpMul, s, 3)
+		t2 := b.Bin(ir.OpSub, t1, k)
+		t3 := b.BinI(ir.OpShr, t2, 2)
+		t4 := b.Bin(ir.OpMul, t3, t3)
+		p0 := b.BinI(ir.OpMul, t4, 7)
+		p1 := b.BinI(ir.OpAdd, p0, 1330)
+		p2 := b.Bin(ir.OpMul, p1, t3)
+		p3 := b.BinI(ir.OpShr, p2, 5)
+		p4 := b.BinI(ir.OpAdd, p3, 89)
+		p5 := b.Bin(ir.OpMul, p4, t4)
+		p6 := b.BinI(ir.OpShr, p5, 7)
+		q0 := b.BinI(ir.OpMul, p6, 3)
+		q1 := b.Bin(ir.OpAdd, q0, t4)
+		q2 := b.BinI(ir.OpShr, q1, 2)
+		rare := b.BinI(ir.OpAnd, q2, 63)
+		isRare := b.BinI(ir.OpCmpEq, rare, 0)
+		w.ifThen(isRare, func() {
+			b.ExtCall("log", s)
+			b.ExtCall("exp", q2)
+		})
+		d1 := b.BinI(ir.OpAdd, q2, 7)
+		d2 := b.BinI(ir.OpMul, d1, 5)
+		d3 := b.BinI(ir.OpShr, d2, 3)
+		price := b.Bin(ir.OpSub, d3, t3)
+		b.BinTo(acc, ir.OpAdd, acc, price)
+	})
+	return w.finish(acc)
+}
+
+// fluidanimate: grid cells with a fixed neighbor stencil and a
+// distance cutoff branch per pair.
+func fluidanimate(scale int) *ir.Module {
+	w := newBench("fluidanimate", 16384)
+	b := w.B
+	cells := int64(900 * scale)
+	w.fill(8192, 1023)
+	acc := b.Mov(0)
+	b.ConstLoop(cells, func(c ir.Reg) {
+		b.ConstLoop(9, func(nb ir.Reg) {
+			cn := b.Bin(ir.OpAdd, c, nb)
+			m := b.BinI(ir.OpAnd, cn, 8191)
+			p := w.loadAt(m, 0)
+			q := w.loadAt(m, 1)
+			d := b.Bin(ir.OpSub, p, q)
+			d2 := b.Bin(ir.OpMul, d, d)
+			near := b.BinI(ir.OpCmpLt, d2, 2000)
+			w.ifElse(near, func() {
+				f1 := b.BinI(ir.OpMul, d2, 3)
+				f2 := b.BinI(ir.OpShr, f1, 4)
+				b.BinTo(acc, ir.OpAdd, acc, f2)
+			}, func() {
+				b.BinToI(acc, ir.OpAdd, acc, 1)
+			})
+		})
+	})
+	return w.finish(acc)
+}
+
+// swaptions: Monte-Carlo style simulation — deep nesting of short
+// loops with an inline xorshift generator.
+func swaptions(scale int) *ir.Module {
+	w := newBench("swaptions", 8192)
+	b := w.B
+	sims := int64(160 * scale)
+	acc := b.Mov(0)
+	seed := b.BinI(ir.OpAdd, w.Tid, 88172645463325252)
+	b.ConstLoop(sims, func(s ir.Reg) {
+		b.ConstLoop(20, func(step ir.Reg) {
+			// xorshift update.
+			x1 := b.BinI(ir.OpShl, seed, 13)
+			b.BinTo(seed, ir.OpXor, seed, x1)
+			x2 := b.BinI(ir.OpShr, seed, 7)
+			b.BinTo(seed, ir.OpXor, seed, x2)
+			x3 := b.BinI(ir.OpShl, seed, 17)
+			b.BinTo(seed, ir.OpXor, seed, x3)
+			// Short data-dependent inner discount loop (1..8 terms).
+			terms := b.BinI(ir.OpAnd, seed, 7)
+			terms1 := b.BinI(ir.OpAdd, terms, 1)
+			j := b.Mov(0)
+			b.CountedLoop(j, terms1, 1, func(k ir.Reg) {
+				v := b.Bin(ir.OpAdd, seed, k)
+				v2 := b.BinI(ir.OpShr, v, 5)
+				b.BinTo(acc, ir.OpAdd, acc, v2)
+			})
+		})
+	})
+	return w.finish(acc)
+}
+
+// canneal: pointer chasing over a shuffled next-index array — long
+// data-dependent chains with poor locality.
+func canneal(scale int) *ir.Module {
+	w := newBench("canneal", 32768)
+	b := w.B
+	n := int64(8192)
+	hops := int64(9000 * scale)
+	// next[i] = (i*5741 + 1) & (n-1): a full-cycle permutation walk.
+	b.ConstLoop(n, func(i ir.Reg) {
+		nx := b.BinI(ir.OpMul, i, 5741)
+		nx1 := b.BinI(ir.OpAdd, nx, 1)
+		nx2 := b.BinI(ir.OpAnd, nx1, n-1)
+		addr := b.Bin(ir.OpAdd, w.Base, i)
+		b.Store(addr, 0, nx2)
+	})
+	acc := b.Mov(0)
+	cur := b.MovR(w.Tid)
+	b.ConstLoop(hops, func(ir.Reg) {
+		m := b.BinI(ir.OpAnd, cur, n-1)
+		nxt := w.loadAt(m, 0)
+		cost := b.Bin(ir.OpSub, nxt, cur)
+		gain := b.BinI(ir.OpCmpGt, cost, 0)
+		w.ifThen(gain, func() {
+			b.BinTo(acc, ir.OpAdd, acc, cost)
+		})
+		b.AssignR(cur, nxt)
+	})
+	return w.finish(acc)
+}
+
+// streamcluster: points × centers with a fixed-dimension inner
+// distance loop.
+func streamcluster(scale int) *ir.Module {
+	w := newBench("streamcluster", 16384)
+	b := w.B
+	points := int64(420 * scale)
+	centers := int64(12)
+	dim := int64(8)
+	w.fill(8192, 1023)
+	acc := b.Mov(0)
+	b.ConstLoop(points, func(p ir.Reg) {
+		best := b.Mov(1 << 30)
+		b.ConstLoop(centers, func(c ir.Reg) {
+			dist := b.Mov(0)
+			b.ConstLoop(dim, func(d ir.Reg) {
+				pi := b.BinI(ir.OpMul, p, dim)
+				pid := b.Bin(ir.OpAdd, pi, d)
+				pm := b.BinI(ir.OpAnd, pid, 8191)
+				ci := b.BinI(ir.OpMul, c, dim)
+				cid := b.Bin(ir.OpAdd, ci, d)
+				cm := b.BinI(ir.OpAnd, cid, 8191)
+				pv := w.loadAt(pm, 0)
+				cv := w.loadAt(cm, 0)
+				df := b.Bin(ir.OpSub, pv, cv)
+				df2 := b.Bin(ir.OpMul, df, df)
+				b.BinTo(dist, ir.OpAdd, dist, df2)
+			})
+			b.BinTo(best, ir.OpMin, best, dist)
+		})
+		b.BinTo(acc, ir.OpAdd, acc, best)
+	})
+	return w.finish(acc)
+}
+
+// dedup: content-defined chunking — a rolling hash with data-dependent
+// chunk boundaries, then a compression library call per chunk.
+func dedup(scale int) *ir.Module {
+	w := newBench("dedup", 32768)
+	w.M.DeclareExtern("compress", 260)
+	b := w.B
+	n := int64(9000 * scale)
+	w.fill(n, 255)
+	acc := b.Mov(0)
+	hash := b.Mov(0)
+	chunk := b.Mov(0)
+	b.ConstLoop(n, func(i ir.Reg) {
+		c := w.loadAt(i, 0)
+		h1 := b.BinI(ir.OpMul, hash, 33)
+		h2 := b.Bin(ir.OpAdd, h1, c)
+		b.BinToI(hash, ir.OpAnd, h2, 65535)
+		b.BinToI(chunk, ir.OpAdd, chunk, 1)
+		low := b.BinI(ir.OpAnd, hash, 127)
+		boundary := b.BinI(ir.OpCmpEq, low, 0)
+		w.ifThen(boundary, func() {
+			b.ExtCall("compress", chunk)
+			b.BinTo(acc, ir.OpAdd, acc, chunk)
+			b.Assign(chunk, 0)
+		})
+	})
+	return w.finish(acc)
+}

@@ -1,0 +1,237 @@
+package workloads
+
+import "repro/internal/ir"
+
+// reverseIndex: scan documents for link tokens; inner scan length is
+// data dependent, with a library call per discovered link.
+func reverseIndex(scale int) *ir.Module {
+	w := newBench("reverse_index", 16384)
+	w.M.DeclareExtern("index_insert", 120)
+	b := w.B
+	n := int64(2500 * scale)
+	w.fill(n, 255)
+	acc := b.Mov(0)
+	b.ConstLoop(n, func(i ir.Reg) {
+		ch := w.loadAt(i, 0)
+		isLink := b.BinI(ir.OpCmpLt, ch, 10)
+		w.ifThen(isLink, func() {
+			// Scan the "URL" until a terminator-like byte.
+			j := b.BinI(ir.OpAdd, i, 1)
+			le := b.Mov(0)
+			bound := b.BinI(ir.OpAdd, i, 24)
+			w.whileLt(j, bound, func() {
+				m := b.BinI(ir.OpAnd, j, 16383)
+				c2 := w.loadAt(m, 0)
+				b.BinTo(le, ir.OpAdd, le, c2)
+				b.BinToI(j, ir.OpAdd, j, 1)
+			})
+			b.ExtCall("index_insert", le)
+			b.BinTo(acc, ir.OpAdd, acc, le)
+		})
+	})
+	return w.finish(acc)
+}
+
+// histogram: one long tight loop binning pixel values.
+func histogram(scale int) *ir.Module {
+	w := newBench("histogram", 32768)
+	b := w.B
+	n := int64(20000 * scale)
+	w.fill(n, 255)
+	acc := b.Mov(0)
+	b.ConstLoop(n, func(i ir.Reg) {
+		px := w.loadAt(i, 0)
+		bucket := b.BinI(ir.OpShr, px, 2)
+		slot := b.BinI(ir.OpAdd, bucket, 30000)
+		cur := w.loadAt(slot, 0)
+		cur1 := b.BinI(ir.OpAdd, cur, 1)
+		w.storeAt(slot, 0, cur1)
+		b.BinTo(acc, ir.OpAdd, acc, px)
+	})
+	return w.finish(acc)
+}
+
+// kmeans: iterations × points × clusters distance evaluation; the
+// cluster loop is a small constant loop the analysis folds.
+func kmeans(scale int) *ir.Module {
+	w := newBench("kmeans", 16384)
+	b := w.B
+	points := int64(900 * scale)
+	iters := int64(6)
+	w.fill(points, 1023)
+	acc := b.Mov(0)
+	b.ConstLoop(iters, func(ir.Reg) {
+		b.ConstLoop(points, func(p ir.Reg) {
+			x := w.loadAt(p, 0)
+			best := b.Mov(1 << 30)
+			b.ConstLoop(8, func(k ir.Reg) {
+				ck := b.BinI(ir.OpMul, k, 128)
+				d := b.Bin(ir.OpSub, x, ck)
+				d2 := b.Bin(ir.OpMul, d, d)
+				b.BinTo(best, ir.OpMin, best, d2)
+			})
+			b.BinTo(acc, ir.OpAdd, acc, best)
+		})
+	})
+	return w.finish(acc)
+}
+
+// pca: column means plus a triangular covariance accumulation.
+func pca(scale int) *ir.Module {
+	w := newBench("pca", 16384)
+	b := w.B
+	dim := int64(26 * scale)
+	if dim > 60 {
+		dim = 60
+	}
+	rows := int64(120)
+	w.fill(dim*rows, 1023)
+	acc := b.Mov(0)
+	// Means.
+	b.ConstLoop(dim, func(d ir.Reg) {
+		sum := b.Mov(0)
+		b.ConstLoop(rows, func(r ir.Reg) {
+			idx := b.BinI(ir.OpMul, r, dim)
+			idx2 := b.Bin(ir.OpAdd, idx, d)
+			m := b.BinI(ir.OpAnd, idx2, 16383)
+			v := w.loadAt(m, 0)
+			b.BinTo(sum, ir.OpAdd, sum, v)
+		})
+		b.BinTo(acc, ir.OpAdd, acc, sum)
+	})
+	// Triangular covariance.
+	dReg := b.Mov(dim)
+	zero := b.Mov(0)
+	b.CountedLoop(zero, dReg, 1, func(d1 ir.Reg) {
+		d2 := b.MovR(d1)
+		w.whileLt(d2, dReg, func() {
+			cov := b.Mov(0)
+			b.ConstLoop(rows, func(r ir.Reg) {
+				idx := b.BinI(ir.OpMul, r, dim)
+				i1 := b.Bin(ir.OpAdd, idx, d1)
+				i2 := b.Bin(ir.OpAdd, idx, d2)
+				m1 := b.BinI(ir.OpAnd, i1, 16383)
+				m2 := b.BinI(ir.OpAnd, i2, 16383)
+				v1 := w.loadAt(m1, 0)
+				v2 := w.loadAt(m2, 0)
+				pr := b.Bin(ir.OpMul, v1, v2)
+				b.BinTo(cov, ir.OpAdd, cov, pr)
+			})
+			b.BinTo(acc, ir.OpXor, acc, cov)
+			b.BinToI(d2, ir.OpAdd, d2, 1)
+		})
+	})
+	return w.finish(acc)
+}
+
+// matrixMultiply: the classic triple loop with compile-time bounds.
+func matrixMultiply(scale int) *ir.Module {
+	w := newBench("matrix_multiply", 16384)
+	b := w.B
+	n := int64(44 * scale)
+	if n > 70 {
+		n = 70
+	}
+	w.fill(2*n*n, 1023)
+	acc := b.Mov(0)
+	b.ConstLoop(n, func(i ir.Reg) {
+		b.ConstLoop(n, func(j ir.Reg) {
+			sum := b.Mov(0)
+			b.ConstLoop(n, func(k ir.Reg) {
+				ri := b.BinI(ir.OpMul, i, n)
+				ai := b.Bin(ir.OpAdd, ri, k)
+				rk := b.BinI(ir.OpMul, k, n)
+				bi := b.Bin(ir.OpAdd, rk, j)
+				am := b.BinI(ir.OpAnd, ai, 16383)
+				bm := b.BinI(ir.OpAnd, bi, 16383)
+				av := w.loadAt(am, 0)
+				bv := w.loadAt(bm, 0)
+				p := b.Bin(ir.OpMul, av, bv)
+				b.BinTo(sum, ir.OpAdd, sum, p)
+			})
+			b.BinTo(acc, ir.OpAdd, acc, sum)
+		})
+	})
+	return w.finish(acc)
+}
+
+// stringMatch: many short comparisons whose length is only known at
+// run time — the cloning (§3.5) showcase.
+func stringMatch(scale int) *ir.Module {
+	w := newBench("string_match", 16384)
+	b := w.B
+	n := int64(2000 * scale)
+	w.fill(8192, 255)
+	acc := b.Mov(0)
+	b.ConstLoop(n, func(i ir.Reg) {
+		// Key length 4..19, data dependent.
+		h := b.BinI(ir.OpMul, i, 31)
+		klen := b.BinI(ir.OpAnd, h, 15)
+		klen4 := b.BinI(ir.OpAdd, klen, 4)
+		j := b.Mov(0)
+		matched := b.Mov(0)
+		b.CountedLoop(j, klen4, 1, func(k ir.Reg) {
+			ik := b.Bin(ir.OpAdd, i, k)
+			m := b.BinI(ir.OpAnd, ik, 8191)
+			c1 := w.loadAt(m, 0)
+			c2 := b.BinI(ir.OpXor, c1, 85)
+			b.BinTo(matched, ir.OpAdd, matched, c2)
+		})
+		b.BinTo(acc, ir.OpAdd, acc, matched)
+	})
+	return w.finish(acc)
+}
+
+// linearRegression: one tight accumulation loop over the sample array.
+func linearRegression(scale int) *ir.Module {
+	w := newBench("linear_regression", 32768)
+	b := w.B
+	n := int64(15000 * scale)
+	w.fill(n, 4095)
+	sx := b.Mov(0)
+	sy := b.Mov(0)
+	sxx := b.Mov(0)
+	sxy := b.Mov(0)
+	b.ConstLoop(n, func(i ir.Reg) {
+		x := w.loadAt(i, 0)
+		y := b.BinI(ir.OpAdd, x, 13)
+		b.BinTo(sx, ir.OpAdd, sx, x)
+		b.BinTo(sy, ir.OpAdd, sy, y)
+		xx := b.Bin(ir.OpMul, x, x)
+		b.BinTo(sxx, ir.OpAdd, sxx, xx)
+		xy := b.Bin(ir.OpMul, x, y)
+		b.BinTo(sxy, ir.OpAdd, sxy, xy)
+	})
+	r := b.Bin(ir.OpAdd, sx, sy)
+	r2 := b.Bin(ir.OpXor, sxx, sxy)
+	out := b.Bin(ir.OpAdd, r, r2)
+	return w.finish(out)
+}
+
+// wordCount: branchy tokenizer state machine with a hash-table library
+// call per word.
+func wordCount(scale int) *ir.Module {
+	w := newBench("word_count", 16384)
+	w.M.DeclareExtern("hash_insert", 90)
+	b := w.B
+	n := int64(4000 * scale)
+	w.fill(n, 127)
+	acc := b.Mov(0)
+	inWord := b.Mov(0)
+	b.ConstLoop(n, func(i ir.Reg) {
+		ch := w.loadAt(i, 0)
+		isAlpha := b.BinI(ir.OpCmpGt, ch, 32)
+		w.ifElse(isAlpha, func() {
+			b.BinToI(inWord, ir.OpAdd, inWord, 1)
+			v := b.BinI(ir.OpMul, ch, 31)
+			b.BinTo(acc, ir.OpAdd, acc, v)
+		}, func() {
+			ended := b.BinI(ir.OpCmpGt, inWord, 0)
+			w.ifThen(ended, func() {
+				b.ExtCall("hash_insert", acc)
+				b.Assign(inWord, 0)
+			})
+		})
+	})
+	return w.finish(acc)
+}

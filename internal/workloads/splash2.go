@@ -1,0 +1,528 @@
+package workloads
+
+import "repro/internal/ir"
+
+// waterNsquared: O(n²) pairwise interactions with a math-library call
+// (sqrt) in the inner loop — frequent uninstrumented gaps.
+func waterNsquared(scale int) *ir.Module {
+	w := newBench("water-nsquared", 4096)
+	w.M.DeclareExtern("sqrt", 40)
+	b := w.B
+	n := int64(96 * scale)
+	w.fill(n*3, 1023)
+	acc := b.Mov(0)
+	zero := b.Mov(0)
+	nReg := b.Mov(n)
+	b.CountedLoop(zero, nReg, 1, func(i ir.Reg) {
+		// Per-molecule library call (the O(n²) pair loop itself uses
+		// inlined math, as the original does after compiling the inner
+		// kernels with CIs).
+		mi := w.loadAt(i, 0)
+		b.ExtCall("sqrt", mi)
+		j := b.BinI(ir.OpAdd, i, 1)
+		w.whileLt(j, nReg, func() {
+			xi := w.loadAt(i, 0)
+			xj := w.loadAt(j, 0)
+			d := b.Bin(ir.OpSub, xi, xj)
+			d2 := b.Bin(ir.OpMul, d, d)
+			// Inline Newton step standing in for 1/sqrt.
+			g0 := b.BinI(ir.OpShr, d2, 1)
+			g1 := b.BinI(ir.OpAdd, g0, 1)
+			g2 := b.BinI(ir.OpDiv, d2, 3)
+			inv := b.Bin(ir.OpAdd, g1, g2)
+			f := b.BinI(ir.OpDiv, inv, 3)
+			b.BinTo(acc, ir.OpAdd, acc, f)
+			b.BinToI(j, ir.OpAdd, j, 1)
+		})
+	})
+	return w.finish(acc)
+}
+
+// waterSpatial: small fixed-trip-count grid-cell loops (mostly folded
+// by the analysis) over a 3D cell decomposition.
+func waterSpatial(scale int) *ir.Module {
+	w := newBench("water-spatial", 8192)
+	b := w.B
+	cells := int64(6)
+	perCell := int64(8)
+	steps := int64(40 * scale)
+	w.fill(cells*cells*cells*perCell, 255)
+	acc := b.Mov(0)
+	b.ConstLoop(steps, func(ir.Reg) {
+		b.ConstLoop(cells, func(cx ir.Reg) {
+			b.ConstLoop(cells, func(cy ir.Reg) {
+				b.ConstLoop(cells, func(cz ir.Reg) {
+					cyz := b.Bin(ir.OpAdd, cy, cz)
+					cell := b.Bin(ir.OpAdd, cx, cyz)
+					b.ConstLoop(perCell, func(p ir.Reg) {
+						idx := b.BinI(ir.OpMul, cell, 8)
+						idx2 := b.Bin(ir.OpAdd, idx, p)
+						masked := b.BinI(ir.OpAnd, idx2, 4095)
+						v := w.loadAt(masked, 0)
+						v2 := b.BinI(ir.OpMul, v, 3)
+						v3 := b.BinI(ir.OpShr, v2, 1)
+						b.BinTo(acc, ir.OpAdd, acc, v3)
+					})
+				})
+			})
+		})
+	})
+	return w.finish(acc)
+}
+
+// oceanCP: 2D red-black stencil sweeps with compile-time grid bounds —
+// big constant-trip loops the transform chunked.
+func oceanCP(scale int) *ir.Module {
+	w := newBench("ocean-cp", 16384)
+	b := w.B
+	g := int64(110)
+	sweeps := int64(8 * scale)
+	w.fill(g*g, 8191)
+	acc := b.Mov(0)
+	b.ConstLoop(sweeps, func(ir.Reg) {
+		b.ConstLoop(g-2, func(i0 ir.Reg) {
+			i := b.BinI(ir.OpAdd, i0, 1)
+			b.ConstLoop(g-2, func(j0 ir.Reg) {
+				j := b.BinI(ir.OpAdd, j0, 1)
+				row := b.BinI(ir.OpMul, i, g)
+				idx := b.Bin(ir.OpAdd, row, j)
+				up := w.loadAt(idx, -g)
+				down := w.loadAt(idx, g)
+				left := w.loadAt(idx, -1)
+				right := w.loadAt(idx, 1)
+				s1 := b.Bin(ir.OpAdd, up, down)
+				s2 := b.Bin(ir.OpAdd, left, right)
+				s := b.Bin(ir.OpAdd, s1, s2)
+				avg := b.BinI(ir.OpShr, s, 2)
+				w.storeAt(idx, 0, avg)
+				b.BinTo(acc, ir.OpAdd, acc, avg)
+			})
+		})
+	})
+	return w.finish(acc)
+}
+
+// oceanNCP: the non-contiguous variant — column-major walks plus a
+// data-dependent convergence loop (unknown trip count).
+func oceanNCP(scale int) *ir.Module {
+	w := newBench("ocean-ncp", 16384)
+	b := w.B
+	g := int64(96)
+	w.fill(g*g, 8191)
+	acc := b.Mov(0)
+	iter := b.Mov(0)
+	bound := b.Mov(int64(10 * scale))
+	w.whileLt(iter, bound, func() {
+		b.ConstLoop(g-2, func(j0 ir.Reg) {
+			j := b.BinI(ir.OpAdd, j0, 1)
+			b.ConstLoop(g-2, func(i0 ir.Reg) {
+				i := b.BinI(ir.OpAdd, i0, 1)
+				row := b.BinI(ir.OpMul, i, g)
+				idx := b.Bin(ir.OpAdd, row, j)
+				v := w.loadAt(idx, 0)
+				nb := w.loadAt(idx, -g)
+				d := b.Bin(ir.OpSub, v, nb)
+				d2 := b.BinI(ir.OpShr, d, 1)
+				w.storeAt(idx, 0, d2)
+				b.BinTo(acc, ir.OpAdd, acc, d2)
+			})
+		})
+		b.BinToI(iter, ir.OpAdd, iter, 1)
+	})
+	return w.finish(acc)
+}
+
+// barnes: recursive oct-tree descent (recursion defeats function-cost
+// analysis) plus a per-body force loop.
+func barnes(scale int) *ir.Module {
+	w := newBench("barnes", 8192)
+	b := w.B
+	// walk(node, depth): recursive tree visit over the region.
+	walk := w.M.NewFunc("walk", 3) // (base, node, depth)
+	wb := ir.NewBuilder(walk)
+	{
+		base, node, depth := ir.Reg(0), ir.Reg(1), ir.Reg(2)
+		done := wb.Block("done")
+		rec := wb.Block("rec")
+		c := wb.BinI(ir.OpCmpLe, depth, 0)
+		wb.Br(c, done, rec)
+		wb.SetBlock(done)
+		wb.Ret(node)
+		wb.SetBlock(rec)
+		masked := wb.BinI(ir.OpAnd, node, 4095)
+		addr := wb.Bin(ir.OpAdd, base, masked)
+		v := wb.Load(addr, 0)
+		odd := wb.BinI(ir.OpAnd, v, 1)
+		d1 := wb.BinI(ir.OpSub, depth, 1)
+		left := wb.BinI(ir.OpMul, node, 2)
+		l := wb.Call("walk", base, left, d1)
+		sum := wb.MovR(l)
+		thenB := wb.Block("both")
+		join := wb.Block("join")
+		wb.Br(odd, thenB, join)
+		wb.SetBlock(thenB)
+		rightN := wb.BinI(ir.OpAdd, left, 1)
+		r := wb.Call("walk", base, rightN, d1)
+		wb.BinTo(sum, ir.OpAdd, sum, r)
+		wb.Jmp(join)
+		wb.SetBlock(join)
+		wb.Ret(sum)
+	}
+	walk.Reindex()
+
+	nBodies := int64(220 * scale)
+	w.fill(4096, 2047)
+	acc := b.Mov(0)
+	b.ConstLoop(nBodies, func(i ir.Reg) {
+		t := b.Call("walk", w.Base, i, b.Mov(9))
+		// Short force-update loop per body.
+		b.ConstLoop(12, func(k ir.Reg) {
+			ik := b.Bin(ir.OpAdd, i, k)
+			m := b.BinI(ir.OpAnd, ik, 4095)
+			v := w.loadAt(m, 0)
+			b.BinTo(acc, ir.OpAdd, acc, v)
+		})
+		b.BinTo(acc, ir.OpXor, acc, t)
+	})
+	return w.finish(acc)
+}
+
+// volrend: several unnested loops (the paper's Init_Opacity example)
+// plus a data-dependent raycast with early exit.
+func volrend(scale int) *ir.Module {
+	w := newBench("volrend", 8192)
+	b := w.B
+	w.fill(4096, 255)
+	acc := b.Mov(0)
+	// Five unnested fixed loops, as in Init_Opacity.
+	for k := 0; k < 5; k++ {
+		b.ConstLoop(128, func(i ir.Reg) {
+			v := b.BinI(ir.OpMul, i, int64(3+k))
+			v2 := b.BinI(ir.OpAnd, v, 4095)
+			u := w.loadAt(v2, 0)
+			b.BinTo(acc, ir.OpAdd, acc, u)
+		})
+	}
+	// Raycast: march until opacity saturates (data dependent).
+	rays := int64(700 * scale)
+	b.ConstLoop(rays, func(r ir.Reg) {
+		pos := b.MovR(r)
+		opacity := b.Mov(0)
+		lim := b.Mov(255)
+		w.whileLt(opacity, lim, func() {
+			m := b.BinI(ir.OpAnd, pos, 4095)
+			sample := w.loadAt(m, 0)
+			contrib := b.BinI(ir.OpShr, sample, 3)
+			contrib1 := b.BinI(ir.OpAdd, contrib, 7)
+			b.BinTo(opacity, ir.OpAdd, opacity, contrib1)
+			b.BinToI(pos, ir.OpAdd, pos, 17)
+		})
+		b.BinTo(acc, ir.OpAdd, acc, opacity)
+	})
+	return w.finish(acc)
+}
+
+// fmm: recursion over the interaction tree plus small constant
+// multipole loops.
+func fmm(scale int) *ir.Module {
+	w := newBench("fmm", 8192)
+	b := w.B
+	interact := w.M.NewFunc("interact", 3) // (base, cell, depth)
+	ib := ir.NewBuilder(interact)
+	{
+		base, cell, depth := ir.Reg(0), ir.Reg(1), ir.Reg(2)
+		leaf := ib.Block("leaf")
+		rec := ib.Block("rec")
+		c := ib.BinI(ir.OpCmpLe, depth, 0)
+		ib.Br(c, leaf, rec)
+		ib.SetBlock(leaf)
+		// Multipole evaluation: small fixed loop.
+		sum := ib.Mov(0)
+		ib.ConstLoop(6, func(k ir.Reg) {
+			ck := ib.Bin(ir.OpAdd, cell, k)
+			m := ib.BinI(ir.OpAnd, ck, 4095)
+			a := ib.Bin(ir.OpAdd, base, m)
+			v := ib.Load(a, 0)
+			ib.BinTo(sum, ir.OpAdd, sum, v)
+		})
+		ib.Ret(sum)
+		ib.SetBlock(rec)
+		d1 := ib.BinI(ir.OpSub, depth, 1)
+		c0 := ib.BinI(ir.OpMul, cell, 2)
+		r0 := ib.Call("interact", base, c0, d1)
+		c1 := ib.BinI(ir.OpAdd, c0, 1)
+		r1 := ib.Call("interact", base, c1, d1)
+		s := ib.Bin(ir.OpAdd, r0, r1)
+		ib.Ret(s)
+	}
+	interact.Reindex()
+	w.fill(4096, 511)
+	acc := b.Mov(0)
+	b.ConstLoop(int64(60*scale), func(i ir.Reg) {
+		v := b.Call("interact", w.Base, i, b.Mov(7))
+		b.BinTo(acc, ir.OpAdd, acc, v)
+	})
+	return w.finish(acc)
+}
+
+// raytrace: recursive bounces with branch-heavy shading.
+func raytrace(scale int) *ir.Module {
+	w := newBench("raytrace", 8192)
+	b := w.B
+	trace := w.M.NewFunc("trace", 3) // (base, ray, ttl)
+	tb := ir.NewBuilder(trace)
+	{
+		base, ray, ttl := ir.Reg(0), ir.Reg(1), ir.Reg(2)
+		miss := tb.Block("miss")
+		hit := tb.Block("hit")
+		c := tb.BinI(ir.OpCmpLe, ttl, 0)
+		tb.Br(c, miss, hit)
+		tb.SetBlock(miss)
+		tb.Ret(ray)
+		tb.SetBlock(hit)
+		m := tb.BinI(ir.OpAnd, ray, 4095)
+		a := tb.Bin(ir.OpAdd, base, m)
+		obj := tb.Load(a, 0)
+		refl := tb.BinI(ir.OpAnd, obj, 3)
+		spec := tb.Block("spec")
+		diff := tb.Block("diff")
+		join := tb.Block("tjoin")
+		out := tb.MovR(obj)
+		cc := tb.BinI(ir.OpCmpEq, refl, 0)
+		tb.Br(cc, spec, diff)
+		tb.SetBlock(spec)
+		nr := tb.BinI(ir.OpMul, ray, 3)
+		nr2 := tb.BinI(ir.OpAdd, nr, 1)
+		t1 := tb.BinI(ir.OpSub, ttl, 1)
+		rv := tb.Call("trace", base, nr2, t1)
+		tb.BinTo(out, ir.OpAdd, out, rv)
+		tb.Jmp(join)
+		tb.SetBlock(diff)
+		sh := tb.BinI(ir.OpMul, obj, 7)
+		sh2 := tb.BinI(ir.OpShr, sh, 2)
+		tb.BinTo(out, ir.OpAdd, out, sh2)
+		tb.Jmp(join)
+		tb.SetBlock(join)
+		tb.Ret(out)
+	}
+	trace.Reindex()
+	w.fill(4096, 1023)
+	acc := b.Mov(0)
+	b.ConstLoop(int64(1500*scale), func(p ir.Reg) {
+		v := b.Call("trace", w.Base, p, b.Mov(6))
+		b.BinTo(acc, ir.OpXor, acc, v)
+	})
+	return w.finish(acc)
+}
+
+// radiosity: irregular iteration — the refinement loop's bound is
+// re-loaded from memory every pass, defeating the loop transform.
+func radiosity(scale int) *ir.Module {
+	w := newBench("radiosity", 8192)
+	b := w.B
+	w.fill(4096, 511)
+	// Seed the work counter.
+	wc := b.Mov(int64(900 * scale))
+	w.storeAt(b.Mov(4000), 0, wc)
+	acc := b.Mov(0)
+	i := b.Mov(0)
+	// while i < mem[4000]: bound reloaded each iteration.
+	head := b.Block("r.head")
+	body := b.Block("r.body")
+	exit := b.Block("r.exit")
+	b.Jmp(head)
+	b.SetBlock(head)
+	bound := w.loadAt(b.Mov(4000), 0)
+	c := b.Bin(ir.OpCmpLt, i, bound)
+	b.Br(c, body, exit)
+	b.SetBlock(body)
+	// Interaction with visible-set branching.
+	m := b.BinI(ir.OpAnd, i, 4095)
+	e := w.loadAt(m, 0)
+	vis := b.BinI(ir.OpAnd, e, 7)
+	cv := b.BinI(ir.OpCmpLt, vis, 3)
+	w.ifElse(cv, func() {
+		b.ConstLoop(9, func(k ir.Reg) {
+			ik := b.Bin(ir.OpAdd, i, k)
+			mk := b.BinI(ir.OpAnd, ik, 4095)
+			v := w.loadAt(mk, 0)
+			b.BinTo(acc, ir.OpAdd, acc, v)
+		})
+	}, func() {
+		v2 := b.BinI(ir.OpMul, e, 5)
+		v3 := b.BinI(ir.OpShr, v2, 1)
+		b.BinTo(acc, ir.OpAdd, acc, v3)
+	})
+	b.BinToI(i, ir.OpAdd, i, 1)
+	b.Jmp(head)
+	b.SetBlock(exit)
+	return w.finish(acc)
+}
+
+// radix: counting-sort passes over a large key array — long tight
+// constant-trip loops, the transform's best case.
+func radix(scale int) *ir.Module {
+	w := newBench("radix", 32768)
+	b := w.B
+	n := int64(6000 * scale)
+	w.fill(n, 65535)
+	acc := b.Mov(0)
+	for pass := 0; pass < 4; pass++ {
+		shift := int64(pass * 4)
+		// Clear the 16 buckets at region offset 30000.
+		b.ConstLoop(16, func(k ir.Reg) {
+			kk := b.BinI(ir.OpAdd, k, 30000)
+			z := b.Mov(0)
+			w.storeAt(kk, 0, z)
+		})
+		// Count digits.
+		b.ConstLoop(n, func(i ir.Reg) {
+			key := w.loadAt(i, 0)
+			d := b.BinI(ir.OpShr, key, shift)
+			d2 := b.BinI(ir.OpAnd, d, 15)
+			d3 := b.BinI(ir.OpAdd, d2, 30000)
+			cur := w.loadAt(d3, 0)
+			cur1 := b.BinI(ir.OpAdd, cur, 1)
+			w.storeAt(d3, 0, cur1)
+		})
+		// Prefix sums of 16 buckets.
+		b.ConstLoop(15, func(k ir.Reg) {
+			k0 := b.BinI(ir.OpAdd, k, 30000)
+			a0 := w.loadAt(k0, 0)
+			a1 := w.loadAt(k0, 1)
+			s := b.Bin(ir.OpAdd, a0, a1)
+			w.storeAt(k0, 1, s)
+			b.BinTo(acc, ir.OpAdd, acc, s)
+		})
+	}
+	return w.finish(acc)
+}
+
+// fft: log-passes of butterflies; the inner trip count halves each
+// pass (runtime-variable), exercising cloning.
+func fft(scale int) *ir.Module {
+	w := newBench("fft", 16384)
+	b := w.B
+	n := int64(2048)
+	reps := int64(6 * scale)
+	w.fill(n*2, 8191)
+	acc := b.Mov(0)
+	b.ConstLoop(reps, func(ir.Reg) {
+		// butterfly passes: span = n/2, n/4, ..., 1
+		spanv := b.Mov(n / 2)
+		zero := b.Mov(0)
+		w.whileLt(zero, spanv, func() {
+			i := b.Mov(0)
+			w.whileLt(i, spanv, func() {
+				lo := w.loadAt(i, 0)
+				hiIdx := b.Bin(ir.OpAdd, i, spanv)
+				m := b.BinI(ir.OpAnd, hiIdx, 4095)
+				hi := w.loadAt(m, 0)
+				sum := b.Bin(ir.OpAdd, lo, hi)
+				diff := b.Bin(ir.OpSub, lo, hi)
+				w.storeAt(i, 0, sum)
+				w.storeAt(m, 0, diff)
+				b.BinTo(acc, ir.OpXor, acc, sum)
+				b.BinToI(i, ir.OpAdd, i, 1)
+			})
+			b.BinToI(spanv, ir.OpDiv, spanv, 2)
+		})
+	})
+	return w.finish(acc)
+}
+
+// luC: blocked LU — triangular loops whose bounds shrink with the
+// outer induction variable (bound registers redefined per iteration).
+func luC(scale int) *ir.Module {
+	return luCommon("lu-c", scale, false)
+}
+
+// luNC: the non-contiguous variant with an extra indirection per
+// element.
+func luNC(scale int) *ir.Module {
+	return luCommon("lu-nc", scale, true)
+}
+
+func luCommon(name string, scale int, indirect bool) *ir.Module {
+	w := newBench(name, 16384)
+	b := w.B
+	g := int64(40 * scale)
+	if g > 100 {
+		g = 100
+	}
+	w.fill(g*g, 8191)
+	acc := b.Mov(0)
+	gReg := b.Mov(g)
+	zero := b.Mov(0)
+	b.CountedLoop(zero, gReg, 1, func(k ir.Reg) {
+		i := b.BinI(ir.OpAdd, k, 1)
+		w.whileLt(i, gReg, func() {
+			j := b.BinI(ir.OpAdd, k, 1)
+			w.whileLt(j, gReg, func() {
+				row := b.BinI(ir.OpMul, i, g)
+				idx := b.Bin(ir.OpAdd, row, j)
+				m := b.BinI(ir.OpAnd, idx, 8191)
+				var v ir.Reg
+				if indirect {
+					p := w.loadAt(m, 0)
+					p2 := b.BinI(ir.OpAnd, p, 8191)
+					v = w.loadAt(p2, 0)
+				} else {
+					v = w.loadAt(m, 0)
+				}
+				kr := b.BinI(ir.OpMul, k, g)
+				kidx := b.Bin(ir.OpAdd, kr, j)
+				km := b.BinI(ir.OpAnd, kidx, 8191)
+				piv := w.loadAt(km, 0)
+				upd := b.Bin(ir.OpSub, v, piv)
+				upd2 := b.BinI(ir.OpShr, upd, 1)
+				w.storeAt(m, 0, upd2)
+				b.BinTo(acc, ir.OpAdd, acc, upd2)
+				b.BinToI(j, ir.OpAdd, j, 1)
+			})
+			b.BinToI(i, ir.OpAdd, i, 1)
+		})
+	})
+	return w.finish(acc)
+}
+
+// cholesky: triangular factorization with a sqrt library call per
+// pivot.
+func cholesky(scale int) *ir.Module {
+	w := newBench("cholesky", 16384)
+	w.M.DeclareExtern("sqrt", 40)
+	b := w.B
+	g := int64(34 * scale)
+	if g > 90 {
+		g = 90
+	}
+	w.fill(g*g, 8191)
+	acc := b.Mov(0)
+	gReg := b.Mov(g)
+	zero := b.Mov(0)
+	b.CountedLoop(zero, gReg, 1, func(k ir.Reg) {
+		kk := b.BinI(ir.OpMul, k, g)
+		kidx := b.Bin(ir.OpAdd, kk, k)
+		km := b.BinI(ir.OpAnd, kidx, 8191)
+		piv := w.loadAt(km, 0)
+		b.ExtCall("sqrt", piv)
+		i := b.BinI(ir.OpAdd, k, 1)
+		w.whileLt(i, gReg, func() {
+			j := b.MovR(k)
+			iEnd := b.BinI(ir.OpAdd, i, 1)
+			w.whileLt(j, iEnd, func() {
+				row := b.BinI(ir.OpMul, i, g)
+				idx := b.Bin(ir.OpAdd, row, j)
+				m := b.BinI(ir.OpAnd, idx, 8191)
+				v := w.loadAt(m, 0)
+				v2 := b.Bin(ir.OpSub, v, piv)
+				v3 := b.BinI(ir.OpShr, v2, 2)
+				w.storeAt(m, 0, v3)
+				b.BinTo(acc, ir.OpAdd, acc, v3)
+				b.BinToI(j, ir.OpAdd, j, 1)
+			})
+			b.BinToI(i, ir.OpAdd, i, 1)
+		})
+	})
+	return w.finish(acc)
+}

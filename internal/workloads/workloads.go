@@ -1,0 +1,180 @@
+// Package workloads provides the 28 synthetic benchmark programs
+// standing in for the SPLASH-2, Phoenix and Parsec applications of
+// Table 7. Each program is generated as IR with the control-flow
+// character of its namesake — tight counting loops (radix), triangular
+// factorization loops (lu), recursive tree walks (barnes), data-
+// dependent scanning (string_match, dedup), math-library external
+// calls (blackscholes, water) — because the CI evaluation depends on
+// control-flow shape, not on the numeric results.
+//
+// Every program exposes `main(%tid)`: benchmarks run it on 1..32 VM
+// threads with disjoint memory regions per thread (cross-thread
+// communication, where the original is synchronization-heavy, is
+// modeled with atomic counters).
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Workload describes one benchmark program generator.
+type Workload struct {
+	// Name matches the Table 7 row.
+	Name string
+	// Suite is "splash2", "phoenix" or "parsec".
+	Suite string
+	// Build generates the program at the given scale (1 = the default
+	// benchmark size; higher values lengthen the run roughly linearly).
+	Build func(scale int) *ir.Module
+}
+
+// All lists the workloads in Table 7 order.
+var All = []Workload{
+	{"water-nsquared", "splash2", waterNsquared},
+	{"water-spatial", "splash2", waterSpatial},
+	{"ocean-cp", "splash2", oceanCP},
+	{"ocean-ncp", "splash2", oceanNCP},
+	{"barnes", "splash2", barnes},
+	{"volrend", "splash2", volrend},
+	{"fmm", "splash2", fmm},
+	{"raytrace", "splash2", raytrace},
+	{"radiosity", "splash2", radiosity},
+	{"radix", "splash2", radix},
+	{"fft", "splash2", fft},
+	{"lu-c", "splash2", luC},
+	{"lu-nc", "splash2", luNC},
+	{"cholesky", "splash2", cholesky},
+	{"reverse_index", "phoenix", reverseIndex},
+	{"histogram", "phoenix", histogram},
+	{"kmeans", "phoenix", kmeans},
+	{"pca", "phoenix", pca},
+	{"matrix_multiply", "phoenix", matrixMultiply},
+	{"string_match", "phoenix", stringMatch},
+	{"linear_regression", "phoenix", linearRegression},
+	{"word_count", "phoenix", wordCount},
+	{"blackscholes", "parsec", blackscholes},
+	{"fluidanimate", "parsec", fluidanimate},
+	{"swaptions", "parsec", swaptions},
+	{"canneal", "parsec", canneal},
+	{"streamcluster", "parsec", streamcluster},
+	{"dedup", "parsec", dedup},
+}
+
+// ByName returns the named workload, or nil.
+func ByName(name string) *Workload {
+	for i := range All {
+		if All[i].Name == name {
+			return &All[i]
+		}
+	}
+	return nil
+}
+
+// maxThreads is the number of per-thread memory regions provisioned.
+const maxThreads = 64
+
+// bench wraps module construction: a module with `main(%tid)`, a
+// per-thread memory region of span words (base register precomputed),
+// and the shared ir.Builder.
+type bench struct {
+	M    *ir.Module
+	F    *ir.Func
+	B    *ir.Builder
+	Span int64
+	// Base = tid*Span: the thread's region start.
+	Base ir.Reg
+	// Tid is the thread-id parameter register.
+	Tid ir.Reg
+}
+
+func newBench(name string, span int64) *bench {
+	m := ir.NewModule(name)
+	m.MemWords = span * maxThreads
+	f := m.NewFunc("main", 1)
+	b := ir.NewBuilder(f)
+	base := b.BinI(ir.OpMul, 0, span)
+	return &bench{M: m, F: f, B: b, Span: span, Base: base, Tid: 0}
+}
+
+// finish seals main with `ret result`, reindexes and verifies.
+func (w *bench) finish(result ir.Reg) *ir.Module {
+	w.B.Ret(result)
+	w.F.Reindex()
+	if err := w.M.Verify(); err != nil {
+		panic(fmt.Sprintf("workloads: %s does not verify: %v", w.M.Name, err))
+	}
+	return w.M
+}
+
+// fill seeds words [0,n) of the thread region with a cheap pseudo-
+// random pattern (data the benchmark then consumes).
+func (w *bench) fill(n int64, mask int64) {
+	b := w.B
+	b.ConstLoop(n, func(i ir.Reg) {
+		h := b.BinI(ir.OpMul, i, 2654435761)
+		h2 := b.BinI(ir.OpShr, h, 7)
+		v := b.BinI(ir.OpAnd, h2, mask)
+		addr := b.Bin(ir.OpAdd, w.Base, i)
+		b.Store(addr, 0, v)
+	})
+}
+
+// loadAt emits a load of region word (idx + off).
+func (w *bench) loadAt(idx ir.Reg, off int64) ir.Reg {
+	addr := w.B.Bin(ir.OpAdd, w.Base, idx)
+	return w.B.Load(addr, off)
+}
+
+// storeAt emits a store to region word (idx + off).
+func (w *bench) storeAt(idx ir.Reg, off int64, v ir.Reg) {
+	addr := w.B.Bin(ir.OpAdd, w.Base, idx)
+	w.B.Store(addr, off, v)
+}
+
+// whileLt emits `for ; *i < bound; ` with body cb; the caller advances
+// the induction variable inside cb. Returns after positioning the
+// builder at the exit block.
+func (w *bench) whileLt(i, bound ir.Reg, cb func()) {
+	b := w.B
+	head := b.Block("w.head")
+	body := b.Block("w.body")
+	exit := b.Block("w.exit")
+	b.Jmp(head)
+	b.SetBlock(head)
+	c := b.Bin(ir.OpCmpLt, i, bound)
+	b.Br(c, body, exit)
+	b.SetBlock(body)
+	cb()
+	b.Jmp(head)
+	b.SetBlock(exit)
+}
+
+// ifThen emits `if cond { then() }`.
+func (w *bench) ifThen(cond ir.Reg, then func()) {
+	b := w.B
+	tb := b.Block("if.then")
+	join := b.Block("if.join")
+	b.Br(cond, tb, join)
+	b.SetBlock(tb)
+	then()
+	b.Jmp(join)
+	b.SetBlock(join)
+}
+
+// ifElse emits `if cond { then() } else { els() }`.
+func (w *bench) ifElse(cond ir.Reg, then, els func()) {
+	b := w.B
+	tb := b.Block("ie.then")
+	eb := b.Block("ie.else")
+	join := b.Block("ie.join")
+	b.Br(cond, tb, eb)
+	b.SetBlock(tb)
+	then()
+	b.Jmp(join)
+	b.SetBlock(eb)
+	els()
+	b.Jmp(join)
+	b.SetBlock(join)
+}
