@@ -14,9 +14,12 @@
 //	ciexp hybrid    hybrid CI + hardware-watchdog extension (§5.4 future work)
 //	ciexp allowable §3.3 allowable-error parameter study
 //	ciexp probes    §5.4 dynamic probe executions, CI vs Naive
+//	ciexp chaos     fault-injection sweep asserting the graceful-
+//	                degradation invariants (exits non-zero on violation)
 //
 // Flags: -scale N (workload size multiplier, default 1),
-// -quick (subset of workloads for fig12).
+// -quick (subset of workloads for fig12; single fault rate for chaos),
+// -seed N (chaos fault-plan seed).
 package main
 
 import (
@@ -31,8 +34,9 @@ func main() {
 	scale := flag.Int("scale", 1, "workload size multiplier")
 	quick := flag.Bool("quick", false, "use a workload subset where supported")
 	all := flag.Bool("all", false, "fig9/fig11: include Naive-Cycles and CnB-Cycles")
+	seed := flag.Uint64("seed", 1, "chaos: fault-plan seed")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ciexp [flags] fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table7|hybrid|allowable|probes|all\n")
+		fmt.Fprintf(os.Stderr, "usage: ciexp [flags] fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table7|hybrid|allowable|probes|chaos|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -67,6 +71,13 @@ func main() {
 		{"hybrid", func() error { return experiments.PrintHybrid(os.Stdout, *scale) }},
 		{"allowable", func() error { return experiments.PrintAllowable(os.Stdout, *scale) }},
 		{"probes", func() error { return experiments.PrintProbeCounts(os.Stdout, *scale) }},
+		{"chaos", func() error {
+			rates := experiments.ChaosRates
+			if *quick {
+				rates = []float64{0.01}
+			}
+			return experiments.PrintChaos(os.Stdout, *seed, rates)
+		}},
 	} {
 		if cmd == c.name || cmd == "all" {
 			ran = true

@@ -35,6 +35,15 @@ type handlerState struct {
 	lastFireEvents int64
 	fires          int64
 	intervals      []int64
+	// gone marks a handler deregistered while a probe sweep may still
+	// hold a reference to it; fire paths skip it.
+	gone bool
+	// adaptive AIMD state (see SetAdaptive).
+	adaptive     bool
+	adaptCfg     AdaptiveConfig
+	baseInterval int64
+	overruns     int64
+	onTimeStreak int64
 }
 
 // Runtime holds the per-thread Compiler Interrupt state.
@@ -103,12 +112,19 @@ func (rt *Runtime) RegisterCI(intervalCycles int64, fn Handler) int {
 	return h.id
 }
 
-// Deregister removes the handler with the given ciid.
+// Deregister removes the handler with the given ciid. Safe to call
+// from inside a handler, including while other handlers of the same
+// probe sweep are still pending: the removed handler is marked gone
+// immediately (so it cannot fire later in the sweep) and the handler
+// list is rebuilt into a fresh slice (so an in-flight iteration over
+// the old list never observes compacted entries).
 func (rt *Runtime) Deregister(ciid int) {
-	out := rt.handlers[:0]
+	out := make([]*handlerState, 0, len(rt.handlers))
 	for _, h := range rt.handlers {
 		if h.id != ciid {
 			out = append(out, h)
+		} else {
+			h.gone = true
 		}
 	}
 	rt.handlers = out
@@ -144,6 +160,110 @@ func (rt *Runtime) Enable(ciid int) {
 func (rt *Runtime) Enabled(ciid int) bool {
 	h := rt.find(ciid)
 	return h != nil && h.disable == 0 && rt.globalDisable == 0
+}
+
+// AdaptiveConfig tunes the AIMD interval controller of SetAdaptive.
+// Zero fields take the documented defaults.
+type AdaptiveConfig struct {
+	// OverrunFactor classifies a fire as a handler overrun when its
+	// gap exceeds factor × the current interval (default 2): the
+	// handler (or uninstrumented code it ran over) consumed so much of
+	// the thread that the next interrupt could not arrive on time.
+	OverrunFactor float64
+	// MaxBackoffMult caps the backed-off interval at mult × the
+	// registered interval (default 8).
+	MaxBackoffMult int64
+	// TightenAfter is the number of consecutive on-time fires before
+	// the interval is re-tightened additively (default 4).
+	TightenAfter int64
+}
+
+func (c *AdaptiveConfig) withDefaults() AdaptiveConfig {
+	out := *c
+	if out.OverrunFactor <= 1 {
+		out.OverrunFactor = 2
+	}
+	if out.MaxBackoffMult < 1 {
+		out.MaxBackoffMult = 8
+	}
+	if out.TightenAfter <= 0 {
+		out.TightenAfter = 4
+	}
+	return out
+}
+
+// SetAdaptive enables AIMD interval adaptation for ciid: every
+// overrun (a fire arriving past OverrunFactor × the current interval)
+// doubles the interval up to the cap — backing the polling rate off a
+// thread that cannot keep up — and TightenAfter consecutive on-time
+// fires shrink it additively back toward the registered interval.
+// This is the graceful-degradation path for handler overruns: the
+// system trades polling frequency for forward progress instead of
+// letting the handler consume the whole thread.
+func (rt *Runtime) SetAdaptive(ciid int, cfg AdaptiveConfig) {
+	if h := rt.find(ciid); h != nil {
+		h.adaptive = true
+		h.adaptCfg = cfg.withDefaults()
+		h.baseInterval = h.intervalCycles
+	}
+}
+
+// Overruns returns how many fires of ciid were classified as handler
+// overruns (0 unless SetAdaptive was enabled).
+func (rt *Runtime) Overruns(ciid int) int64 {
+	if h := rt.find(ciid); h != nil {
+		return h.overruns
+	}
+	return 0
+}
+
+// CurrentInterval returns the handler's present target interval in
+// cycles — the registered value unless AIMD adaptation has moved it.
+func (rt *Runtime) CurrentInterval(ciid int) int64 {
+	if h := rt.find(ciid); h != nil {
+		return h.intervalCycles
+	}
+	return 0
+}
+
+// adapt applies the AIMD controller to one observed inter-fire gap.
+func (h *handlerState) adapt(gap int64, irPerCycle float64) {
+	if !h.adaptive || h.fires <= 1 { // first fire has no meaningful gap
+		return
+	}
+	cfg := h.adaptCfg
+	if float64(gap) > cfg.OverrunFactor*float64(h.intervalCycles) {
+		h.overruns++
+		h.onTimeStreak = 0
+		next := h.intervalCycles * 2
+		if cap := h.baseInterval * cfg.MaxBackoffMult; next > cap {
+			next = cap
+		}
+		h.setInterval(next, irPerCycle)
+		return
+	}
+	h.onTimeStreak++
+	if h.onTimeStreak >= cfg.TightenAfter && h.intervalCycles > h.baseInterval {
+		h.onTimeStreak = 0
+		next := h.intervalCycles - h.baseInterval/8
+		if next < h.baseInterval {
+			next = h.baseInterval
+		}
+		h.setInterval(next, irPerCycle)
+	}
+}
+
+// setInterval moves the handler's target interval, keeping the IR
+// threshold in step.
+func (h *handlerState) setInterval(intervalCycles int64, irPerCycle float64) {
+	if intervalCycles < 1 {
+		intervalCycles = 1
+	}
+	h.intervalCycles = intervalCycles
+	h.intervalIR = int64(float64(intervalCycles) * irPerCycle)
+	if h.intervalIR < 1 {
+		h.intervalIR = 1
+	}
 }
 
 // InsCount returns the thread's current instruction counter.
@@ -209,6 +329,7 @@ func (rt *Runtime) fire(h *handlerState, now int64) {
 	h.lastFireCycles = now
 	h.lastFireEvents = rt.events
 	h.fires++
+	h.adapt(gap, rt.IRPerCycle)
 	if rt.RecordIntervals {
 		h.intervals = append(h.intervals, gap)
 	}
@@ -231,13 +352,13 @@ func (rt *Runtime) ProbeIR(inc int64, now int64) int {
 	fired := 0
 	if rt.globalDisable == 0 {
 		if h := rt.single; h != nil { // fast path (footnote 1)
-			if h.disable == 0 && rt.inscount-h.lastFireIR >= h.intervalIR {
+			if h.disable == 0 && !h.gone && rt.inscount-h.lastFireIR >= h.intervalIR {
 				rt.fire(h, now)
 				fired = 1
 			}
 		} else {
 			for _, h := range rt.handlers {
-				if h.disable == 0 && rt.inscount-h.lastFireIR >= h.intervalIR {
+				if h.disable == 0 && !h.gone && rt.inscount-h.lastFireIR >= h.intervalIR {
 					rt.fire(h, now)
 					fired++
 				}
@@ -261,7 +382,7 @@ func (rt *Runtime) ProbeCycles(inc int64, now int64) (reads, fired int) {
 	minRemaining := int64(never)
 	if rt.globalDisable == 0 {
 		for _, h := range rt.handlers {
-			if h.disable != 0 {
+			if h.disable != 0 || h.gone {
 				continue
 			}
 			elapsed := now - h.lastFireCycles
@@ -306,7 +427,7 @@ func (rt *Runtime) ProbeEvent(weight int64, now int64) int {
 		return 0
 	}
 	for _, h := range rt.handlers {
-		if h.disable == 0 && rt.events-h.lastFireEvents >= h.eventThreshold {
+		if h.disable == 0 && !h.gone && rt.events-h.lastFireEvents >= h.eventThreshold {
 			rt.fire(h, now)
 			fired++
 		}
@@ -324,7 +445,7 @@ func (rt *Runtime) ProbeEventCycles(now int64) (reads, fired int) {
 		return reads, 0
 	}
 	for _, h := range rt.handlers {
-		if h.disable == 0 && now-h.lastFireCycles >= h.intervalCycles {
+		if h.disable == 0 && !h.gone && now-h.lastFireCycles >= h.intervalCycles {
 			rt.fire(h, now)
 			fired++
 		}

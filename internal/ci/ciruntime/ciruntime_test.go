@@ -306,6 +306,189 @@ func TestReRegisterAfterDeregisterGetsFreshID(t *testing.T) {
 	}
 }
 
+// Deep disable nesting must require exactly as many enables, and
+// global and per-handler counts must nest independently.
+func TestDisableEnableDeepNestingAndIndependence(t *testing.T) {
+	rt := New()
+	fires := 0
+	id := rt.RegisterCI(10, func(uint64) { fires++ })
+	const depth = 50
+	for i := 0; i < depth; i++ {
+		rt.Disable(id)
+		rt.Disable(0)
+	}
+	for i := 0; i < depth; i++ {
+		rt.Enable(id)
+		rt.ProbeIR(1000, int64(i))
+		if fires != 0 {
+			t.Fatalf("fired with per-handler disable depth %d remaining", depth-i-1)
+		}
+	}
+	// Per-handler count fully unwound; global still holds it off.
+	rt.ProbeIR(1000, 100)
+	if fires != 0 {
+		t.Fatal("fired with global disable active")
+	}
+	for i := 0; i < depth-1; i++ {
+		rt.Enable(0)
+	}
+	rt.ProbeIR(1000, 200)
+	if fires != 0 {
+		t.Fatal("fired with one global disable remaining")
+	}
+	rt.Enable(0)
+	rt.ProbeIR(1000, 300)
+	if fires != 1 {
+		t.Fatalf("fires = %d after full unwind, want 1", fires)
+	}
+	// Extra enables must not drive counts negative: one Disable must
+	// still suppress.
+	rt.Enable(id)
+	rt.Enable(0)
+	rt.Disable(id)
+	rt.ProbeIR(1000, 400)
+	if fires != 1 {
+		t.Fatal("over-enabled handler ignored a fresh Disable")
+	}
+}
+
+// A handler that deregisters a later handler of the same probe sweep
+// must prevent that handler from firing: the sweep may already hold a
+// reference, so Deregister marks it gone rather than just compacting
+// the list. Regression: the old in-place compaction also corrupted
+// the sweep's iteration, double-firing surviving handlers.
+func TestDeregisterWhileHandlerPending(t *testing.T) {
+	rt := New()
+	var idB, idC int
+	var aFired, bFired, cFired int
+	rt.RegisterCI(10, func(uint64) {
+		aFired++
+		if aFired == 1 {
+			rt.Deregister(idB)
+		}
+	})
+	idB = rt.RegisterCI(10, func(uint64) { bFired++ })
+	idC = rt.RegisterCI(10, func(uint64) { cFired++ })
+	// One probe far past every threshold: A fires first and removes B
+	// while B and C are still pending in the same sweep.
+	rt.ProbeIR(1000, 1)
+	if bFired != 0 {
+		t.Errorf("deregistered-while-pending handler fired %d times", bFired)
+	}
+	if aFired != 1 || cFired != 1 {
+		t.Errorf("survivors fired a=%d c=%d, want 1/1", aFired, cFired)
+	}
+	rt.ProbeIR(1000, 2)
+	if bFired != 0 || cFired != 2 {
+		t.Errorf("after next sweep: b=%d c=%d", bFired, cFired)
+	}
+	if rt.Fires(idC) != 2 {
+		t.Errorf("Fires(c) = %d", rt.Fires(idC))
+	}
+}
+
+// A handler deregistering itself mid-execution must not fire again.
+func TestDeregisterSelfInsideHandler(t *testing.T) {
+	rt := New()
+	fires := 0
+	var id int
+	id = rt.RegisterCI(10, func(uint64) {
+		fires++
+		rt.Deregister(id)
+	})
+	for i := 0; i < 5; i++ {
+		rt.ProbeIR(1000, int64(i))
+	}
+	if fires != 1 {
+		t.Errorf("self-deregistered handler fired %d times", fires)
+	}
+}
+
+// The AIMD overrun path: gaps beyond the overrun factor double the
+// interval up to the cap; consecutive on-time fires re-tighten it back
+// to the registered value.
+func TestAdaptiveBackoffAndRetighten(t *testing.T) {
+	rt := New()
+	id := rt.RegisterCI(1000, func(uint64) {}) // 4000 IR at 4 IR/cy
+	rt.SetAdaptive(id, AdaptiveConfig{})       // defaults: 2x factor, 8x cap, 4 fires
+	if rt.CurrentInterval(id) != 1000 {
+		t.Fatalf("initial interval = %d", rt.CurrentInterval(id))
+	}
+	now := int64(0)
+	fireAfterGap := func(gap int64) {
+		now += gap
+		// One big probe advance fires the handler at the chosen time.
+		rt.ProbeIR(1<<30, now)
+	}
+	fireAfterGap(1000) // first fire: no meaningful gap yet
+	// Three overruns: 5x the interval each time.
+	wantIntervals := []int64{2000, 4000, 8000}
+	for i, want := range wantIntervals {
+		fireAfterGap(5 * rt.CurrentInterval(id))
+		if got := rt.CurrentInterval(id); got != want {
+			t.Fatalf("after overrun %d: interval = %d, want %d", i+1, got, want)
+		}
+	}
+	if rt.Overruns(id) != 3 {
+		t.Errorf("Overruns = %d, want 3", rt.Overruns(id))
+	}
+	// Keep overrunning: the cap (8x base) must hold.
+	for i := 0; i < 5; i++ {
+		fireAfterGap(5 * rt.CurrentInterval(id))
+	}
+	if got := rt.CurrentInterval(id); got != 8000 {
+		t.Errorf("interval = %d, want capped at 8000", got)
+	}
+	// On-time fires re-tighten additively (base/8 = 125 per 4 fires)
+	// all the way back to the registered interval, never below.
+	for i := 0; i < 8000/125*4*2; i++ {
+		fireAfterGap(rt.CurrentInterval(id))
+	}
+	if got := rt.CurrentInterval(id); got != 1000 {
+		t.Errorf("interval = %d after sustained on-time fires, want back at 1000", got)
+	}
+}
+
+// Without SetAdaptive the interval must never move, whatever the gaps.
+func TestNoAdaptationWithoutOptIn(t *testing.T) {
+	rt := New()
+	id := rt.RegisterCI(1000, func(uint64) {})
+	now := int64(0)
+	for i := 0; i < 20; i++ {
+		now += 50_000
+		rt.ProbeIR(1<<30, now)
+	}
+	if got := rt.CurrentInterval(id); got != 1000 {
+		t.Errorf("non-adaptive interval moved to %d", got)
+	}
+	if rt.Overruns(id) != 0 {
+		t.Errorf("overruns counted without adaptation: %d", rt.Overruns(id))
+	}
+}
+
+// Adaptation must also gate the CI-Cycles probe path, which compares
+// elapsed cycles against the (now adaptive) interval directly.
+func TestAdaptiveAppliesToProbeCycles(t *testing.T) {
+	rt := New()
+	fires := 0
+	id := rt.RegisterCI(1000, func(uint64) { fires++ })
+	rt.SetAdaptive(id, AdaptiveConfig{})
+	now := int64(0)
+	for i := 0; i < 6; i++ {
+		now += 10_000 // every fire is 10x the target: overruns
+		rt.ProbeCycles(100_000, now)
+	}
+	if rt.Overruns(id) == 0 {
+		t.Error("no overruns detected on the cycles path")
+	}
+	if rt.CurrentInterval(id) <= 1000 {
+		t.Errorf("interval did not back off: %d", rt.CurrentInterval(id))
+	}
+	if got, cap := rt.CurrentInterval(id), int64(8000); got > cap {
+		t.Errorf("interval %d beyond cap %d", got, cap)
+	}
+}
+
 func TestNonPositiveIntervalClamped(t *testing.T) {
 	rt := New()
 	fires := 0

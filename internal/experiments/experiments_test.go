@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -259,5 +260,37 @@ func TestProbeExecutionReduction(t *testing.T) {
 	}
 	if over50 < len(rows)*2/3 {
 		t.Errorf("only %d/%d workloads above 50%% probe reduction", over50, len(rows))
+	}
+}
+
+// The chaos sweep's invariants — determinism, conservation, bounded
+// degradation, progress — must hold at every standard rate, and the
+// printer must render a row per (subsystem, rate) cell.
+func TestChaosInvariantsHold(t *testing.T) {
+	rows := RunChaos(1, ChaosRates)
+	if want := 3 * len(ChaosRates); len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	sawRecovery := false
+	for _, r := range rows {
+		if len(r.Violations) > 0 {
+			t.Errorf("%s @ %g: %v", r.Subsystem, r.Rate, r.Violations)
+		}
+		if r.Rate == 0 && r.Recovered != 0 {
+			t.Errorf("%s @ 0: recovery activity without faults (%d)", r.Subsystem, r.Recovered)
+		}
+		if r.Rate == 0.01 && r.Recovered > 0 {
+			sawRecovery = true
+		}
+	}
+	if !sawRecovery {
+		t.Error("no subsystem exercised a recovery path at 1% faults")
+	}
+	var buf bytes.Buffer
+	if err := PrintChaos(&buf, 1, []float64{0.01}); err != nil {
+		t.Fatalf("PrintChaos: %v", err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("all invariants hold")) {
+		t.Errorf("unexpected chaos output:\n%s", buf.String())
 	}
 }

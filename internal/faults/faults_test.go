@@ -1,0 +1,93 @@
+package faults
+
+import "testing"
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var in *Injector
+	for i := 0; i < 100; i++ {
+		if in.Drop() || in.Corrupt() || in.Reorder() != 0 || in.Stall() != 0 || in.Overrun() != 0 {
+			t.Fatal("nil injector injected a fault")
+		}
+	}
+	if _, _, ok := in.NextServerStall(); ok {
+		t.Error("nil injector produced a server stall")
+	}
+	if New(nil, "x") != nil || New(&Plan{Seed: 1}, "x") != nil {
+		t.Error("empty plans must yield nil injectors")
+	}
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	p := Uniform(42, 0.1)
+	a, b := New(p, "mtcp/net"), New(p, "mtcp/net")
+	for i := 0; i < 1000; i++ {
+		if a.Drop() != b.Drop() || a.Corrupt() != b.Corrupt() || a.Reorder() != b.Reorder() {
+			t.Fatal("same plan+subsystem diverged")
+		}
+	}
+	if a.Counters != b.Counters {
+		t.Errorf("counters diverged: %+v vs %+v", a.Counters, b.Counters)
+	}
+}
+
+func TestSubsystemStreamsIndependent(t *testing.T) {
+	p := Uniform(42, 0.5)
+	a, b := New(p, "alpha"), New(p, "beta")
+	same := 0
+	for i := 0; i < 200; i++ {
+		if a.Drop() == b.Drop() {
+			same++
+		}
+	}
+	if same > 180 {
+		t.Errorf("streams look correlated: %d/200 agree", same)
+	}
+}
+
+func TestBernoulliRatesApproximate(t *testing.T) {
+	in := New(&Plan{Seed: 7, DropProb: 0.01}, "net")
+	n := 100_000
+	for i := 0; i < n; i++ {
+		in.Drop()
+	}
+	if in.Drops < 700 || in.Drops > 1300 {
+		t.Errorf("drops = %d over %d at p=0.01, want ~1000", in.Drops, n)
+	}
+}
+
+func TestZeroRatePlanDisabled(t *testing.T) {
+	if Uniform(1, 0).Enabled() {
+		t.Error("rate-0 plan reports enabled")
+	}
+	if got := Uniform(1, 0).ServerStallFrac(); got != 0 {
+		t.Errorf("stall frac = %v", got)
+	}
+}
+
+func TestServerStallFrac(t *testing.T) {
+	p := Uniform(1, 0.01)
+	frac := p.ServerStallFrac()
+	if frac < 0.005 || frac > 0.015 {
+		t.Errorf("stall frac = %v, want ~0.01", frac)
+	}
+	in := New(p, "ffwd")
+	gap, dur, ok := in.NextServerStall()
+	if !ok || gap <= 0 || dur != p.ServerStallCycles {
+		t.Errorf("NextServerStall = %d,%d,%v", gap, dur, ok)
+	}
+}
+
+func TestSpikesPositiveAndCounted(t *testing.T) {
+	in := New(&Plan{Seed: 3, StallProb: 1, OverrunProb: 1}, "vm")
+	for i := 0; i < 50; i++ {
+		if in.Stall() <= 0 || in.Overrun() <= 0 {
+			t.Fatal("probability-1 spike did not fire")
+		}
+	}
+	if in.Stalls != 50 || in.Overruns != 50 {
+		t.Errorf("counters = %+v", in.Counters)
+	}
+	if in.StallCycles <= 0 || in.OverrunCyc <= 0 {
+		t.Error("spike cycle totals not accumulated")
+	}
+}

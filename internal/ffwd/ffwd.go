@@ -21,6 +21,7 @@ package ffwd
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -69,6 +70,13 @@ const (
 	ciServerInterval    = 250
 	ciHandlerInvoke     = 30
 	ciClientOverheadPct = 5 // instrumentation overhead on client code
+	// fallbackTimeout is how long a delegation client waits on an
+	// unanswered request line before concluding the server is stalled
+	// and retrying the operation under the shared MCS fallback lock
+	// (the FFWD bypass API permits direct access when delegation is
+	// unavailable). Clients probe the server line and resume
+	// delegation as soon as it responds again.
+	fallbackTimeout = 20_000
 )
 
 // Config parameterizes one run.
@@ -81,6 +89,12 @@ type Config struct {
 	// RecordLatencies enables the Figure 8 distribution.
 	RecordLatencies bool
 	Seed            uint64
+	// FaultPlan optionally stalls the delegation server (descheduled or
+	// wedged for ServerStallCycles at a mean gap of
+	// ServerStallMeanGapCycles). Stalled-out operations time out after
+	// fallbackTimeout and complete under the MCS fallback lock; only
+	// the delegation designs are affected.
+	FaultPlan *faults.Plan
 }
 
 func (c *Config) withDefaults() Config {
@@ -109,6 +123,12 @@ type Result struct {
 	// LatencySummary is the client-observed latency distribution
 	// (cycles), when recording was requested.
 	LatencySummary stats.Summary
+	// FallbackFrac is the long-run fraction of time the delegation
+	// server spends stalled (operations in that window go through the
+	// MCS fallback); FallbackOps counts sampled operations that took
+	// the fallback path.
+	FallbackFrac float64
+	FallbackOps  int64
 }
 
 // Run evaluates one configuration.
@@ -118,6 +138,19 @@ func Run(cfg Config) Result {
 	T := cfg.Threads
 	var throughput float64 // ops per cycle
 	var sample func() int64
+
+	// MCS cost model, shared by the MCS design and the delegation
+	// designs' stalled-server fallback path.
+	mcsPer := float64(cs + localOp)
+	if T > 1 {
+		mcsPer = float64(cs + 2*xfer + 320) // local spin + queued handoff
+	}
+	mcsSample := func() int64 {
+		if T == 1 {
+			return cs + localOp
+		}
+		return int64(mcsPer * float64(1+rng.Intn(int64(T))))
+	}
 
 	switch cfg.Design {
 	case DelegationDedicated:
@@ -187,17 +220,8 @@ func Run(cfg Config) Result {
 			return int64(per * float64(1+rng.Intn(int64(T))))
 		}
 	case MCS:
-		per := float64(cs + localOp)
-		if T > 1 {
-			per = float64(cs + 2*xfer + 320) // local spin + queued handoff
-		}
-		throughput = 1.0 / per
-		sample = func() int64 {
-			if T == 1 {
-				return cs + localOp
-			}
-			return int64(per * float64(1+rng.Intn(int64(T))))
-		}
+		throughput = 1.0 / mcsPer
+		sample = mcsSample
 	case PthreadMutex:
 		per := float64(cs + localOp + 12)
 		if T > 1 {
@@ -214,10 +238,34 @@ func Run(cfg Config) Result {
 		}
 	}
 
+	// A stalled delegation server degrades the delegation designs to
+	// the MCS fallback for the stalled fraction of time: throughput
+	// blends the two paths, and a fallback operation pays the timeout
+	// that detected the stall plus the MCS acquisition.
+	var fallbackOps int64
+	fallbackFrac := 0.0
+	delegated := cfg.Design == DelegationDedicated || cfg.Design == DelegationCI
+	if delegated && T > 1 {
+		fallbackFrac = cfg.FaultPlan.ServerStallFrac()
+	}
+	if fallbackFrac > 0 {
+		throughput = (1-fallbackFrac)*throughput + fallbackFrac/mcsPer
+		frng := sim.NewRNG(cfg.Seed ^ 0x66616c6c6261636b) // "fallback" stream
+		delegSample := sample
+		sample = func() int64 {
+			if frng.Float64() < fallbackFrac {
+				fallbackOps++
+				return fallbackTimeout + mcsSample()
+			}
+			return delegSample()
+		}
+	}
+
 	res := Result{
 		Design:         cfg.Design,
 		Threads:        T,
 		ThroughputMops: throughput * 2.6e9 / 1e6,
+		FallbackFrac:   fallbackFrac,
 	}
 	n := cfg.OpsPerThread
 	if !cfg.RecordLatencies {
@@ -231,6 +279,7 @@ func Run(cfg Config) Result {
 		sum += float64(l)
 	}
 	res.MeanLatency = sum / float64(n)
+	res.FallbackOps = fallbackOps
 	if cfg.RecordLatencies {
 		res.LatencySummary = stats.Summarize(lats)
 	}

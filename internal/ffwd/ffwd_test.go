@@ -1,6 +1,10 @@
 package ffwd
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/faults"
+)
 
 func TestAllDesignsRun(t *testing.T) {
 	for _, d := range Designs {
@@ -103,5 +107,65 @@ func TestDeterministicSampling(t *testing.T) {
 	b := Run(Config{Design: MCS, Threads: 16, RecordLatencies: true})
 	if a.LatencySummary != b.LatencySummary {
 		t.Error("same seed produced different distributions")
+	}
+}
+
+// A stalled delegation server must degrade delegation to the MCS
+// fallback — bounded latency, throughput between the MCS floor and the
+// fault-free delegation ceiling — and leave the lock designs untouched.
+func TestServerStallFallsBackToMCS(t *testing.T) {
+	// Stalled ~half the time: 100k-cycle stalls every 100k cycles.
+	plan := &faults.Plan{Seed: 5, ServerStallMeanGapCycles: 100_000, ServerStallCycles: 100_000}
+	for _, d := range []Design{DelegationDedicated, DelegationCI} {
+		clean := Run(Config{Design: d, Threads: 32, RecordLatencies: true})
+		faulty := Run(Config{Design: d, Threads: 32, RecordLatencies: true, FaultPlan: plan})
+		if faulty.FallbackFrac <= 0.4 || faulty.FallbackFrac >= 0.6 {
+			t.Fatalf("%v: fallback frac = %v, want ~0.5", d, faulty.FallbackFrac)
+		}
+		if faulty.FallbackOps == 0 {
+			t.Errorf("%v: no sampled op took the fallback path", d)
+		}
+		mcs := Run(Config{Design: MCS, Threads: 32})
+		if faulty.ThroughputMops >= clean.ThroughputMops {
+			t.Errorf("%v: stalls did not cost throughput: %v vs %v",
+				d, faulty.ThroughputMops, clean.ThroughputMops)
+		}
+		if faulty.ThroughputMops < 0.4*mcs.ThroughputMops {
+			t.Errorf("%v: degraded below the MCS floor: %v vs %v",
+				d, faulty.ThroughputMops, mcs.ThroughputMops)
+		}
+		// Bounded degradation: the worst fallback op pays the detection
+		// timeout plus a full MCS queue, never an unbounded wait.
+		bound := int64(fallbackTimeout) + int64(float64(cs+2*xfer+320)*32) + 1
+		if faulty.LatencySummary.Max > bound {
+			t.Errorf("%v: fallback latency unbounded: max %d > %d",
+				d, faulty.LatencySummary.Max, bound)
+		}
+	}
+	// Lock designs ignore the plan entirely.
+	a := Run(Config{Design: MCS, Threads: 32})
+	b := Run(Config{Design: MCS, Threads: 32, FaultPlan: plan})
+	if a != b {
+		t.Error("MCS results perturbed by a delegation-server fault plan")
+	}
+}
+
+func TestFallbackDeterministic(t *testing.T) {
+	cfg := Config{Design: DelegationCI, Threads: 16, RecordLatencies: true,
+		FaultPlan: faults.Uniform(31, 0.01)}
+	a := Run(cfg)
+	b := Run(cfg)
+	if a != b {
+		t.Errorf("fallback runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+// A single thread uses the direct-access bypass, so server stalls are
+// irrelevant by construction.
+func TestSingleThreadUnaffectedByStalls(t *testing.T) {
+	plan := &faults.Plan{Seed: 5, ServerStallMeanGapCycles: 50_000, ServerStallCycles: 100_000}
+	r := Run(Config{Design: DelegationCI, Threads: 1, FaultPlan: plan})
+	if r.FallbackFrac != 0 || r.FallbackOps != 0 {
+		t.Errorf("bypassed single thread took fallback: %+v", r)
 	}
 }

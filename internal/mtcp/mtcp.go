@@ -13,6 +13,19 @@
 //     cycles), with no context switching and naturally batched packet
 //     processing.
 //
+// Loss recovery is client-driven: every request generation arms a
+// retransmission timer with exponential backoff (rtoBase doubling up
+// to rtoMax); after maxRetries unanswered transmissions the client
+// aborts the request and reconnects. The server stack discards
+// corrupted packets at checksum time and duplicate (retransmitted but
+// already-accepted) generations at sequence-check time, so spurious
+// retransmits cost only receive-path cycles, never duplicate
+// application work. An optional fault plan injects packet loss/
+// corruption/reordering at the NIC, app-side stall spikes, and
+// CI-handler overrun spikes; with Config.Adaptive the CI polling
+// interval backs off multiplicatively under overruns and re-tightens
+// additively when the handler meets its budget again (AIMD).
+//
 // The simulation runs one of the 16 server threads; reported
 // throughput is aggregated across threads and capped by the 10 Gbps
 // link.
@@ -21,6 +34,7 @@ package mtcp
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -63,8 +77,17 @@ const (
 	reqBytes     = 128
 	respBytes    = 1100 // 1 kB payload + headers
 	ringSize     = 64
-	rto          = 13_000_000 // 5 ms retransmission timeout
 	numThreads   = 16
+
+	// Client retransmission: exponential backoff from rtoBase, capped
+	// at rtoMax, aborting after maxRetries unanswered transmissions.
+	rtoBase    = 13_000_000  // 5 ms initial retransmission timeout
+	rtoMax     = 104_000_000 // 40 ms backoff cap
+	maxRetries = 6
+
+	// AIMD bounds for the adaptive CI polling interval.
+	maxBackoffMult = 8 // interval cap = 8x the configured interval
+	tightenAfter   = 4 // on-budget polls before re-tightening
 )
 
 // ciAppSlowdownPct models the CI instrumentation overhead on the
@@ -85,6 +108,15 @@ type Config struct {
 	// DurationCycles is the simulated time (default 26M ≈ 10 ms).
 	DurationCycles int64
 	Seed           uint64
+	// FaultPlan optionally injects network faults (loss, corruption,
+	// reordering), application stall spikes, and CI handler-overrun
+	// spikes. Nil runs fault-free.
+	FaultPlan *faults.Plan
+	// Adaptive enables AIMD adaptation of the CI polling interval
+	// under handler overruns (CI mode only): overruns double the
+	// interval up to maxBackoffMult x the configured value; sustained
+	// on-budget polls re-tighten it additively.
+	Adaptive bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -116,15 +148,35 @@ type Result struct {
 	// response).
 	MeanLatencyUs, MedianLatencyUs, P99LatencyUs float64
 	Drops, Retransmits                           int64
+	// Issued counts client requests (unique generations, not
+	// retransmits); Aborted counts requests given up after maxRetries;
+	// Outstanding is the requests still in flight at the end of the
+	// run. Issued = CompletedAll + Aborted + Outstanding, and
+	// Outstanding never exceeds Conns (the closed loop keeps at most
+	// one request per connection in flight).
+	Issued, Aborted, Outstanding int64
+	// CompletedAll counts completions including the warmup window
+	// (Completed excludes it).
+	CompletedAll int64
+	// Injected-fault accounting: Lost packets (wire ate them),
+	// corrupted packets discarded at checksum, duplicate generations
+	// discarded at sequence check, and kernel softirq backlog drops.
+	Lost, CorruptDiscards, DupDiscards, BacklogDrops int64
+	// Overruns counts CI polls whose handler cost exceeded the current
+	// interval; FinalIntervalCycles is the AIMD interval at run end.
+	Overruns            int64
+	FinalIntervalCycles int64
 }
 
 type request struct {
 	conn      int
+	gen       int64
 	remaining int64
 }
 
 type response struct {
 	conn int
+	gen  int64
 }
 
 type server struct {
@@ -134,14 +186,37 @@ type server struct {
 	link *netsim.Link
 	nic  *netsim.NIC
 
+	appInj *faults.Injector // app-side stall spikes
+	ciInj  *faults.Injector // handler-overrun spikes
+
 	appQ []request
 	txQ  []response
 
-	sendTime  []int64 // per connection: when the outstanding request was first sent
-	latencies []int64
-	completed int64
-	retx      int64
-	warmup    int64
+	// Per-connection client state: current request generation, last
+	// generation completed or aborted, and first-send time of the
+	// current generation (for latency).
+	gen      []int64
+	ackedGen []int64
+	sendTime []int64
+	// Per-connection server state: last generation accepted by the
+	// stack (duplicate suppression).
+	seenGen []int64
+
+	latencies    []int64
+	completed    int64
+	completedAll int64
+	issued       int64
+	aborted      int64
+	retx         int64
+	softDrops    int64
+	corruptDisc  int64
+	dupDisc      int64
+	warmup       int64
+
+	// CI-mode adaptive polling state.
+	curInterval  int64
+	overruns     int64
+	onTimeStreak int
 
 	// orig-mode state
 	serverIdle bool
@@ -153,6 +228,14 @@ type server struct {
 
 // Run simulates one configuration and returns its metrics.
 func Run(cfg Config) Result {
+	r, _ := RunChecked(cfg)
+	return r
+}
+
+// RunChecked is Run with a progress deadline on the event loop: a
+// model bug or fault interaction that livelocks returns
+// sim.ErrNoProgress (with partial metrics) instead of hanging.
+func RunChecked(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	s := &server{
 		cfg:      cfg,
@@ -160,9 +243,16 @@ func Run(cfg Config) Result {
 		rng:      sim.NewRNG(cfg.Seed),
 		link:     &netsim.Link{CyclesPerByte: netsim.CyclesPerByte10G, Propagation: 26000},
 		nic:      netsim.NewNIC(ringSize),
+		appInj:   faults.New(cfg.FaultPlan, "mtcp/app"),
+		ciInj:    faults.New(cfg.FaultPlan, "mtcp/ci"),
+		gen:      make([]int64, cfg.Conns),
+		ackedGen: make([]int64, cfg.Conns),
 		sendTime: make([]int64, cfg.Conns),
+		seenGen:  make([]int64, cfg.Conns),
 		warmup:   cfg.DurationCycles / 4,
 	}
+	s.nic.Faults = faults.New(cfg.FaultPlan, "mtcp/net")
+	s.curInterval = cfg.IntervalCycles
 	s.serverIdle = true
 	// Clients open their connections spread over the first ~20 µs.
 	for c := 0; c < cfg.Conns; c++ {
@@ -173,13 +263,17 @@ func Run(cfg Config) Result {
 	if cfg.Mode == CI {
 		s.eng.At(cfg.IntervalCycles, func() { s.ciPoll() })
 	}
-	s.eng.Run(cfg.DurationCycles)
-	return s.result()
+	_, err := s.eng.RunDeadline(cfg.DurationCycles, sim.Deadline{
+		MaxEvents:   max(cfg.DurationCycles/10, 1_000_000),
+		MaxSameTime: 1 << 17,
+	})
+	return s.result(), err
 }
 
 // appCost is the server-side compute per request: inflated by the CI
 // instrumentation overhead in CI mode; carrying the per-request queue
-// locking and event-notification cost in orig mode.
+// locking and event-notification cost in orig mode; plus any injected
+// stall spike (page fault / slow syscall).
 func (s *server) appCost() int64 {
 	c := appPerReq + s.cfg.WorkCycles
 	switch s.cfg.Mode {
@@ -188,38 +282,100 @@ func (s *server) appCost() int64 {
 	case Orig:
 		c += origPerReq
 	}
-	return c
+	return c + s.appInj.Stall()
 }
 
-// sendRequest issues the connection's next request from the client.
+// sendRequest issues the connection's next request from the client and
+// arms its retransmission timer.
 func (s *server) sendRequest(conn int) {
 	now := s.eng.Now()
+	s.issued++
+	s.gen[conn]++
+	g := s.gen[conn]
 	s.sendTime[conn] = now
-	s.scheduleArrival(conn, now+s.link.Delay(reqBytes), false)
+	s.transmit(conn, g, false)
+	s.armRTO(conn, g, 0)
 }
 
-// scheduleArrival delivers a request packet to the server NIC,
-// retransmitting on ring overflow.
-func (s *server) scheduleArrival(conn int, at int64, isRetx bool) {
+// transmit puts one request packet on the wire. Loss (injected or
+// ring overflow) is silent; the client's RTO timer recovers.
+func (s *server) transmit(conn int, gen int64, isRetx bool) {
+	at := s.eng.Now() + s.link.Delay(reqBytes)
 	s.eng.At(at, func() {
-		ok := s.nic.Push(netsim.Packet{Arrival: s.eng.Now(), Conn: conn, Bytes: reqBytes, Retransmit: isRetx})
-		if !ok {
-			s.retx++
-			s.scheduleArrival(conn, s.eng.Now()+rto, true)
-			return
-		}
-		if s.cfg.Mode != CI {
+		ok := s.nic.Push(netsim.Packet{
+			Arrival: s.eng.Now(), Conn: conn, Seq: gen,
+			Bytes: reqBytes, Retransmit: isRetx,
+		})
+		if ok && s.cfg.Mode != CI {
 			s.onRxActivity()
 		}
 	})
 }
 
+// rtoFor is the exponential-backoff timeout for the given attempt.
+func rtoFor(attempt int) int64 {
+	t := int64(rtoBase) << uint(attempt)
+	if t > rtoMax || t <= 0 {
+		t = rtoMax
+	}
+	return t
+}
+
+// armRTO schedules the retransmission timer for one transmission of
+// (conn, gen). If the response arrives first the timer is a no-op;
+// otherwise it retransmits with doubled backoff, and after maxRetries
+// aborts the request and reconnects.
+func (s *server) armRTO(conn int, gen int64, attempt int) {
+	s.eng.After(rtoFor(attempt), func() {
+		if s.ackedGen[conn] >= gen {
+			return // answered (or already aborted)
+		}
+		if attempt >= maxRetries {
+			s.aborted++
+			s.ackedGen[conn] = gen
+			// The client closes the connection and reopens: the
+			// closed loop continues with a fresh request.
+			s.eng.After(think, func() { s.sendRequest(conn) })
+			return
+		}
+		s.retx++
+		s.transmit(conn, gen, true)
+		s.armRTO(conn, gen, attempt+1)
+	})
+}
+
+// admit filters drained packets through checksum and duplicate
+// suppression, returning the packets the stack accepts as new
+// requests. Discards still cost receive-path cycles at the caller.
+func (s *server) admit(pkts []netsim.Packet) []netsim.Packet {
+	out := pkts[:0]
+	for _, p := range pkts {
+		if p.Corrupt {
+			s.corruptDisc++
+			continue
+		}
+		if p.Seq <= s.seenGen[p.Conn] {
+			s.dupDisc++
+			continue
+		}
+		s.seenGen[p.Conn] = p.Seq
+		out = append(out, p)
+	}
+	return out
+}
+
 // deliverResponse completes a request at the client and starts the
-// next one (closed loop).
-func (s *server) deliverResponse(conn int, txDone int64) {
+// next one (closed loop). Stale responses (duplicate server work or a
+// response overtaking an abort) are dropped at the client.
+func (s *server) deliverResponse(conn int, gen int64, txDone int64) {
 	arrive := txDone + s.link.Delay(respBytes)
 	s.eng.At(arrive, func() {
+		if s.ackedGen[conn] >= gen {
+			return
+		}
+		s.ackedGen[conn] = gen
 		now := s.eng.Now()
+		s.completedAll++
 		if now > s.warmup {
 			s.latencies = append(s.latencies, now-s.sendTime[conn])
 			s.completed++
@@ -230,28 +386,52 @@ func (s *server) deliverResponse(conn int, txDone int64) {
 
 // ciPoll is the CI-mode stack run: the interrupt handler executes the
 // mTCP stack-loop body, then the application consumes the remainder of
-// the interval.
+// the interval. Under Config.Adaptive the polling interval reacts to
+// handler overruns with AIMD.
 func (s *server) ciPoll() {
 	t := s.eng.Now()
 	cost := int64(ciHandler)
+	cost += s.ciInj.Overrun() // injected handler-overrun spike
 	pkts := s.nic.Drain(t, 0)
 	if len(pkts) > 0 || len(s.txQ) > 0 {
 		cost += stackFixed
 	}
 	cost += int64(len(pkts)) * stackPerRx
-	for _, p := range pkts {
-		s.appQ = append(s.appQ, request{conn: p.Conn, remaining: s.appCost()})
+	for _, p := range s.admit(pkts) {
+		s.appQ = append(s.appQ, request{conn: p.Conn, gen: p.Seq, remaining: s.appCost()})
 	}
 	cost += int64(len(s.txQ)) * stackPerTx
 	tEnd := t + cost
 	for _, r := range s.txQ {
-		s.deliverResponse(r.conn, tEnd)
+		s.deliverResponse(r.conn, r.gen, tEnd)
 	}
 	s.txQ = s.txQ[:0]
 	// Application budget until the next interrupt.
-	budget := s.cfg.IntervalCycles
+	budget := s.curInterval
 	s.runApp(&budget)
-	s.eng.At(tEnd+s.cfg.IntervalCycles, func() { s.ciPoll() })
+	if s.cfg.Adaptive {
+		s.adaptInterval(cost)
+	}
+	s.eng.At(tEnd+s.curInterval, func() { s.ciPoll() })
+}
+
+// adaptInterval applies AIMD to the CI polling interval: a handler
+// that overran its interval doubles it (up to maxBackoffMult x the
+// configured target); tightenAfter consecutive on-budget polls shrink
+// it additively back toward the target.
+func (s *server) adaptInterval(handlerCost int64) {
+	base := s.cfg.IntervalCycles
+	if handlerCost > s.curInterval {
+		s.overruns++
+		s.onTimeStreak = 0
+		s.curInterval = min(s.curInterval*2, base*maxBackoffMult)
+		return
+	}
+	s.onTimeStreak++
+	if s.onTimeStreak >= tightenAfter && s.curInterval > base {
+		s.onTimeStreak = 0
+		s.curInterval = max(base, s.curInterval-base/8)
+	}
 }
 
 // runApp consumes application work from the queue within budget.
@@ -265,7 +445,7 @@ func (s *server) runApp(budget *int64) {
 		r.remaining -= use
 		*budget -= use
 		if r.remaining == 0 {
-			s.txQ = append(s.txQ, response{conn: r.conn})
+			s.txQ = append(s.txQ, response{conn: r.conn, gen: r.gen})
 			s.appQ = s.appQ[:copy(s.appQ, s.appQ[1:])]
 		}
 	}
@@ -290,13 +470,13 @@ func (s *server) helperStep() {
 	cost := int64(stackFixed)
 	pkts := s.nic.Drain(t, 0)
 	cost += int64(len(pkts)) * stackPerRx
-	for _, p := range pkts {
-		s.appQ = append(s.appQ, request{conn: p.Conn, remaining: s.appCost()})
+	for _, p := range s.admit(pkts) {
+		s.appQ = append(s.appQ, request{conn: p.Conn, gen: p.Seq, remaining: s.appCost()})
 	}
 	cost += int64(len(s.txQ)) * stackPerTx
 	tEnd := t + cost
 	for _, r := range s.txQ {
-		s.deliverResponse(r.conn, tEnd)
+		s.deliverResponse(r.conn, r.gen, tEnd)
 	}
 	s.txQ = s.txQ[:0]
 	if len(s.appQ) == 0 {
@@ -341,13 +521,13 @@ func (s *server) helperSlice() {
 	cost := int64(stackFixed)
 	pkts := s.nic.Drain(t, 0)
 	cost += int64(len(pkts)) * stackPerRx
-	for _, p := range pkts {
-		s.appQ = append(s.appQ, request{conn: p.Conn, remaining: s.appCost()})
+	for _, p := range s.admit(pkts) {
+		s.appQ = append(s.appQ, request{conn: p.Conn, gen: p.Seq, remaining: s.appCost()})
 	}
 	cost += int64(len(s.txQ)) * stackPerTx
 	tEnd := t + cost
 	for _, r := range s.txQ {
-		s.deliverResponse(r.conn, tEnd)
+		s.deliverResponse(r.conn, r.gen, tEnd)
 	}
 	s.txQ = s.txQ[:0]
 	s.eng.At(t+quantum+ctxSwitch, func() { s.appStep() })
@@ -357,7 +537,7 @@ func (s *server) helperSlice() {
 // request through the (FIFO) core. The IRQ cost grows with the
 // connection count: the NIC steers flows onto 8 IRQ cores whose
 // contention with the application cores collapses at high concurrency
-// (the paper attributes the kernel curve\'s shape to exactly this).
+// (the paper attributes the kernel curve's shape to exactly this).
 func (s *server) kernelRx() {
 	factor := 1 + float64(s.cfg.Conns*s.cfg.Conns)/(4*4)
 	if factor > 12 {
@@ -365,13 +545,12 @@ func (s *server) kernelRx() {
 	}
 	irq := int64(float64(kIRQBase) * factor)
 	pkts := s.nic.Drain(s.eng.Now(), 0)
-	for _, p := range pkts {
-		conn := p.Conn
+	for _, p := range s.admit(pkts) {
+		conn, gen := p.Conn, p.Seq
 		if s.kernelPending > int64(ringSize) {
 			// Softirq backlog overflow: the packet is lost and the
-			// client retransmits after its timeout.
-			s.retx++
-			s.scheduleArrival(conn, s.eng.Now()+rto, true)
+			// client's RTO timer retransmits after its backoff.
+			s.softDrops++
 			continue
 		}
 		s.kernelPending++
@@ -379,7 +558,7 @@ func (s *server) kernelRx() {
 			appCost := 2*kSyscall + s.appCost() + stackPerTx
 			s.coreTask(appCost, func(end int64) {
 				s.kernelPending--
-				s.deliverResponse(conn, end)
+				s.deliverResponse(conn, gen, end)
 			})
 		})
 	}
@@ -405,12 +584,22 @@ func (s *server) result() Result {
 		gbps = 9.4 // the 10 Gbps link (minus framing) is the ceiling
 	}
 	res := Result{
-		Mode:           cfg.Mode,
-		Conns:          cfg.Conns,
-		Completed:      s.completed,
-		ThroughputGbps: gbps,
-		Drops:          s.nic.Dropped,
-		Retransmits:    s.retx,
+		Mode:                cfg.Mode,
+		Conns:               cfg.Conns,
+		Completed:           s.completed,
+		ThroughputGbps:      gbps,
+		Drops:               s.nic.Dropped + s.softDrops,
+		Retransmits:         s.retx,
+		Issued:              s.issued,
+		Aborted:             s.aborted,
+		Outstanding:         s.issued - s.completedAll - s.aborted,
+		CompletedAll:        s.completedAll,
+		Lost:                s.nic.Lost,
+		CorruptDiscards:     s.corruptDisc,
+		DupDiscards:         s.dupDisc,
+		BacklogDrops:        s.softDrops,
+		Overruns:            s.overruns,
+		FinalIntervalCycles: s.curInterval,
 	}
 	if len(s.latencies) > 0 {
 		toUs := func(c int64) float64 { return float64(c) / 2600 }

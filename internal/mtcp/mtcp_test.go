@@ -1,6 +1,10 @@
 package mtcp
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/faults"
+)
 
 func TestModesRunAndComplete(t *testing.T) {
 	for _, m := range []Mode{Kernel, Orig, CI} {
@@ -132,5 +136,134 @@ func TestLongerCIIntervalImprovesEfficiencyTradesLatency(t *testing.T) {
 	if idleLong.MedianLatencyUs <= idleShort.MedianLatencyUs {
 		t.Errorf("longer interval should raise low-load latency: %.1f vs %.1f µs",
 			idleLong.MedianLatencyUs, idleShort.MedianLatencyUs)
+	}
+}
+
+// Regression for the backoff path: at 1% injected packet loss the CI
+// server must degrade smoothly — requests keep completing, conservation
+// holds, retransmits recover nearly all losses, and throughput stays
+// within a modest factor of the fault-free run.
+func TestSmoothDegradationAtOnePercentLoss(t *testing.T) {
+	base := Run(Config{Mode: CI, Conns: 32})
+	r, err := RunChecked(Config{
+		Mode: CI, Conns: 32,
+		FaultPlan: &faults.Plan{Seed: 11, DropProb: 0.01},
+	})
+	if err != nil {
+		t.Fatalf("RunChecked: %v", err)
+	}
+	if r.Lost == 0 {
+		t.Fatal("no injected loss at 1%")
+	}
+	if r.Retransmits == 0 {
+		t.Error("losses must trigger retransmits")
+	}
+	if r.Completed == 0 {
+		t.Fatal("no completions under 1% loss")
+	}
+	if r.ThroughputGbps < 0.5*base.ThroughputGbps {
+		t.Errorf("1%% loss should degrade gracefully: %.2f vs fault-free %.2f Gbps",
+			r.ThroughputGbps, base.ThroughputGbps)
+	}
+	// With rtoBase backoff and maxRetries=6 the odds of aborting at 1%
+	// loss are ~1e-12; any abort here means the backoff path is broken.
+	if r.Aborted != 0 {
+		t.Errorf("aborts at 1%% loss: %d", r.Aborted)
+	}
+	checkConservation(t, r)
+}
+
+func checkConservation(t *testing.T, r Result) {
+	t.Helper()
+	if r.Issued != r.CompletedAll+r.Aborted+r.Outstanding {
+		t.Errorf("request conservation: issued=%d completedAll=%d aborted=%d outstanding=%d",
+			r.Issued, r.CompletedAll, r.Aborted, r.Outstanding)
+	}
+	if r.Outstanding < 0 || r.Outstanding > int64(r.Conns) {
+		t.Errorf("outstanding=%d out of [0, %d]", r.Outstanding, r.Conns)
+	}
+}
+
+// The exponential backoff must abort (not retransmit forever) when the
+// wire eats everything, and the closed loop must keep reissuing.
+func TestTotalLossAbortsWithBackoffCap(t *testing.T) {
+	r, err := RunChecked(Config{
+		Mode: CI, Conns: 4,
+		DurationCycles: 1_000_000_000, // 385 ms: enough for a full backoff ladder
+		FaultPlan:      &faults.Plan{Seed: 3, DropProb: 1},
+	})
+	if err != nil {
+		t.Fatalf("RunChecked: %v", err)
+	}
+	if r.CompletedAll != 0 {
+		t.Errorf("completions despite 100%% loss: %d", r.CompletedAll)
+	}
+	if r.Aborted == 0 {
+		t.Error("total loss must abort requests after maxRetries")
+	}
+	// Each aborted generation transmits 1 + maxRetries times.
+	if want := r.Aborted * maxRetries; r.Retransmits < want {
+		t.Errorf("retransmits=%d, want >= %d (maxRetries per abort)", r.Retransmits, want)
+	}
+	checkConservation(t, r)
+}
+
+// Same seed and plan ⇒ bit-identical results, fault injection included.
+func TestFaultRunsDeterministic(t *testing.T) {
+	cfg := Config{
+		Mode: CI, Conns: 32, Adaptive: true,
+		FaultPlan: faults.Uniform(99, 0.01),
+	}
+	a := Run(cfg)
+	b := Run(cfg)
+	if a != b {
+		t.Errorf("fault runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+// Corrupted packets are discarded at checksum time and recovered by
+// retransmission; duplicates from spurious retransmits never reach the
+// application twice.
+func TestCorruptionDiscardAndDuplicateSuppression(t *testing.T) {
+	r, err := RunChecked(Config{
+		Mode: CI, Conns: 32,
+		FaultPlan: &faults.Plan{Seed: 21, CorruptProb: 0.05},
+	})
+	if err != nil {
+		t.Fatalf("RunChecked: %v", err)
+	}
+	if r.CorruptDiscards == 0 {
+		t.Fatal("no corrupt discards at 5% corruption")
+	}
+	if r.Completed == 0 {
+		t.Fatal("no completions under corruption")
+	}
+	checkConservation(t, r)
+}
+
+// Adaptive polling: injected handler-overrun spikes must back the
+// interval off (bounded by the cap) and the backoff must re-tighten —
+// and adaptation must stay off unless opted into.
+func TestAdaptiveIntervalBacksOffUnderOverruns(t *testing.T) {
+	plan := &faults.Plan{Seed: 7, OverrunProb: 0.5, OverrunCycles: 50_000}
+	fixed := Run(Config{Mode: CI, Conns: 16, FaultPlan: plan})
+	if fixed.FinalIntervalCycles != 2500 {
+		t.Errorf("interval moved without Adaptive: %d", fixed.FinalIntervalCycles)
+	}
+	adaptive := Run(Config{Mode: CI, Conns: 16, FaultPlan: plan, Adaptive: true})
+	if adaptive.Overruns == 0 {
+		t.Fatal("no overruns detected under injected spikes")
+	}
+	if adaptive.FinalIntervalCycles <= 2500 {
+		t.Errorf("interval did not back off: %d", adaptive.FinalIntervalCycles)
+	}
+	if max := int64(2500 * maxBackoffMult); adaptive.FinalIntervalCycles > max {
+		t.Errorf("interval %d exceeds cap %d", adaptive.FinalIntervalCycles, max)
+	}
+	// With a base interval comfortably above the per-poll handler cost
+	// and no spikes, an adaptive run never leaves the base.
+	calm := Run(Config{Mode: CI, Conns: 1, IntervalCycles: 16000, Adaptive: true})
+	if calm.FinalIntervalCycles != 16000 {
+		t.Errorf("adaptive interval drifted without overruns: %d", calm.FinalIntervalCycles)
 	}
 }

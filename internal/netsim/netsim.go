@@ -1,8 +1,11 @@
 // Package netsim models the networking substrate of the mTCP and
 // Shenango experiments: a 10 Gbps link with serialization and
 // propagation delay, and a NIC receive ring with finite capacity and
-// drop accounting.
+// drop accounting. An optional fault injector adds probabilistic
+// packet loss, corruption and reordering on top of ring-overflow loss.
 package netsim
+
+import "repro/internal/faults"
 
 // Cycle-domain constants at the 2.6 GHz model clock.
 const (
@@ -42,15 +45,28 @@ type Packet struct {
 	Bytes int64
 	// Retransmit marks a retransmitted packet.
 	Retransmit bool
+	// Corrupt marks a packet whose payload was damaged in flight; the
+	// receiving stack discards it at checksum time.
+	Corrupt bool
 }
 
 // NIC is a receive ring of finite capacity.
 type NIC struct {
 	// Capacity is the ring size in packets; pushes beyond it drop.
 	Capacity int
-	ring     []Packet
+	// Faults, when non-nil, injects probabilistic loss, corruption and
+	// reordering on every push (on top of ring-overflow drops).
+	Faults *faults.Injector
+	ring   []Packet
 	// Dropped counts packets lost to ring overflow.
 	Dropped int64
+	// Lost counts packets removed by injected loss (the wire ate them
+	// before the ring ever saw them).
+	Lost int64
+	// Corrupted counts packets delivered with damaged payloads.
+	Corrupted int64
+	// Reordered counts packets delivered late out of order.
+	Reordered int64
 	// Received counts all packets that entered the ring.
 	Received int64
 }
@@ -60,14 +76,34 @@ func NewNIC(capacity int) *NIC {
 	return &NIC{Capacity: capacity}
 }
 
-// Push adds a packet to the ring; returns false (and counts a drop) on
-// overflow.
+// Push adds a packet to the ring; returns false (and counts a drop or
+// an injected loss) when the packet does not make it in. Injected
+// reordering delays the packet's visible arrival; the ring stays
+// sorted by arrival so late packets do not block earlier ones.
 func (n *NIC) Push(p Packet) bool {
+	if n.Faults.Drop() {
+		n.Lost++
+		return false
+	}
 	if len(n.ring) >= n.Capacity {
 		n.Dropped++
 		return false
 	}
+	if n.Faults.Corrupt() {
+		p.Corrupt = true
+		n.Corrupted++
+	}
+	if d := n.Faults.Reorder(); d > 0 {
+		p.Arrival += d
+		n.Reordered++
+	}
 	n.ring = append(n.ring, p)
+	// Keep arrival order: bubble a delayed packet past any it now
+	// follows. A no-op when no reordering is injected (pushes arrive
+	// in time order).
+	for i := len(n.ring) - 1; i > 0 && n.ring[i-1].Arrival > n.ring[i].Arrival; i-- {
+		n.ring[i-1], n.ring[i] = n.ring[i], n.ring[i-1]
+	}
 	n.Received++
 	return true
 }

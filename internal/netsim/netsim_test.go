@@ -1,6 +1,10 @@
 package netsim
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/faults"
+)
 
 func TestLinkDelay(t *testing.T) {
 	l := TenGbps()
@@ -72,5 +76,90 @@ func TestNICDrainPreservesFutureArrivals(t *testing.T) {
 	}
 	if n.Pending() != 1 {
 		t.Errorf("future packet lost")
+	}
+}
+
+func TestNICInjectedLossIsCountedSeparately(t *testing.T) {
+	n := NewNIC(1000)
+	n.Faults = faults.New(&faults.Plan{Seed: 5, DropProb: 0.5}, "net")
+	pushes := 1000
+	accepted := 0
+	for i := 0; i < pushes; i++ {
+		if n.Push(Packet{Arrival: int64(i)}) {
+			accepted++
+		}
+	}
+	if n.Lost == 0 {
+		t.Fatal("no injected loss at p=0.5")
+	}
+	if n.Dropped != 0 {
+		t.Errorf("injected loss misattributed to ring overflow: %d", n.Dropped)
+	}
+	// Conservation: every push is accounted for exactly once.
+	if n.Received+n.Lost+n.Dropped != int64(pushes) {
+		t.Errorf("conservation: received=%d lost=%d dropped=%d pushes=%d",
+			n.Received, n.Lost, n.Dropped, pushes)
+	}
+	if int64(accepted) != n.Received {
+		t.Errorf("accepted=%d received=%d", accepted, n.Received)
+	}
+}
+
+func TestNICCorruptionDeliversMarkedPackets(t *testing.T) {
+	n := NewNIC(100)
+	n.Faults = faults.New(&faults.Plan{Seed: 9, CorruptProb: 1}, "net")
+	for i := 0; i < 10; i++ {
+		if !n.Push(Packet{Arrival: int64(i)}) {
+			t.Fatal("corruption must not drop the packet")
+		}
+	}
+	got := n.Drain(100, 0)
+	if len(got) != 10 || n.Corrupted != 10 {
+		t.Fatalf("delivered %d corrupted=%d", len(got), n.Corrupted)
+	}
+	for _, p := range got {
+		if !p.Corrupt {
+			t.Fatal("corrupted packet not marked")
+		}
+	}
+}
+
+// A reordered (delayed) packet must not block packets pushed after it:
+// the ring stays sorted by visible arrival time.
+func TestNICReorderDoesNotBlockLaterPackets(t *testing.T) {
+	n := NewNIC(100)
+	n.Faults = faults.New(&faults.Plan{Seed: 2, ReorderProb: 1, ReorderDelayCycles: 1 << 40}, "net")
+	n.Push(Packet{Arrival: 10, Conn: 0}) // delayed far into the future
+	n.Faults = nil
+	n.Push(Packet{Arrival: 20, Conn: 1})
+	got := n.Drain(1000, 0)
+	if len(got) != 1 || got[0].Conn != 1 {
+		t.Fatalf("Drain = %+v, want only the in-order packet", got)
+	}
+	if n.Pending() != 1 {
+		t.Errorf("delayed packet lost")
+	}
+	if n.Reordered != 1 {
+		t.Errorf("Reordered = %d", n.Reordered)
+	}
+}
+
+func TestNICFaultsDeterministic(t *testing.T) {
+	run := func() (int64, int64, int64) {
+		n := NewNIC(50)
+		n.Faults = faults.New(faults.Uniform(77, 0.2), "net")
+		for i := 0; i < 500; i++ {
+			n.Push(Packet{Arrival: int64(i)})
+			n.Drain(int64(i), 4)
+		}
+		return n.Lost, n.Corrupted, n.Reordered
+	}
+	l1, c1, r1 := run()
+	l2, c2, r2 := run()
+	if l1 != l2 || c1 != c2 || r1 != r2 {
+		t.Errorf("fault sequence not deterministic: %d/%d/%d vs %d/%d/%d", l1, c1, r1, l2, c2, r2)
+	}
+	if l1 == 0 || c1 == 0 || r1 == 0 {
+		t.Errorf("expected all fault classes at rate 0.2: %d/%d/%d", l1, c1, r1)
 	}
 }

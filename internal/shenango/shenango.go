@@ -14,6 +14,7 @@ package shenango
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -77,6 +78,11 @@ type Config struct {
 	// DurationCycles is the simulated time (default 130M ≈ 50 ms).
 	DurationCycles int64
 	Seed           uint64
+	// FaultPlan optionally injects worker-core stalls (the core is
+	// stolen or wedged for ServerStallCycles at a mean gap of
+	// ServerStallMeanGapCycles). The IOKernel detects a stalled worker
+	// at steering time and re-steers packets to live workers.
+	FaultPlan *faults.Plan
 }
 
 func (c *Config) withDefaults() Config {
@@ -116,6 +122,10 @@ type Result struct {
 	// batch application (swaptions); the paper reports it identical
 	// between the CI and dedicated IOKernels.
 	BatchShare float64
+	// Stalls counts injected worker-core stall events; ReSteers counts
+	// packets the IOKernel steered away from a stalled worker it would
+	// otherwise have picked.
+	Stalls, ReSteers int64
 }
 
 // String renders a result row.
@@ -141,6 +151,13 @@ type state struct {
 	egress  []request // responses waiting to leave via the IOKernel
 
 	workerFree []int64
+	// stalledUntil[w] is the cycle at which an injected stall on worker
+	// w ends; stallCount round-robins stall placement.
+	stalledUntil []int64
+	stallInj     *faults.Injector
+	stallCount   int64
+	stalls       int64
+	reSteers     int64
 
 	latencies []int64
 	completed int64
@@ -152,13 +169,23 @@ type state struct {
 
 // Run simulates one configuration.
 func Run(cfg Config) Result {
+	r, _ := RunChecked(cfg)
+	return r
+}
+
+// RunChecked is Run with a progress deadline on the event loop: a
+// model bug or fault interaction that livelocks returns
+// sim.ErrNoProgress (with partial metrics) instead of hanging.
+func RunChecked(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	s := &state{
-		cfg:        cfg,
-		eng:        sim.NewEngine(),
-		rng:        sim.NewRNG(cfg.Seed),
-		workerFree: make([]int64, cfg.Workers),
-		warmup:     cfg.DurationCycles / 5,
+		cfg:          cfg,
+		eng:          sim.NewEngine(),
+		rng:          sim.NewRNG(cfg.Seed),
+		workerFree:   make([]int64, cfg.Workers),
+		stalledUntil: make([]int64, cfg.Workers),
+		stallInj:     faults.New(cfg.FaultPlan, "shenango/worker"),
+		warmup:       cfg.DurationCycles / 5,
 	}
 	interArrival := 2.6e9 / cfg.OfferedLoad
 	var scheduleArrival func()
@@ -177,8 +204,34 @@ func Run(cfg Config) Result {
 	if cfg.Kind == Dedicated || cfg.Kind == CIHosted {
 		s.schedulePoll()
 	}
-	s.eng.Run(cfg.DurationCycles)
-	return s.result()
+	s.scheduleStall()
+	_, err := s.eng.RunDeadline(cfg.DurationCycles, sim.Deadline{
+		MaxEvents:   max(cfg.DurationCycles/10, 1_000_000),
+		MaxSameTime: 1 << 17,
+	})
+	return s.result(), err
+}
+
+// scheduleStall places the next injected worker-core stall: the chosen
+// worker makes no progress for the stall's duration (its queue drains
+// only afterwards). Workers are hit round-robin so every core sees
+// stalls under a long enough run.
+func (s *state) scheduleStall() {
+	gap, dur, ok := s.stallInj.NextServerStall()
+	if !ok {
+		return
+	}
+	w := int(s.stallCount % int64(s.cfg.Workers))
+	s.stallCount++
+	s.eng.After(gap, func() {
+		now := s.eng.Now()
+		until := now + dur
+		if s.stalledUntil[w] < until {
+			s.stalledUntil[w] = until
+		}
+		s.stalls++
+		s.scheduleStall()
+	})
 }
 
 // schedulePoll runs the IOKernel loop: stock Shenango spins on a short
@@ -202,10 +255,15 @@ func (s *state) schedulePoll() {
 		s.iokBusy += cost
 		// Steer ingress packets to the least-loaded workers.
 		for _, rq := range s.ingress {
-			w := s.leastLoaded()
+			w := s.leastLoaded(t)
 			start := s.workerFree[w]
 			if start < tEnd {
 				start = tEnd
+			}
+			// A stall the detector missed (or was forced to accept
+			// because every worker is down) delays service start.
+			if start < s.stalledUntil[w] {
+				start = s.stalledUntil[w]
 			}
 			svc := s.rng.Exp(serviceMean)
 			end := start + svc
@@ -228,12 +286,29 @@ func (s *state) schedulePoll() {
 	})
 }
 
-func (s *state) leastLoaded() int {
-	best := 0
+// leastLoaded picks the worker to steer to: the least-loaded worker
+// the IOKernel believes is live. A worker inside an injected stall is
+// detected (its queue has not advanced since the last poll) and
+// skipped — a re-steer — unless every worker is stalled, in which case
+// steering falls back to the globally least-loaded one.
+func (s *state) leastLoaded(now int64) int {
+	glob, best := 0, -1
 	for i, f := range s.workerFree {
-		if f < s.workerFree[best] {
+		if f < s.workerFree[glob] {
+			glob = i
+		}
+		if s.stalledUntil[i] > now {
+			continue
+		}
+		if best < 0 || f < s.workerFree[best] {
 			best = i
 		}
+	}
+	if best < 0 {
+		return glob
+	}
+	if best != glob && s.stalledUntil[glob] > now {
+		s.reSteers++
 	}
 	return best
 }
@@ -249,10 +324,13 @@ func (s *state) kernelRequest(now int64) {
 			wake += s.rng.Exp(sharedQuantumMean)
 		}
 	}
-	w := s.leastLoaded()
+	w := s.leastLoaded(now)
 	start := now + wake + kernelPerReq
 	if s.workerFree[w] > start {
 		start = s.workerFree[w]
+	}
+	if s.stalledUntil[w] > start {
+		start = s.stalledUntil[w]
 	}
 	end := start + s.rng.Exp(serviceMean) + kernelPerReq/2
 	s.workerFree[w] = end
@@ -288,6 +366,8 @@ func (s *state) result() Result {
 		}
 		res.BatchShare = share
 	}
+	res.Stalls = s.stalls
+	res.ReSteers = s.reSteers
 	if cfg.Kind == CIHosted {
 		busyFrac := float64(s.iokBusy) / float64(cfg.DurationCycles)
 		if busyFrac > 1 {

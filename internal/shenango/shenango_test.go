@@ -1,6 +1,10 @@
 package shenango
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/faults"
+)
 
 func TestKindsRunAndServeLoad(t *testing.T) {
 	for _, k := range []Kind{Dedicated, CIHosted, Pthreads, PthreadsShared} {
@@ -96,5 +100,52 @@ func TestBatchThroughputUnchangedByCIIOKernel(t *testing.T) {
 	}
 	if diff > 0.02 {
 		t.Errorf("batch share differs: dedicated %.3f vs CI %.3f", stock.BatchShare, ci.BatchShare)
+	}
+}
+
+// A stall plan must actually stall workers, and the IOKernel must
+// detect them and re-steer load so the service keeps absorbing the
+// offered rate with a bounded tail.
+func TestWorkerStallsDetectedAndReSteered(t *testing.T) {
+	plan := &faults.Plan{Seed: 13, ServerStallMeanGapCycles: 2_000_000, ServerStallCycles: 1_000_000}
+	r, err := RunChecked(Config{Kind: CIHosted, OfferedLoad: 200e3, FaultPlan: plan})
+	if err != nil {
+		t.Fatalf("RunChecked: %v", err)
+	}
+	if r.Stalls == 0 {
+		t.Fatal("no stalls injected")
+	}
+	if r.ReSteers == 0 {
+		t.Error("stalled workers never triggered a re-steer")
+	}
+	if r.AchievedLoad < 0.9*r.OfferedLoad {
+		t.Errorf("stalls collapsed the service: achieved %v of offered %v",
+			r.AchievedLoad, r.OfferedLoad)
+	}
+	base := Run(Config{Kind: CIHosted, OfferedLoad: 200e3})
+	if r.P999Us > 50*base.P999Us {
+		t.Errorf("tail unbounded under stalls: %.1fµs vs fault-free %.1fµs", r.P999Us, base.P999Us)
+	}
+}
+
+func TestStallRunsDeterministic(t *testing.T) {
+	cfg := Config{Kind: CIHosted, OfferedLoad: 300e3, FaultPlan: faults.Uniform(42, 0.01)}
+	a := Run(cfg)
+	b := Run(cfg)
+	if a != b {
+		t.Errorf("stall runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+// Fault-free runs through RunChecked must finish clean and identical to
+// Run (the deadline must never bite on a healthy model).
+func TestRunCheckedCleanMatchesRun(t *testing.T) {
+	cfg := Config{Kind: Dedicated, OfferedLoad: 400e3}
+	r, err := RunChecked(cfg)
+	if err != nil {
+		t.Fatalf("clean run hit deadline: %v", err)
+	}
+	if r != Run(cfg) {
+		t.Error("RunChecked and Run disagree on a fault-free config")
 	}
 }

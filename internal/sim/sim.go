@@ -5,6 +5,7 @@ package sim
 
 import (
 	"container/heap"
+	"errors"
 	"math"
 )
 
@@ -108,11 +109,49 @@ func (e *Engine) After(delay int64, fn func()) { e.At(e.now+delay, fn) }
 // Run processes events until the queue is empty or time reaches limit.
 // Returns the number of events processed.
 func (e *Engine) Run(limit int64) int {
+	n, _ := e.RunDeadline(limit, Deadline{})
+	return n
+}
+
+// ErrNoProgress reports an event loop that exceeded its progress
+// deadline: either too many events in total, or too many events at a
+// single instant (a livelock — callbacks rescheduling each other with
+// zero delay never advance virtual time, so a plain Run would spin
+// forever).
+var ErrNoProgress = errors.New("sim: event loop exceeded its progress deadline")
+
+// Deadline bounds an event-loop run so that a faulty model returns an
+// error instead of hanging. Zero fields are unlimited.
+type Deadline struct {
+	// MaxEvents caps the total number of events processed.
+	MaxEvents int64
+	// MaxSameTime caps consecutive events processed without virtual
+	// time advancing.
+	MaxSameTime int64
+}
+
+// RunDeadline is Run with a progress deadline: it stops with
+// ErrNoProgress as soon as either bound is exceeded, leaving the
+// engine's queue and clock where they were (so the caller can report
+// partial state).
+func (e *Engine) RunDeadline(limit int64, d Deadline) (int, error) {
 	n := 0
+	var sameTime int64
 	for len(e.queue) > 0 {
 		ev := e.queue[0]
 		if ev.Time > limit {
 			break
+		}
+		if d.MaxEvents > 0 && int64(n) >= d.MaxEvents {
+			return n, ErrNoProgress
+		}
+		if ev.Time == e.now {
+			sameTime++
+			if d.MaxSameTime > 0 && sameTime > d.MaxSameTime {
+				return n, ErrNoProgress
+			}
+		} else {
+			sameTime = 0
 		}
 		heap.Pop(&e.queue)
 		e.now = ev.Time
@@ -122,7 +161,7 @@ func (e *Engine) Run(limit int64) int {
 	if e.now < limit {
 		e.now = limit
 	}
-	return n
+	return n, nil
 }
 
 // Pending reports whether events remain scheduled.

@@ -148,6 +148,69 @@ func TestEnginePastSchedulingClamped(t *testing.T) {
 	}
 }
 
+// A callback chain that reschedules itself with zero delay never
+// advances virtual time; the deadline must convert that livelock into
+// an error instead of spinning forever.
+func TestRunDeadlineStopsLivelock(t *testing.T) {
+	e := NewEngine()
+	var spin func()
+	spin = func() { e.After(0, spin) } // livelock: time never advances
+	e.After(10, spin)
+	n, err := e.RunDeadline(1000, Deadline{MaxSameTime: 500})
+	if err != ErrNoProgress {
+		t.Fatalf("err = %v, want ErrNoProgress", err)
+	}
+	if n < 500 {
+		t.Errorf("processed %d events before the deadline, want ≥500", n)
+	}
+	if e.Now() != 10 {
+		t.Errorf("Now = %d, want stuck at 10", e.Now())
+	}
+}
+
+func TestRunDeadlineMaxEvents(t *testing.T) {
+	e := NewEngine()
+	var tick func()
+	tick = func() { e.After(1, tick) } // unbounded but time-advancing
+	e.After(1, tick)
+	n, err := e.RunDeadline(1<<40, Deadline{MaxEvents: 1000})
+	if err != ErrNoProgress {
+		t.Fatalf("err = %v, want ErrNoProgress", err)
+	}
+	if n != 1000 {
+		t.Errorf("processed %d events, want exactly 1000", n)
+	}
+}
+
+func TestRunDeadlineCleanRunNoError(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.At(int64(i), func() { count++ })
+	}
+	n, err := e.RunDeadline(100, Deadline{MaxEvents: 1000, MaxSameTime: 100})
+	if err != nil || n != 10 || count != 10 {
+		t.Errorf("n=%d count=%d err=%v", n, count, err)
+	}
+	if e.Now() != 100 {
+		t.Errorf("Now = %d", e.Now())
+	}
+}
+
+// Many events at one instant are fine as long as they stay under the
+// same-time bound; the counter must reset when time advances.
+func TestRunDeadlineSameTimeResets(t *testing.T) {
+	e := NewEngine()
+	for step := int64(1); step <= 20; step++ {
+		for i := 0; i < 50; i++ {
+			e.At(step, func() {})
+		}
+	}
+	if _, err := e.RunDeadline(100, Deadline{MaxSameTime: 60}); err != nil {
+		t.Fatalf("bursts below the bound errored: %v", err)
+	}
+}
+
 // Property: events always fire in non-decreasing time order.
 func TestQuickEngineMonotonic(t *testing.T) {
 	f := func(seed int64) bool {

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Repo verification gate: formatting, static checks, build, tests, and
+# a quick chaos smoke run (fault-injection invariants at a 1% rate).
+# Run from the repo root; exits non-zero on the first failure.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== chaos smoke =="
+go run ./cmd/ciexp -quick chaos
+
+echo "verify: OK"
