@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"testing"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/ci/ciruntime"
 	"repro/internal/ci/instrument"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/ffwd"
 	"repro/internal/ir"
@@ -26,6 +28,15 @@ import (
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
+
+// sweepWorkers selects the experiment-engine worker count for the
+// sweep benchmarks (0 = GOMAXPROCS; 1 reproduces the serial pipeline).
+var sweepWorkers = flag.Int("sweepworkers", 0, "experiment engine workers for sweep benchmarks (0 = GOMAXPROCS)")
+
+// benchEngine returns a fresh engine per sweep so benchmark iterations
+// time the full measurement (compile + baselines + runs), not cache
+// replay; memoization still collapses duplicate work within one sweep.
+func benchEngine() *engine.Engine { return engine.New(*sweepWorkers) }
 
 // quickWorkloads is the -short subset: one representative per control
 // flow family.
@@ -121,23 +132,37 @@ func overheadBench(b *testing.B, threads int) {
 	}
 	sel := selectedWorkloads(b)
 	for i := 0; i < b.N; i++ {
-		perDesign := make([][]float64, len(designs))
-		for _, wl := range sel {
-			base, err := experiments.MeasureBaseline(wl, 1, threads)
-			if err != nil {
-				b.Fatal(err)
-			}
-			for di, d := range designs {
-				row, err := experiments.MeasureOverhead(wl, d, base, 1, threads, 5000, false)
-				if err != nil {
-					b.Fatal(err)
-				}
-				perDesign[di] = append(perDesign[di], row.Overhead)
-			}
+		fig := experiments.MeasureFigureOverheadSel(benchEngine(), threads, 1, designs, sel)
+		if len(fig.Errs) > 0 {
+			b.Fatalf("sweep cells failed: %v", fig.Errs)
 		}
 		for di, d := range designs {
-			b.ReportMetric(stats.MedianF(perDesign[di])*100, d.String()+"-median-%")
+			b.ReportMetric(fig.Medians[di]*100, d.String()+"-median-%")
 		}
+	}
+}
+
+// BenchmarkSweepWorkers times the identical Figure 9 sweep at
+// workers=1 (the legacy serial pipeline) and workers=8 (the sharded
+// engine) with a fresh cache each iteration — the engine's headline
+// wall-clock comparison. Results are byte-identical across the two
+// (TestEngineWorkerDeterminism in internal/experiments); only the
+// wall-clock differs.
+func BenchmarkSweepWorkers(b *testing.B) {
+	designs := []instrument.Design{
+		instrument.CI, instrument.CICycles, instrument.CnB,
+		instrument.CD, instrument.Naive,
+	}
+	sel := selectedWorkloads(b)
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fig := experiments.MeasureFigureOverheadSel(engine.New(workers), 1, 1, designs, sel)
+				if len(fig.Errs) > 0 {
+					b.Fatalf("sweep cells failed: %v", fig.Errs)
+				}
+			}
+		})
 	}
 }
 
@@ -154,17 +179,18 @@ func BenchmarkFigure11Overhead32T(b *testing.B) { overheadBench(b, 32) }
 func BenchmarkFigure10Accuracy(b *testing.B) {
 	sel := selectedWorkloads(b)
 	for i := 0; i < b.N; i++ {
+		eng := benchEngine()
 		var ciMed, cycMedMin []float64
 		for _, wl := range sel {
-			base, err := experiments.MeasureBaseline(wl, 1, 1)
+			base, err := experiments.BaselineCached(eng, wl, 1, 1)
 			if err != nil {
 				b.Fatal(err)
 			}
-			ci, err := experiments.MeasureOverhead(wl, instrument.CI, base, 1, 1, 5000, true)
+			ci, err := experiments.MeasureOverhead(eng, wl, instrument.CI, base, 1, 1, 5000, true)
 			if err != nil {
 				b.Fatal(err)
 			}
-			cyc, err := experiments.MeasureOverhead(wl, instrument.CICycles, base, 1, 1, 5000, true)
+			cyc, err := experiments.MeasureOverhead(eng, wl, instrument.CICycles, base, 1, 1, 5000, true)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -194,9 +220,12 @@ func intervalErrors(ivs []int64, target int64) []int64 {
 func BenchmarkFigure12CIvsHW(b *testing.B) {
 	intervals := []int64{500, 2000, 5000, 20000, 100000, 500000}
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.MeasureFigure12(1, intervals, quickWorkloads)
+		pts, cerrs, err := experiments.MeasureFigure12(benchEngine(), 1, intervals, quickWorkloads)
 		if err != nil {
 			b.Fatal(err)
+		}
+		if len(cerrs) > 0 {
+			b.Fatalf("sweep cells failed: %v", cerrs)
 		}
 		for _, p := range pts {
 			b.ReportMetric(p.CISlowdown, fmt.Sprintf("CI@%d", p.IntervalCycles))
@@ -212,9 +241,9 @@ func BenchmarkTable7Runtimes(b *testing.B) {
 		b.Skip("table 7 runs all 28 workloads at two thread counts")
 	}
 	for i := 0; i < b.N; i++ {
-		rows, geo, err := experiments.MeasureTable7(1)
-		if err != nil {
-			b.Fatal(err)
+		rows, geo, cerrs := experiments.MeasureTable7(benchEngine(), 1)
+		if len(cerrs) > 0 {
+			b.Fatalf("sweep cells failed: %v", cerrs)
 		}
 		if len(rows) != 28 {
 			b.Fatalf("rows = %d", len(rows))
@@ -242,15 +271,16 @@ func BenchmarkAblationLoopTransform(b *testing.B) {
 		{"no-transform", core.Config{Design: instrument.CI, ProbeIntervalIR: 250, DisableLoopTransform: true}},
 	}
 	for i := 0; i < b.N; i++ {
+		eng := benchEngine()
 		for _, c := range cfgs {
 			var overheads []float64
 			for _, name := range loopHeavy {
 				wl := workloads.ByName(name)
-				base, err := experiments.MeasureBaseline(wl, 1, 1)
+				base, err := experiments.BaselineCached(eng, wl, 1, 1)
 				if err != nil {
 					b.Fatal(err)
 				}
-				prog, err := core.Compile(wl.Build(1), c.cfg)
+				prog, err := experiments.CompileCached(eng, wl, 1, c.cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -274,12 +304,13 @@ func BenchmarkAblationLoopTransform(b *testing.B) {
 func BenchmarkAblationProbeInterval(b *testing.B) {
 	wl := workloads.ByName("barnes")
 	for i := 0; i < b.N; i++ {
-		base, err := experiments.MeasureBaseline(wl, 1, 1)
+		eng := benchEngine()
+		base, err := experiments.BaselineCached(eng, wl, 1, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
 		for _, pi := range []int64{50, 250, 1000, 4000} {
-			prog, err := core.Compile(wl.Build(1), core.Config{Design: instrument.CI, ProbeIntervalIR: pi})
+			prog, err := experiments.CompileCached(eng, wl, 1, core.Config{Design: instrument.CI, ProbeIntervalIR: pi})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -391,9 +422,9 @@ func (w *logWriter) Write(p []byte) (int, error) {
 // late tail during uninstrumented gaps.
 func BenchmarkExtensionHybridWatchdog(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.MeasureHybrid([]string{"syscall-gaps"}, 5000, 2.0, 1)
-		if err != nil {
-			b.Fatal(err)
+		rows, cerrs := experiments.MeasureHybrid(benchEngine(), []string{"syscall-gaps"}, 5000, 2.0, 1)
+		if len(cerrs) > 0 {
+			b.Fatalf("sweep cells failed: %v", cerrs)
 		}
 		b.ReportMetric(float64(rows[0].CIMax), "CI-max-late-cy")
 		b.ReportMetric(float64(rows[0].HybridMax), "hybrid-max-late-cy")
@@ -437,9 +468,9 @@ func BenchmarkExtensionProbeCounts(b *testing.B) {
 		b.Skip("runs all 28 workloads twice")
 	}
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.MeasureProbeCounts(1, 5000)
-		if err != nil {
-			b.Fatal(err)
+		rows, cerrs := experiments.MeasureProbeCounts(benchEngine(), 1, 5000)
+		if len(cerrs) > 0 {
+			b.Fatalf("sweep cells failed: %v", cerrs)
 		}
 		var sum float64
 		for _, r := range rows {

@@ -17,9 +17,15 @@
 //	ciexp chaos     fault-injection sweep asserting the graceful-
 //	                degradation invariants (exits non-zero on violation)
 //
+// The workload sweeps run on the parallel experiment engine: -workers N
+// shards the cells across N workers (0 = GOMAXPROCS; results are
+// byte-identical at any worker count, and -workers 1 reproduces the
+// serial pipeline exactly), and -store FILE persists per-cell results
+// with content hashes so unchanged cells are skipped on re-runs.
+//
 // Flags: -scale N (workload size multiplier, default 1),
 // -quick (subset of workloads for fig12; single fault rate for chaos),
-// -seed N (chaos fault-plan seed).
+// -seed N (chaos fault-plan seed), -workers N, -store FILE.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 )
 
@@ -35,6 +42,8 @@ func main() {
 	quick := flag.Bool("quick", false, "use a workload subset where supported")
 	all := flag.Bool("all", false, "fig9/fig11: include Naive-Cycles and CnB-Cycles")
 	seed := flag.Uint64("seed", 1, "chaos: fault-plan seed")
+	workers := flag.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial)")
+	storePath := flag.String("store", "", "incremental result store (BENCH_*.json); unchanged cells are skipped")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ciexp [flags] fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table7|hybrid|allowable|probes|chaos|all\n")
 		flag.PrintDefaults()
@@ -45,6 +54,17 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
+
+	eng := engine.New(*workers)
+	if *storePath != "" {
+		store, err := engine.OpenStore(*storePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ciexp:", err)
+			os.Exit(1)
+		}
+		eng.Store = store
+	}
+
 	var err error
 	run := func(name string, f func() error) {
 		if cmd == name || cmd == "all" {
@@ -63,14 +83,14 @@ func main() {
 		{"fig6", func() error { return experiments.PrintFigure6(os.Stdout) }},
 		{"fig7", func() error { return experiments.PrintFigure7(os.Stdout) }},
 		{"fig8", func() error { return experiments.PrintFigure8(os.Stdout) }},
-		{"fig9", func() error { return experiments.PrintFigureOverhead(os.Stdout, 1, *scale, *all) }},
-		{"fig10", func() error { return experiments.PrintFigure10(os.Stdout, *scale) }},
-		{"fig11", func() error { return experiments.PrintFigureOverhead(os.Stdout, 32, *scale, *all) }},
-		{"fig12", func() error { return experiments.PrintFigure12(os.Stdout, *scale, *quick) }},
-		{"table7", func() error { return experiments.PrintTable7(os.Stdout, *scale) }},
-		{"hybrid", func() error { return experiments.PrintHybrid(os.Stdout, *scale) }},
-		{"allowable", func() error { return experiments.PrintAllowable(os.Stdout, *scale) }},
-		{"probes", func() error { return experiments.PrintProbeCounts(os.Stdout, *scale) }},
+		{"fig9", func() error { return experiments.PrintFigureOverhead(os.Stdout, eng, 1, *scale, *all) }},
+		{"fig10", func() error { return experiments.PrintFigure10(os.Stdout, eng, *scale) }},
+		{"fig11", func() error { return experiments.PrintFigureOverhead(os.Stdout, eng, 32, *scale, *all) }},
+		{"fig12", func() error { return experiments.PrintFigure12(os.Stdout, eng, *scale, *quick) }},
+		{"table7", func() error { return experiments.PrintTable7(os.Stdout, eng, *scale) }},
+		{"hybrid", func() error { return experiments.PrintHybrid(os.Stdout, eng, *scale) }},
+		{"allowable", func() error { return experiments.PrintAllowable(os.Stdout, eng, *scale) }},
+		{"probes", func() error { return experiments.PrintProbeCounts(os.Stdout, eng, *scale) }},
 		{"chaos", func() error {
 			rates := experiments.ChaosRates
 			if *quick {
@@ -87,6 +107,14 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if eng.Store != nil {
+		hits, misses := eng.Store.Skipped()
+		if e := eng.Store.Save(); e != nil && err == nil {
+			err = e
+		}
+		fmt.Fprintf(os.Stderr, "ciexp: store %s: %d cell(s) skipped, %d ran fresh\n",
+			eng.Store.Path(), hits, misses)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ciexp:", err)

@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+)
+
+// Engine bundles the three layers of the experiment engine: the worker
+// pool (sharding), the memoization cache (module/baseline reuse) and
+// the optional incremental result store (skip-hash persistence).
+type Engine struct {
+	Pool  *Pool
+	Cache *Cache
+	// Store, when non-nil, persists sweep cells keyed by content hash
+	// so unchanged cells are skipped on re-runs.
+	Store *Store
+}
+
+// New returns an engine with the given worker count (<= 0 selects
+// GOMAXPROCS), a default-capacity cache and no store.
+func New(workers int) *Engine {
+	return &Engine{Pool: NewPool(workers), Cache: NewCache(DefaultCacheCap)}
+}
+
+// Serial returns a single-worker engine — the provably deterministic
+// configuration whose output is byte-identical to the legacy serial
+// pipeline.
+func Serial() *Engine { return New(1) }
+
+// Workers reports the engine's pool concurrency.
+func (e *Engine) Workers() int {
+	if e == nil || e.Pool == nil {
+		return 1
+	}
+	return e.Pool.Workers()
+}
+
+// Hash folds the printed forms of parts into a stable content-hash
+// string, used as the skip-hash of store cells.
+func Hash(parts ...any) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%v\x1f", p)
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// CellDo runs one store-aware sweep cell: when e has a store holding
+// key with a matching input hash, the stored result is decoded and
+// compute is skipped (skipped=true); otherwise compute runs and its
+// result is recorded. Engines without a store always compute.
+func CellDo[T any](e *Engine, key, hash string, compute func() (T, error)) (out T, skipped bool, err error) {
+	if e != nil && e.Store != nil && e.Store.Lookup(key, hash, &out) {
+		return out, true, nil
+	}
+	out, err = compute()
+	if err == nil && e != nil && e.Store != nil {
+		err = e.Store.Put(key, hash, out)
+	}
+	return out, false, err
+}

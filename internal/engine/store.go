@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// storeVersion guards the BENCH_*.json schema; bump it to invalidate
+// every stored cell at once.
+const storeVersion = 1
+
+// Store is the incremental JSON result store: one BENCH_*.json file
+// holding a map from sweep-cell key to (input hash, result). On a
+// re-run, a cell whose input hash still matches is decoded from the
+// store and its (often multi-second) measurement is skipped; any cell
+// whose workload, configuration or code-derived hash changed runs
+// fresh and overwrites its slot. Save rewrites the file atomically.
+type Store struct {
+	mu    sync.Mutex
+	path  string
+	cells map[string]StoredCell
+	dirty bool
+
+	hits, misses int64
+}
+
+// StoredCell is one persisted sweep cell.
+type StoredCell struct {
+	// Hash is the content hash of the cell's inputs (workload module
+	// fingerprint plus sweep configuration).
+	Hash string `json:"hash"`
+	// Data is the cell's JSON-encoded result rows.
+	Data json.RawMessage `json:"data"`
+}
+
+type storeFile struct {
+	Version int                   `json:"version"`
+	Cells   map[string]StoredCell `json:"cells"`
+}
+
+// OpenStore loads the store at path, starting empty when the file does
+// not exist yet. A file with a different schema version is discarded
+// (all cells re-run and the file is rewritten on Save).
+func OpenStore(path string) (*Store, error) {
+	s := &Store{path: path, cells: make(map[string]StoredCell)}
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("engine: open store: %w", err)
+	}
+	var f storeFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("engine: store %s is not valid JSON: %w", path, err)
+	}
+	if f.Version == storeVersion && f.Cells != nil {
+		s.cells = f.Cells
+	}
+	return s, nil
+}
+
+// Path returns the file the store persists to.
+func (s *Store) Path() string { return s.path }
+
+// Lookup decodes the stored result for key into out when the stored
+// input hash matches, reporting whether the cell can be skipped.
+func (s *Store) Lookup(key, hash string, out any) bool {
+	s.mu.Lock()
+	c, ok := s.cells[key]
+	if !ok || c.Hash != hash {
+		s.misses++
+		s.mu.Unlock()
+		return false
+	}
+	s.mu.Unlock()
+	if err := json.Unmarshal(c.Data, out); err != nil {
+		// A corrupt cell is treated as a miss; the fresh result will
+		// overwrite it.
+		s.mu.Lock()
+		s.misses++
+		s.mu.Unlock()
+		return false
+	}
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+	return true
+}
+
+// Put records the result for key under the given input hash.
+func (s *Store) Put(key, hash string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("engine: store cell %q: %w", key, err)
+	}
+	s.mu.Lock()
+	s.cells[key] = StoredCell{Hash: hash, Data: data}
+	s.dirty = true
+	s.mu.Unlock()
+	return nil
+}
+
+// Cell returns the raw stored cell for key.
+func (s *Store) Cell(key string) (StoredCell, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.cells[key]
+	return c, ok
+}
+
+// Keys returns the stored cell keys in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.cells))
+	for k := range s.cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Skipped reports how many lookups were served from the store and how
+// many had to run fresh.
+func (s *Store) Skipped() (hits, misses int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}
+
+// Save writes the store back to its file atomically (temp file +
+// rename). It is a no-op when nothing changed since load.
+func (s *Store) Save() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.dirty {
+		return nil
+	}
+	// Deterministic output: encoding/json sorts map keys.
+	data, err := json.MarshalIndent(storeFile{Version: storeVersion, Cells: s.cells}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("engine: save store: %w", err)
+	}
+	dir := filepath.Dir(s.path)
+	tmp, err := os.CreateTemp(dir, ".bench-store-*")
+	if err != nil {
+		return fmt.Errorf("engine: save store: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: save store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: save store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: save store: %w", err)
+	}
+	s.dirty = false
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ci/instrument"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/stats"
 	"repro/internal/vm"
 	"repro/internal/workloads"
@@ -35,30 +36,31 @@ var allowableWorkloads = []string{
 }
 
 // MeasureAllowableError sweeps the allowable-error parameter at a
-// fixed probe interval and 5000-cycle target.
-func MeasureAllowableError(values []int64, scale int) ([]AllowablePoint, error) {
+// fixed probe interval and 5000-cycle target. One setting is one
+// engine cell; failed settings are reported, not fatal.
+func MeasureAllowableError(eng *engine.Engine, values []int64, scale int) ([]AllowablePoint, []CellError) {
 	if len(values) == 0 {
 		values = []int64{25, 50, 100, 250, 500, 1000, 2000}
 	}
 	const target = 5000
-	var out []AllowablePoint
-	for _, ae := range values {
+	cells, errs := engine.Map(eng.Pool, len(values), func(i int) (AllowablePoint, error) {
+		ae := values[i]
 		var overheads []float64
 		var absErrs []int64
 		probes := 0
 		for _, name := range allowableWorkloads {
 			wl := workloads.ByName(name)
-			base, err := MeasureBaseline(wl, scale, 1)
+			base, err := BaselineCached(eng, wl, scale, 1)
 			if err != nil {
-				return nil, err
+				return AllowablePoint{}, err
 			}
-			prog, err := core.Compile(wl.Build(scale), core.Config{
+			prog, err := CompileCached(eng, wl, scale, core.Config{
 				Design:           instrument.CI,
 				ProbeIntervalIR:  ProbeIntervalIR,
 				AllowableErrorIR: ae,
 			})
 			if err != nil {
-				return nil, err
+				return AllowablePoint{}, err
 			}
 			probes += prog.Instr.Probes
 			machine := vm.New(prog.Mod, nil, 1)
@@ -68,7 +70,7 @@ func MeasureAllowableError(values []int64, scale int) ([]AllowablePoint, error) 
 			th.RT.RecordIntervals = true
 			id := th.RT.RegisterCI(target, func(uint64) { th.Charge(HandlerWorkCycles) })
 			if _, err := th.Run("main", 0); err != nil {
-				return nil, err
+				return AllowablePoint{}, fmt.Errorf("%s: %w", name, err)
 			}
 			overheads = append(overheads, float64(th.Stats.Cycles)/float64(base.Cycles)-1)
 			for _, g := range th.RT.Intervals(id) {
@@ -87,17 +89,22 @@ func MeasureAllowableError(values []int64, scale int) ([]AllowablePoint, error) 
 		if len(absErrs) > 0 {
 			pt.MedianAbsError = stats.Median(absErrs)
 		}
-		out = append(out, pt)
+		return pt, nil
+	})
+	var out []AllowablePoint
+	for i, pt := range cells {
+		if errs[i] == nil {
+			out = append(out, pt)
+		}
 	}
-	return out, nil
+	return out, cellErrors(errs, func(i int) string {
+		return fmt.Sprintf("allowable/%d", values[i])
+	})
 }
 
 // PrintAllowable renders the §3.3 parameter study.
-func PrintAllowable(w io.Writer, scale int) error {
-	pts, err := MeasureAllowableError(nil, scale)
-	if err != nil {
-		return err
-	}
+func PrintAllowable(w io.Writer, eng *engine.Engine, scale int) error {
+	pts, errs := MeasureAllowableError(eng, nil, scale)
 	fmt.Fprintln(w, "Allowable-error study (§3.3): overhead and |interval error| vs setting")
 	fmt.Fprintf(w, "%14s%16s%18s%14s\n", "allowable(IR)", "median ovh", "median |err| cy", "static probes")
 	for _, p := range pts {
@@ -105,5 +112,5 @@ func PrintAllowable(w io.Writer, scale int) error {
 			p.AllowableErrorIR, p.MedianOverhead*100, p.MedianAbsError, p.Probes)
 	}
 	fmt.Fprintln(w, "(the paper: negligible impact beyond 500 IR — hence allowable = probe interval)")
-	return nil
+	return renderCellErrors(w, errs)
 }

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ci/instrument"
+	"repro/internal/engine"
+	"repro/internal/ir"
+	"repro/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// detSubset is the workload selection the determinism tests sweep: big
+// enough to exercise cross-cell cache sharing, small enough to run on
+// every `go test`.
+func detSubset(t *testing.T) []*workloads.Workload {
+	t.Helper()
+	sel, err := WorkloadsByName([]string{"radix", "histogram", "volrend", "kmeans"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sel
+}
+
+func renderOverheadSubset(t *testing.T, eng *engine.Engine) string {
+	t.Helper()
+	designs := []instrument.Design{instrument.CI, instrument.CnB, instrument.Naive}
+	fig := MeasureFigureOverheadSel(eng, 1, 1, designs, detSubset(t))
+	var buf bytes.Buffer
+	fig.Render(&buf)
+	if err := renderCellErrors(&buf, fig.Errs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// The tentpole determinism claim: the sweep's rendered output is
+// byte-identical at every worker count, and no cached module is
+// mutated along the way.
+func TestEngineWorkerDeterminism(t *testing.T) {
+	var outputs []string
+	for _, workers := range []int{1, 8, 3} {
+		eng := engine.New(workers)
+		outputs = append(outputs, renderOverheadSubset(t, eng))
+		if err := VerifyCachedModules(eng); err != nil {
+			t.Errorf("workers=%d: %v", workers, err)
+		}
+	}
+	for i, out := range outputs[1:] {
+		if out != outputs[0] {
+			t.Errorf("output at workers=%d differs from workers=1:\n%s\nvs\n%s",
+				[]int{8, 3}[i], out, outputs[0])
+		}
+	}
+
+	// ...and identical to the committed golden file, so the serial
+	// pipeline's exact numbers are pinned across refactors. Refresh
+	// with: go test ./internal/experiments/ -run Determinism -update
+	golden := filepath.Join("testdata", "overhead_subset.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(outputs[0]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if outputs[0] != string(want) {
+		t.Errorf("output drifted from golden file (rerun with -update if intended):\ngot:\n%s\nwant:\n%s",
+			outputs[0], want)
+	}
+}
+
+// Re-running a sweep against a populated store must skip every
+// unchanged cell and still produce identical results.
+func TestStoreSkipsUnchangedCells(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_overhead.json")
+	run := func() (string, int64, int64) {
+		store, err := engine.OpenStore(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := engine.New(4)
+		eng.Store = store
+		out := renderOverheadSubset(t, eng)
+		if err := store.Save(); err != nil {
+			t.Fatal(err)
+		}
+		hits, misses := store.Skipped()
+		return out, hits, misses
+	}
+	first, hits, misses := run()
+	if hits != 0 || misses == 0 {
+		t.Fatalf("cold run: %d hits / %d misses, want 0 hits", hits, misses)
+	}
+	second, hits, misses := run()
+	if misses != 0 || hits == 0 {
+		t.Errorf("warm run: %d hits / %d misses, want all hits", hits, misses)
+	}
+	if second != first {
+		t.Errorf("store replay changed the output:\n%s\nvs\n%s", second, first)
+	}
+}
+
+// faultingWorkload builds a program whose main immediately loads from
+// address -1: compilation succeeds, every VM run faults.
+func faultingWorkload() *workloads.Workload {
+	return &workloads.Workload{
+		Name:  "boom",
+		Suite: "synthetic",
+		Build: func(scale int) *ir.Module {
+			m := ir.NewModule("boom")
+			m.MemWords = 8
+			f := m.NewFunc("main", 1)
+			b := ir.NewBuilder(f)
+			addr := b.Mov(-1)
+			v := b.Load(addr, 0)
+			b.Ret(v)
+			f.Reindex()
+			if err := m.Verify(); err != nil {
+				panic(err)
+			}
+			return m
+		},
+	}
+}
+
+// One failing cell must cost exactly its own row: the rest of the
+// sweep completes, the error is reported per cell, and the footer only
+// appears when something actually failed.
+func TestSweepPartialFailure(t *testing.T) {
+	good, err := WorkloadsByName([]string{"radix", "histogram"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := []*workloads.Workload{good[0], faultingWorkload(), good[1]}
+	designs := []instrument.Design{instrument.CI, instrument.Naive}
+	fig := MeasureFigureOverheadSel(engine.New(4), 1, 1, designs, sel)
+
+	if len(fig.Errs) != 1 {
+		t.Fatalf("cell errors = %v, want exactly one", fig.Errs)
+	}
+	if ce := fig.Errs[0]; !strings.Contains(ce.Cell, "boom") || ce.Err == "" {
+		t.Errorf("cell error %+v does not identify the failing cell", ce)
+	}
+	for _, name := range []string{"radix", "histogram"} {
+		rows, ok := fig.Rows[name]
+		if !ok || len(rows) != len(designs) {
+			t.Errorf("surviving workload %s lost its rows (%v)", name, rows)
+		}
+	}
+	if _, ok := fig.Rows["boom"]; ok {
+		t.Error("failed cell produced rows")
+	}
+	for _, m := range fig.Medians {
+		if m <= 0 {
+			t.Errorf("medians over surviving cells = %v, want positive", fig.Medians)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := renderCellErrors(&buf, fig.Errs); err == nil {
+		t.Error("renderCellErrors must return an aggregate error for a failed sweep")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1 sweep cell(s) failed") || !strings.Contains(out, "boom") {
+		t.Errorf("error footer missing or anonymous:\n%s", out)
+	}
+
+	// A clean sweep writes no footer at all — that is what keeps
+	// success output byte-identical to the legacy pipeline.
+	buf.Reset()
+	if err := renderCellErrors(&buf, nil); err != nil || buf.Len() != 0 {
+		t.Errorf("clean sweep rendered a footer: err=%v output=%q", err, buf.String())
+	}
+}
+
+// The same partial-failure contract on the probe-count sweep, whose
+// cells go through CellDo: the store must not record failed cells.
+func TestPartialFailureNotStored(t *testing.T) {
+	store, err := engine.OpenStore(filepath.Join(t.TempDir(), "BENCH_x.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(2)
+	eng.Store = store
+	sel := []*workloads.Workload{faultingWorkload()}
+	fig := MeasureFigureOverheadSel(eng, 1, 1, []instrument.Design{instrument.CI}, sel)
+	if len(fig.Errs) != 1 {
+		t.Fatalf("errs = %v", fig.Errs)
+	}
+	if keys := store.Keys(); len(keys) != 0 {
+		t.Errorf("failed cells were persisted: %v", keys)
+	}
+}

@@ -6,9 +6,14 @@ import (
 	"testing"
 
 	"repro/internal/ci/instrument"
+	"repro/internal/engine"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
+
+// testEngine runs cells on several workers even on small machines so
+// the parallel paths are exercised under -race.
+func testEngine() *engine.Engine { return engine.New(4) }
 
 func TestMeasureBaseline(t *testing.T) {
 	wl := workloads.ByName("histogram")
@@ -36,16 +41,17 @@ func TestMeasureBaseline(t *testing.T) {
 func TestOverheadOrdering(t *testing.T) {
 	names := []string{"radix", "volrend", "kmeans", "fluidanimate", "streamcluster", "word_count"}
 	designs := []instrument.Design{instrument.CI, instrument.CnB, instrument.Naive}
+	eng := testEngine()
 	med := func(threads int) map[instrument.Design]float64 {
 		per := make(map[instrument.Design][]float64)
 		for _, n := range names {
 			wl := workloads.ByName(n)
-			base, err := MeasureBaseline(wl, 1, threads)
+			base, err := BaselineCached(eng, wl, 1, threads)
 			if err != nil {
 				t.Fatal(err)
 			}
 			for _, d := range designs {
-				row, err := MeasureOverhead(wl, d, base, 1, threads, 5000, false)
+				row, err := MeasureOverhead(eng, wl, d, base, 1, threads, 5000, false)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -78,10 +84,13 @@ func TestOverheadOrdering(t *testing.T) {
 // (≈10x at 5k cycles), CI stays nearly flat, and hardware wins only at
 // very long intervals.
 func TestFigure12Shape(t *testing.T) {
-	pts, err := MeasureFigure12(1, []int64{2000, 5000, 500000},
+	pts, cerrs, err := MeasureFigure12(testEngine(), 1, []int64{2000, 5000, 500000},
 		[]string{"radix", "histogram", "volrend", "barnes"})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(cerrs) > 0 {
+		t.Fatalf("cell errors: %v", cerrs)
 	}
 	byInterval := map[int64]SweepPoint{}
 	for _, p := range pts {
@@ -105,13 +114,14 @@ func TestFigure12Shape(t *testing.T) {
 
 // Accuracy calibration drives each design's median error toward zero.
 func TestAccuracyCalibration(t *testing.T) {
+	eng := testEngine()
 	wl := workloads.ByName("ocean-cp")
-	base, err := MeasureBaseline(wl, 1, 1)
+	base, err := BaselineCached(eng, wl, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, d := range []instrument.Design{instrument.CI, instrument.Naive, instrument.CnB} {
-		row, err := MeasureOverhead(wl, d, base, 1, 1, 5000, true)
+		row, err := MeasureOverhead(eng, wl, d, base, 1, 1, 5000, true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -126,12 +136,13 @@ func TestAccuracyCalibration(t *testing.T) {
 }
 
 func TestCICyclesNeverEarly(t *testing.T) {
+	eng := testEngine()
 	wl := workloads.ByName("swaptions")
-	base, err := MeasureBaseline(wl, 1, 1)
+	base, err := BaselineCached(eng, wl, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	row, err := MeasureOverhead(wl, instrument.CICycles, base, 1, 1, 5000, true)
+	row, err := MeasureOverhead(eng, wl, instrument.CICycles, base, 1, 1, 5000, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,9 +157,9 @@ func TestTable7Full(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs all 28 workloads at 2 thread counts")
 	}
-	rows, geo, err := MeasureTable7(1)
-	if err != nil {
-		t.Fatal(err)
+	rows, geo, cerrs := MeasureTable7(testEngine(), 1)
+	if len(cerrs) > 0 {
+		t.Fatalf("cell errors: %v", cerrs)
 	}
 	if len(rows) != 28 {
 		t.Fatalf("rows = %d, want 28", len(rows))
@@ -186,9 +197,9 @@ func TestPrintersProduceRows(t *testing.T) {
 // The hybrid watchdog (§5.4 future work) must bound late interrupts on
 // gap-heavy programs and stay inert on gap-free ones.
 func TestHybridWatchdog(t *testing.T) {
-	rows, err := MeasureHybrid([]string{"syscall-gaps", "word_count"}, 5000, 2.0, 1)
-	if err != nil {
-		t.Fatal(err)
+	rows, cerrs := MeasureHybrid(testEngine(), []string{"syscall-gaps", "word_count"}, 5000, 2.0, 1)
+	if len(cerrs) > 0 {
+		t.Fatalf("cell errors: %v", cerrs)
 	}
 	gaps := rows[0]
 	if gaps.WatchdogFires == 0 {
@@ -215,9 +226,9 @@ func TestHybridWatchdog(t *testing.T) {
 // §3.3: the allowable-error parameter's impact is negligible beyond
 // ~500 IR, and larger settings can only remove probes.
 func TestAllowableErrorStudy(t *testing.T) {
-	pts, err := MeasureAllowableError([]int64{50, 500, 2000}, 1)
-	if err != nil {
-		t.Fatal(err)
+	pts, cerrs := MeasureAllowableError(testEngine(), []int64{50, 500, 2000}, 1)
+	if len(cerrs) > 0 {
+		t.Fatalf("cell errors: %v", cerrs)
 	}
 	if len(pts) != 3 {
 		t.Fatalf("points = %d", len(pts))
@@ -241,9 +252,9 @@ func TestAllowableErrorStudy(t *testing.T) {
 // §5.4: CI reduces dynamic probe executions by more than 50% versus
 // Naive in the vast majority of workloads.
 func TestProbeExecutionReduction(t *testing.T) {
-	rows, err := MeasureProbeCounts(1, 5000)
-	if err != nil {
-		t.Fatal(err)
+	rows, cerrs := MeasureProbeCounts(testEngine(), 1, 5000)
+	if len(cerrs) > 0 {
+		t.Fatalf("cell errors: %v", cerrs)
 	}
 	over50 := 0
 	for _, r := range rows {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ci/instrument"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/ir"
 	"repro/internal/stats"
 	"repro/internal/vm"
@@ -35,100 +36,111 @@ type HybridRow struct {
 }
 
 // MeasureHybrid runs the comparison at the given target interval with
-// the watchdog deadline at deadlineMult × target.
-func MeasureHybrid(names []string, target int64, deadlineMult float64, scale int) ([]HybridRow, error) {
+// the watchdog deadline at deadlineMult × target. One program is one
+// engine cell; a failing program is reported without losing the rest.
+func MeasureHybrid(eng *engine.Engine, names []string, target int64, deadlineMult float64, scale int) ([]HybridRow, []CellError) {
+	cells, errs := engine.Map(eng.Pool, len(names), func(i int) (HybridRow, error) {
+		return measureHybridOne(names[i], target, deadlineMult, scale)
+	})
 	var rows []HybridRow
-	for _, name := range names {
-		src, err := hybridProgram(name, scale)
-		if err != nil {
-			return nil, err
+	for i, row := range cells {
+		if errs[i] == nil {
+			rows = append(rows, row)
 		}
-		baseMachine := vm.New(src, nil, 1)
-		baseMachine.LimitInstrs = runLimit
-		baseThread := baseMachine.NewThread(0)
-		if _, err := baseThread.Run("main", 0); err != nil {
-			return nil, err
-		}
-		base := Baseline{
-			Workload:   name,
-			Threads:    1,
-			Cycles:     baseThread.Stats.Cycles,
-			Instrs:     baseThread.Stats.Instrs,
-			IRPerCycle: float64(baseThread.Stats.Instrs) / float64(baseThread.Stats.Cycles),
-		}
-		prog, err := core.Compile(src, core.Config{
-			Design: instrument.CI, ProbeIntervalIR: ProbeIntervalIR,
-		})
-		if err != nil {
-			return nil, err
-		}
-		row := HybridRow{Workload: name}
-
-		runOne := func(hybrid bool) (stats.Summary, float64, int64, error) {
-			// The watchdog is a plain timer interrupt into a user
-			// handler (timer_create/SIGEV), far cheaper than the
-			// PMU-overflow signal path of Figure 12: ~10k cycles
-			// total, ~4k of it before the handler runs.
-			model := vm.Default()
-			model.HWInterruptCost = 10000
-			model.HWTrapCost = 4000
-			machine := vm.New(prog.Mod, model, 1)
-			machine.LimitInstrs = runLimit
-			var gaps []int64
-			var lastFire int64
-			var th *vm.Thread
-			deliver := func() {
-				now := th.Now()
-				gaps = append(gaps, now-lastFire)
-				lastFire = now
-				th.Charge(HandlerWorkCycles)
-			}
-			if hybrid {
-				machine.HW = &vm.HWConfig{
-					IntervalCycles: int64(deadlineMult * float64(target)),
-					Handler: func(t *vm.Thread) {
-						deliver()
-						t.RearmHW()
-					},
-				}
-			}
-			th = machine.NewThread(0)
-			th.RT.IRPerCycle = base.IRPerCycle
-			th.RT.RegisterCI(target, func(uint64) {
-				deliver()
-				if hybrid {
-					th.RearmHW()
-				}
-			})
-			if _, err := th.Run("main", 0); err != nil {
-				return stats.Summary{}, 0, 0, err
-			}
-			errs := make([]int64, 0, len(gaps))
-			for _, g := range gaps {
-				errs = append(errs, g-target)
-			}
-			if len(errs) == 0 {
-				errs = []int64{0}
-			}
-			over := float64(th.Stats.Cycles)/float64(base.Cycles) - 1
-			return stats.Summarize(errs), over, th.Stats.HWInterrupts, nil
-		}
-
-		ciSum, ciOver, _, err := runOne(false)
-		if err != nil {
-			return nil, err
-		}
-		hySum, hyOver, hwFires, err := runOne(true)
-		if err != nil {
-			return nil, err
-		}
-		row.CIP99, row.HybridP99 = ciSum.P99, hySum.P99
-		row.CIMax, row.HybridMax = ciSum.Max, hySum.Max
-		row.CIOverhead, row.HybridOverhead = ciOver, hyOver
-		row.WatchdogFires = hwFires
-		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows, cellErrors(errs, func(i int) string { return "hybrid/" + names[i] })
+}
+
+// measureHybridOne runs one program's CI-only vs hybrid comparison.
+func measureHybridOne(name string, target int64, deadlineMult float64, scale int) (HybridRow, error) {
+	src, err := hybridProgram(name, scale)
+	if err != nil {
+		return HybridRow{}, err
+	}
+	baseMachine := vm.New(src, nil, 1)
+	baseMachine.LimitInstrs = runLimit
+	baseThread := baseMachine.NewThread(0)
+	if _, err := baseThread.Run("main", 0); err != nil {
+		return HybridRow{}, err
+	}
+	base := Baseline{
+		Workload:   name,
+		Threads:    1,
+		Cycles:     baseThread.Stats.Cycles,
+		Instrs:     baseThread.Stats.Instrs,
+		IRPerCycle: float64(baseThread.Stats.Instrs) / float64(baseThread.Stats.Cycles),
+	}
+	prog, err := core.Compile(src, core.Config{
+		Design: instrument.CI, ProbeIntervalIR: ProbeIntervalIR,
+	})
+	if err != nil {
+		return HybridRow{}, err
+	}
+	row := HybridRow{Workload: name}
+
+	runOne := func(hybrid bool) (stats.Summary, float64, int64, error) {
+		// The watchdog is a plain timer interrupt into a user
+		// handler (timer_create/SIGEV), far cheaper than the
+		// PMU-overflow signal path of Figure 12: ~10k cycles
+		// total, ~4k of it before the handler runs.
+		model := vm.Default()
+		model.HWInterruptCost = 10000
+		model.HWTrapCost = 4000
+		machine := vm.New(prog.Mod, model, 1)
+		machine.LimitInstrs = runLimit
+		var gaps []int64
+		var lastFire int64
+		var th *vm.Thread
+		deliver := func() {
+			now := th.Now()
+			gaps = append(gaps, now-lastFire)
+			lastFire = now
+			th.Charge(HandlerWorkCycles)
+		}
+		if hybrid {
+			machine.HW = &vm.HWConfig{
+				IntervalCycles: int64(deadlineMult * float64(target)),
+				Handler: func(t *vm.Thread) {
+					deliver()
+					t.RearmHW()
+				},
+			}
+		}
+		th = machine.NewThread(0)
+		th.RT.IRPerCycle = base.IRPerCycle
+		th.RT.RegisterCI(target, func(uint64) {
+			deliver()
+			if hybrid {
+				th.RearmHW()
+			}
+		})
+		if _, err := th.Run("main", 0); err != nil {
+			return stats.Summary{}, 0, 0, err
+		}
+		errs := make([]int64, 0, len(gaps))
+		for _, g := range gaps {
+			errs = append(errs, g-target)
+		}
+		if len(errs) == 0 {
+			errs = []int64{0}
+		}
+		over := float64(th.Stats.Cycles)/float64(base.Cycles) - 1
+		return stats.Summarize(errs), over, th.Stats.HWInterrupts, nil
+	}
+
+	ciSum, ciOver, _, err := runOne(false)
+	if err != nil {
+		return HybridRow{}, err
+	}
+	hySum, hyOver, hwFires, err := runOne(true)
+	if err != nil {
+		return HybridRow{}, err
+	}
+	row.CIP99, row.HybridP99 = ciSum.P99, hySum.P99
+	row.CIMax, row.HybridMax = ciSum.Max, hySum.Max
+	row.CIOverhead, row.HybridOverhead = ciOver, hyOver
+	row.WatchdogFires = hwFires
+	return row, nil
 }
 
 // hybridProgram resolves a Table-7 workload name or the synthetic
@@ -183,11 +195,8 @@ var hybridWorkloads = []string{
 }
 
 // PrintHybrid renders the future-work hybrid comparison.
-func PrintHybrid(w io.Writer, scale int) error {
-	rows, err := MeasureHybrid(hybridWorkloads, 5000, 2.0, scale)
-	if err != nil {
-		return err
-	}
+func PrintHybrid(w io.Writer, eng *engine.Engine, scale int) error {
+	rows, errs := MeasureHybrid(eng, hybridWorkloads, 5000, 2.0, scale)
 	fmt.Fprintln(w, "Hybrid CI + hardware watchdog (paper §5.4 future work), 5000-cycle target")
 	fmt.Fprintf(w, "%-18s%12s%12s%12s%12s%10s%10s%10s\n",
 		"workload", "CI p99 err", "hyb p99", "CI max", "hyb max", "CI ovh", "hyb ovh", "hw fires")
@@ -196,5 +205,5 @@ func PrintHybrid(w io.Writer, scale int) error {
 			r.Workload, r.CIP99, r.HybridP99, r.CIMax, r.HybridMax,
 			r.CIOverhead*100, r.HybridOverhead*100, r.WatchdogFires)
 	}
-	return nil
+	return renderCellErrors(w, errs)
 }

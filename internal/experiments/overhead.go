@@ -3,6 +3,14 @@
 // interval-accuracy microbenchmarks over the 28 workloads (Figures
 // 9-12, Table 7) and, via the app simulators, the mTCP, Shenango and
 // FFWD results (Figures 4-8).
+//
+// The sweeps run on the parallel experiment engine (internal/engine):
+// each (workload × design × interval) cell is virtual-time independent,
+// so cells are sharded across a bounded worker pool, instrumented
+// modules and baseline runs are memoized across cells, and results
+// merge in input order — output is byte-identical at any worker count,
+// and a single-worker engine reproduces the legacy serial pipeline
+// exactly.
 package experiments
 
 import (
@@ -10,6 +18,7 @@ import (
 
 	"repro/internal/ci/instrument"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/ir"
 	"repro/internal/stats"
 	"repro/internal/vm"
@@ -38,15 +47,20 @@ type Baseline struct {
 // count) and returns the reference cycles and the profiled IR/cycle
 // ratio used to tune the CI runtime (§4 footnote 3).
 func MeasureBaseline(wl *workloads.Workload, scale, threads int) (Baseline, error) {
-	m := wl.Build(scale)
+	return runBaseline(wl.Build(scale), wl.Name, threads)
+}
+
+// runBaseline measures the uninstrumented module m (shared read-only
+// when it comes from the engine cache).
+func runBaseline(m *ir.Module, name string, threads int) (Baseline, error) {
 	machine := vm.New(m, nil, threads)
 	machine.LimitInstrs = runLimit
 	th := machine.NewThread(0)
 	if _, err := th.Run("main", 0); err != nil {
-		return Baseline{}, fmt.Errorf("%s baseline: %w", wl.Name, err)
+		return Baseline{}, fmt.Errorf("%s baseline: %w", name, err)
 	}
 	return Baseline{
-		Workload:   wl.Name,
+		Workload:   name,
 		Threads:    threads,
 		Cycles:     th.Stats.Cycles,
 		Instrs:     th.Stats.Instrs,
@@ -78,12 +92,13 @@ type OverheadRow struct {
 // baseline. When record is set, a calibration pass first adjusts the
 // design's ratio so its median interval lands near the target — the
 // paper's §5.4 methodology ("we tune the interrupt interval for each
-// method to approximate a target interval in cycles").
-func MeasureOverhead(wl *workloads.Workload, d instrument.Design, base Baseline,
+// method to approximate a target interval in cycles"). The compiled
+// module is memoized in eng (nil runs uncached) and shared read-only
+// across cells.
+func MeasureOverhead(eng *engine.Engine, wl *workloads.Workload, d instrument.Design, base Baseline,
 	scale, threads int, intervalCycles int64, record bool) (OverheadRow, error) {
 
-	m := wl.Build(scale)
-	prog, err := core.Compile(m, core.Config{Design: d, ProbeIntervalIR: ProbeIntervalIR})
+	prog, err := CompileCached(eng, wl, scale, core.Config{Design: d, ProbeIntervalIR: ProbeIntervalIR})
 	if err != nil {
 		return OverheadRow{}, fmt.Errorf("%s/%v: %w", wl.Name, d, err)
 	}
@@ -181,39 +196,66 @@ type FigureOverhead struct {
 	Rows map[string][]OverheadRow
 	// Medians[design index] is the median overhead across workloads.
 	Medians []float64
+	// Errs collects failed workload cells; their rows are absent and
+	// excluded from the medians.
+	Errs []CellError
 }
 
-// MeasureFigureOverhead runs the Figure 9/11 sweep.
-func MeasureFigureOverhead(threads, scale int, designs []instrument.Design) (*FigureOverhead, error) {
+// MeasureFigureOverhead runs the Figure 9/11 sweep over all workloads.
+func MeasureFigureOverhead(eng *engine.Engine, threads, scale int, designs []instrument.Design) *FigureOverhead {
+	return MeasureFigureOverheadSel(eng, threads, scale, designs, AllWorkloads())
+}
+
+// MeasureFigureOverheadSel runs the Figure 9/11 sweep over a workload
+// selection. Each workload is one engine cell: its baseline plus one
+// measured run per design, skipped wholesale on a store hit.
+func MeasureFigureOverheadSel(eng *engine.Engine, threads, scale int, designs []instrument.Design,
+	sel []*workloads.Workload) *FigureOverhead {
+
 	fig := &FigureOverhead{
 		Threads:        threads,
 		IntervalCycles: 5000,
 		Designs:        designs,
 		Rows:           make(map[string][]OverheadRow),
 	}
-	perDesign := make([][]float64, len(designs))
-	for i := range workloads.All {
-		wl := &workloads.All[i]
-		base, err := MeasureBaseline(wl, scale, threads)
-		if err != nil {
-			return nil, err
-		}
-		rows := make([]OverheadRow, 0, len(designs))
-		for di, d := range designs {
-			row, err := MeasureOverhead(wl, d, base, scale, threads, fig.IntervalCycles, false)
+	cells, errs := engine.Map(eng.Pool, len(sel), func(i int) ([]OverheadRow, error) {
+		wl := sel[i]
+		key := fmt.Sprintf("overhead/t%d/%s", threads, wl.Name)
+		hash := engine.Hash("overhead", engine.ModuleFingerprint(SourceModule(eng, wl, scale)),
+			scale, threads, designs, fig.IntervalCycles, ProbeIntervalIR, HandlerWorkCycles, runLimit)
+		rows, _, err := engine.CellDo(eng, key, hash, func() ([]OverheadRow, error) {
+			base, err := BaselineCached(eng, wl, scale, threads)
 			if err != nil {
 				return nil, err
 			}
-			rows = append(rows, row)
+			rows := make([]OverheadRow, 0, len(designs))
+			for _, d := range designs {
+				row, err := MeasureOverhead(eng, wl, d, base, scale, threads, fig.IntervalCycles, false)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, row)
+			}
+			return rows, nil
+		})
+		return rows, err
+	})
+	perDesign := make([][]float64, len(designs))
+	for i, rows := range cells {
+		if errs[i] != nil {
+			continue
+		}
+		fig.Rows[sel[i].Name] = rows
+		for di, row := range rows {
 			perDesign[di] = append(perDesign[di], row.Overhead)
 		}
-		fig.Rows[wl.Name] = rows
 	}
+	fig.Errs = cellErrors(errs, func(i int) string { return "overhead/" + sel[i].Name })
 	fig.Medians = make([]float64, len(designs))
 	for di := range designs {
 		fig.Medians[di] = stats.MedianF(perDesign[di])
 	}
-	return fig, nil
+	return fig
 }
 
 // AccuracyRow is one workload's interval-error distribution (Figure 10).
@@ -227,29 +269,50 @@ type AccuracyRow struct {
 }
 
 // MeasureFigureAccuracy computes Figure 10: interval error percentiles
-// per workload at a 5,000-cycle target, single thread.
-func MeasureFigureAccuracy(scale int, designs []instrument.Design) ([]AccuracyRow, error) {
+// per workload at a 5,000-cycle target, single thread. One workload
+// (all designs) is one engine cell; failed cells are reported, not
+// fatal.
+func MeasureFigureAccuracy(eng *engine.Engine, scale int, designs []instrument.Design) ([]AccuracyRow, []CellError) {
 	const target = 5000
+	sel := AllWorkloads()
+	cells, errs := engine.Map(eng.Pool, len(sel), func(i int) ([]AccuracyRow, error) {
+		wl := sel[i]
+		key := "accuracy/" + wl.Name
+		hash := engine.Hash("accuracy", engine.ModuleFingerprint(SourceModule(eng, wl, scale)),
+			scale, designs, int64(target), ProbeIntervalIR, HandlerWorkCycles, runLimit)
+		return cellDoAccuracy(eng, key, hash, wl, scale, designs, target)
+	})
 	var out []AccuracyRow
-	for i := range workloads.All {
-		wl := &workloads.All[i]
-		base, err := MeasureBaseline(wl, scale, 1)
+	for i, rows := range cells {
+		if errs[i] == nil {
+			out = append(out, rows...)
+		}
+	}
+	return out, cellErrors(errs, func(i int) string { return "accuracy/" + sel[i].Name })
+}
+
+func cellDoAccuracy(eng *engine.Engine, key, hash string, wl *workloads.Workload,
+	scale int, designs []instrument.Design, target int64) ([]AccuracyRow, error) {
+
+	rows, _, err := engine.CellDo(eng, key, hash, func() ([]AccuracyRow, error) {
+		base, err := BaselineCached(eng, wl, scale, 1)
 		if err != nil {
 			return nil, err
 		}
+		var out []AccuracyRow
 		for _, d := range designs {
-			row, err := MeasureOverhead(wl, d, base, scale, 1, target, true)
+			row, err := MeasureOverhead(eng, wl, d, base, scale, 1, target, true)
 			if err != nil {
 				return nil, err
 			}
-			errs := make([]int64, 0, len(row.Intervals))
+			errsCy := make([]int64, 0, len(row.Intervals))
 			for _, gap := range row.Intervals {
-				errs = append(errs, gap-target)
+				errsCy = append(errsCy, gap-target)
 			}
-			if len(errs) == 0 {
-				errs = []int64{0}
+			if len(errsCy) == 0 {
+				errsCy = []int64{0}
 			}
-			sum := stats.Summarize(errs)
+			sum := stats.Summarize(errsCy)
 			out = append(out, AccuracyRow{
 				Workload:    wl.Name,
 				Design:      d,
@@ -257,8 +320,9 @@ func MeasureFigureAccuracy(scale int, designs []instrument.Design) ([]AccuracyRo
 				MedianError: sum.P50,
 			})
 		}
-	}
-	return out, nil
+		return out, nil
+	})
+	return rows, err
 }
 
 // SweepPoint is one (interval, kind) aggregate of Figure 12.
@@ -273,77 +337,101 @@ type SweepPoint struct {
 	CIAll, HWAll []float64
 }
 
+// fig12Cell is one workload's slowdown vectors across the interval
+// sweep (the store unit of Figure 12).
+type fig12Cell struct {
+	CI, HW []float64
+}
+
 // MeasureFigure12 sweeps the interrupt interval and compares CI against
-// hardware (performance-counter) interrupts across all workloads.
-func MeasureFigure12(scale int, intervals []int64, names []string) ([]SweepPoint, error) {
+// hardware (performance-counter) interrupts across all workloads. One
+// workload (all intervals) is one engine cell. The error return is
+// reserved for configuration mistakes (unknown workload names);
+// per-cell run failures land in the CellError list.
+func MeasureFigure12(eng *engine.Engine, scale int, intervals []int64, names []string) ([]SweepPoint, []CellError, error) {
 	if len(intervals) == 0 {
 		intervals = []int64{500, 1000, 2000, 5000, 10000, 20000, 50000, 100000, 500000}
 	}
-	sel := workloads.All
+	sel := AllWorkloads()
 	if len(names) > 0 {
-		sel = nil
-		for _, n := range names {
-			wl := workloads.ByName(n)
-			if wl == nil {
-				return nil, fmt.Errorf("unknown workload %q", n)
-			}
-			sel = append(sel, *wl)
-		}
-	}
-	type prep struct {
-		wl   *workloads.Workload
-		base Baseline
-		mod  *ir.Module // CI-instrumented module, compiled once
-	}
-	preps := make([]prep, 0, len(sel))
-	for i := range sel {
-		wl := &sel[i]
-		base, err := MeasureBaseline(wl, scale, 1)
+		var err error
+		sel, err = WorkloadsByName(names)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		prog, err := core.Compile(wl.Build(scale), core.Config{
-			Design: instrument.CI, ProbeIntervalIR: ProbeIntervalIR,
+	}
+	cells, errs := engine.Map(eng.Pool, len(sel), func(i int) (fig12Cell, error) {
+		wl := sel[i]
+		key := "fig12/" + wl.Name
+		hash := engine.Hash("fig12", engine.ModuleFingerprint(SourceModule(eng, wl, scale)),
+			scale, intervals, ProbeIntervalIR, HandlerWorkCycles, runLimit)
+		cell, _, err := engine.CellDo(eng, key, hash, func() (fig12Cell, error) {
+			return measureFig12Workload(eng, wl, scale, intervals)
 		})
-		if err != nil {
-			return nil, err
-		}
-		preps = append(preps, prep{wl: wl, base: base, mod: prog.Mod})
-	}
-	var out []SweepPoint
-	for _, interval := range intervals {
+		return cell, err
+	})
+	out := make([]SweepPoint, len(intervals))
+	for ii, interval := range intervals {
 		pt := SweepPoint{IntervalCycles: interval}
-		for _, p := range preps {
-			// CI run.
-			machine := vm.New(p.mod, nil, 1)
-			machine.LimitInstrs = runLimit
-			th := machine.NewThread(0)
-			th.RT.IRPerCycle = p.base.IRPerCycle
-			th.RT.RegisterCI(interval, func(uint64) { th.Charge(HandlerWorkCycles) })
-			if _, err := th.Run("main", 0); err != nil {
-				return nil, err
+		for i, cell := range cells {
+			if errs[i] != nil {
+				continue
 			}
-			pt.CIAll = append(pt.CIAll, float64(th.Stats.Cycles)/float64(p.base.Cycles))
-
-			// Hardware-interrupt run on the uninstrumented program.
-			hwMod := p.wl.Build(scale)
-			hwMachine := vm.New(hwMod, nil, 1)
-			hwMachine.LimitInstrs = runLimit
-			hwMachine.HW = &vm.HWConfig{
-				IntervalCycles: interval,
-				Handler:        func(t *vm.Thread) { t.Charge(HandlerWorkCycles) },
-			}
-			hth := hwMachine.NewThread(0)
-			if _, err := hth.Run("main", 0); err != nil {
-				return nil, err
-			}
-			pt.HWAll = append(pt.HWAll, float64(hth.Stats.Cycles)/float64(p.base.Cycles))
+			pt.CIAll = append(pt.CIAll, cell.CI[ii])
+			pt.HWAll = append(pt.HWAll, cell.HW[ii])
 		}
 		pt.CISlowdown = stats.MedianF(pt.CIAll)
 		pt.HWSlowdown = stats.MedianF(pt.HWAll)
-		out = append(out, pt)
+		out[ii] = pt
 	}
-	return out, nil
+	return out, cellErrors(errs, func(i int) string { return "fig12/" + sel[i].Name }), nil
+}
+
+// measureFig12Workload runs one workload's CI and hardware-interrupt
+// slowdowns across every interval, reusing the memoized baseline,
+// CI-instrumented module and uninstrumented source module.
+func measureFig12Workload(eng *engine.Engine, wl *workloads.Workload, scale int, intervals []int64) (fig12Cell, error) {
+	base, err := BaselineCached(eng, wl, scale, 1)
+	if err != nil {
+		return fig12Cell{}, err
+	}
+	prog, err := CompileCached(eng, wl, scale, core.Config{
+		Design: instrument.CI, ProbeIntervalIR: ProbeIntervalIR,
+	})
+	if err != nil {
+		return fig12Cell{}, err
+	}
+	hwMod := SourceModule(eng, wl, scale)
+	cell := fig12Cell{
+		CI: make([]float64, 0, len(intervals)),
+		HW: make([]float64, 0, len(intervals)),
+	}
+	for _, interval := range intervals {
+		// CI run.
+		machine := vm.New(prog.Mod, nil, 1)
+		machine.LimitInstrs = runLimit
+		th := machine.NewThread(0)
+		th.RT.IRPerCycle = base.IRPerCycle
+		th.RT.RegisterCI(interval, func(uint64) { th.Charge(HandlerWorkCycles) })
+		if _, err := th.Run("main", 0); err != nil {
+			return fig12Cell{}, fmt.Errorf("%s CI@%d: %w", wl.Name, interval, err)
+		}
+		cell.CI = append(cell.CI, float64(th.Stats.Cycles)/float64(base.Cycles))
+
+		// Hardware-interrupt run on the uninstrumented program.
+		hwMachine := vm.New(hwMod, nil, 1)
+		hwMachine.LimitInstrs = runLimit
+		hwMachine.HW = &vm.HWConfig{
+			IntervalCycles: interval,
+			Handler:        func(t *vm.Thread) { t.Charge(HandlerWorkCycles) },
+		}
+		hth := hwMachine.NewThread(0)
+		if _, err := hth.Run("main", 0); err != nil {
+			return fig12Cell{}, fmt.Errorf("%s HW@%d: %w", wl.Name, interval, err)
+		}
+		cell.HW = append(cell.HW, float64(hth.Stats.Cycles)/float64(base.Cycles))
+	}
+	return cell, nil
 }
 
 // Table7Row mirrors one row of Table 7.
@@ -362,46 +450,63 @@ const ModelGHz = 2.6
 
 // MeasureTable7 reproduces Table 7: per-workload absolute baseline
 // runtime plus normalized CI and Naive runtimes for 1 and 32 threads,
-// with the geo-mean row.
-func MeasureTable7(scale int) ([]Table7Row, Table7Row, error) {
+// with the geo-mean row. One workload is one engine cell; failed cells
+// drop out of the table and the geo-mean.
+func MeasureTable7(eng *engine.Engine, scale int) ([]Table7Row, Table7Row, []CellError) {
+	sel := AllWorkloads()
+	cells, errs := engine.Map(eng.Pool, len(sel), func(i int) (Table7Row, error) {
+		wl := sel[i]
+		key := "table7/" + wl.Name
+		hash := engine.Hash("table7", engine.ModuleFingerprint(SourceModule(eng, wl, scale)),
+			scale, ProbeIntervalIR, HandlerWorkCycles, runLimit)
+		row, _, err := engine.CellDo(eng, key, hash, func() (Table7Row, error) {
+			return measureTable7Workload(eng, wl, scale)
+		})
+		return row, err
+	})
 	var rows []Table7Row
-	var g Table7Row
 	var ci1s, n1s, ci32s, n32s []float64
-	for i := range workloads.All {
-		wl := &workloads.All[i]
-		row := Table7Row{Workload: wl.Name}
-		for _, threads := range []int{1, 32} {
-			base, err := MeasureBaseline(wl, scale, threads)
-			if err != nil {
-				return nil, g, err
-			}
-			ci, err := MeasureOverhead(wl, instrument.CI, base, scale, threads, 5000, false)
-			if err != nil {
-				return nil, g, err
-			}
-			nv, err := MeasureOverhead(wl, instrument.Naive, base, scale, threads, 5000, false)
-			if err != nil {
-				return nil, g, err
-			}
-			ms := float64(base.Cycles) / (ModelGHz * 1e6)
-			if threads == 1 {
-				row.PTms1, row.CI1, row.N1 = ms, ci.Norm, nv.Norm
-			} else {
-				row.PTms32, row.CI32, row.N32 = ms, ci.Norm, nv.Norm
-			}
+	for i, row := range cells {
+		if errs[i] != nil {
+			continue
 		}
+		rows = append(rows, row)
 		ci1s = append(ci1s, row.CI1)
 		n1s = append(n1s, row.N1)
 		ci32s = append(ci32s, row.CI32)
 		n32s = append(n32s, row.N32)
-		rows = append(rows, row)
 	}
-	g = Table7Row{
+	g := Table7Row{
 		Workload: "geo-mean",
 		CI1:      stats.GeoMean(ci1s),
 		N1:       stats.GeoMean(n1s),
 		CI32:     stats.GeoMean(ci32s),
 		N32:      stats.GeoMean(n32s),
 	}
-	return rows, g, nil
+	return rows, g, cellErrors(errs, func(i int) string { return "table7/" + sel[i].Name })
+}
+
+func measureTable7Workload(eng *engine.Engine, wl *workloads.Workload, scale int) (Table7Row, error) {
+	row := Table7Row{Workload: wl.Name}
+	for _, threads := range []int{1, 32} {
+		base, err := BaselineCached(eng, wl, scale, threads)
+		if err != nil {
+			return row, err
+		}
+		ci, err := MeasureOverhead(eng, wl, instrument.CI, base, scale, threads, 5000, false)
+		if err != nil {
+			return row, err
+		}
+		nv, err := MeasureOverhead(eng, wl, instrument.Naive, base, scale, threads, 5000, false)
+		if err != nil {
+			return row, err
+		}
+		ms := float64(base.Cycles) / (ModelGHz * 1e6)
+		if threads == 1 {
+			row.PTms1, row.CI1, row.N1 = ms, ci.Norm, nv.Norm
+		} else {
+			row.PTms32, row.CI32, row.N32 = ms, ci.Norm, nv.Norm
+		}
+	}
+	return row, nil
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/ci/instrument"
+	"repro/internal/engine"
 )
 
 // figureDesigns are the designs plotted in Figures 9-11.
@@ -20,22 +21,27 @@ var allDesigns = append(append([]instrument.Design{}, figureDesigns...),
 
 // PrintFigureOverhead renders Figure 9 (threads=1) / Figure 11
 // (threads=32) as a table of per-workload overheads. With all set, the
-// prose-only designs (Naive-Cycles, CnB-Cycles) are included.
-func PrintFigureOverhead(w io.Writer, threads, scale int, all bool) error {
+// prose-only designs (Naive-Cycles, CnB-Cycles) are included. Failed
+// cells are reported after the table and produce a non-nil error
+// without suppressing the successful rows.
+func PrintFigureOverhead(w io.Writer, eng *engine.Engine, threads, scale int, all bool) error {
 	designs := figureDesigns
 	if all {
 		designs = allDesigns
 	}
-	fig, err := MeasureFigureOverhead(threads, scale, designs)
-	if err != nil {
-		return err
-	}
+	fig := MeasureFigureOverhead(eng, threads, scale, designs)
+	fig.Render(w)
+	return renderCellErrors(w, fig.Errs)
+}
+
+// Render writes the figure as the evaluation's table format.
+func (fig *FigureOverhead) Render(w io.Writer) {
 	figName := "Figure 9"
-	if threads != 1 {
+	if fig.Threads != 1 {
 		figName = "Figure 11"
 	}
 	fmt.Fprintf(w, "%s: overhead of CI designs, %d thread(s), %d-cycle interval\n",
-		figName, threads, fig.IntervalCycles)
+		figName, fig.Threads, fig.IntervalCycles)
 	fmt.Fprintf(w, "%-18s", "workload")
 	for _, d := range fig.Designs {
 		fmt.Fprintf(w, "%12s", d)
@@ -53,7 +59,6 @@ func PrintFigureOverhead(w io.Writer, threads, scale int, all bool) error {
 		fmt.Fprintf(w, "%11.1f%%", m*100)
 	}
 	fmt.Fprintln(w)
-	return nil
 }
 
 func orderedRows(fig *FigureOverhead) [][]OverheadRow {
@@ -67,15 +72,18 @@ func orderedRows(fig *FigureOverhead) [][]OverheadRow {
 }
 
 // PrintFigure10 renders the interval-accuracy table.
-func PrintFigure10(w io.Writer, scale int) error {
+func PrintFigure10(w io.Writer, eng *engine.Engine, scale int) error {
 	designs := []instrument.Design{
 		instrument.CI, instrument.CICycles, instrument.CnB,
 		instrument.CD, instrument.Naive,
 	}
-	rows, err := MeasureFigureAccuracy(scale, designs)
-	if err != nil {
-		return err
-	}
+	rows, errs := MeasureFigureAccuracy(eng, scale, designs)
+	RenderFigure10(w, rows)
+	return renderCellErrors(w, errs)
+}
+
+// RenderFigure10 writes the accuracy rows as the Figure 10 table.
+func RenderFigure10(w io.Writer, rows []AccuracyRow) {
 	fmt.Fprintln(w, "Figure 10: interval error vs 5000-cycle target (cycles), 1 thread")
 	fmt.Fprintf(w, "%-18s%-12s%10s%10s%10s%10s%10s\n",
 		"workload", "design", "p10", "median", "p90", "p99", "mean")
@@ -84,17 +92,16 @@ func PrintFigure10(w io.Writer, scale int) error {
 			r.Workload, r.Design.String(), r.Errors.P10, r.Errors.P50,
 			r.Errors.P90, r.Errors.P99, r.Errors.MeanVal)
 	}
-	return nil
 }
 
 // PrintFigure12 renders the CI vs hardware-interrupt interval sweep.
-func PrintFigure12(w io.Writer, scale int, quick bool) error {
+func PrintFigure12(w io.Writer, eng *engine.Engine, scale int, quick bool) error {
 	var names []string
 	if quick {
 		names = []string{"radix", "histogram", "barnes", "matrix_multiply",
 			"volrend", "swaptions", "water-nsquared", "dedup"}
 	}
-	pts, err := MeasureFigure12(scale, nil, names)
+	pts, cerrs, err := MeasureFigure12(eng, scale, nil, names)
 	if err != nil {
 		return err
 	}
@@ -103,15 +110,12 @@ func PrintFigure12(w io.Writer, scale int, quick bool) error {
 	for _, p := range pts {
 		fmt.Fprintf(w, "%12d%13.2fx%13.2fx\n", p.IntervalCycles, p.CISlowdown, p.HWSlowdown)
 	}
-	return nil
+	return renderCellErrors(w, cerrs)
 }
 
 // PrintTable7 renders Table 7.
-func PrintTable7(w io.Writer, scale int) error {
-	rows, geo, err := MeasureTable7(scale)
-	if err != nil {
-		return err
-	}
+func PrintTable7(w io.Writer, eng *engine.Engine, scale int) error {
+	rows, geo, errs := MeasureTable7(eng, scale)
 	fmt.Fprintln(w, "Table 7: runtimes (PT in model-ms) and normalized CI / Naive, 1 & 32 threads")
 	fmt.Fprintf(w, "%-18s%10s%8s%8s%10s%8s%8s\n", "workload", "PT(1)", "CI(1)", "N(1)", "PT(32)", "CI(32)", "N(32)")
 	for _, r := range rows {
@@ -119,7 +123,7 @@ func PrintTable7(w io.Writer, scale int) error {
 			r.Workload, r.PTms1, r.CI1, r.N1, r.PTms32, r.CI32, r.N32)
 	}
 	fmt.Fprintf(w, "%-18s%10s%8.2f%8.2f%10s%8.2f%8.2f\n", "geo-mean", "", geo.CI1, geo.N1, "", geo.CI32, geo.N32)
-	return nil
+	return renderCellErrors(w, errs)
 }
 
 func workloadOrder() []string {

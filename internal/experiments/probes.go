@@ -6,8 +6,8 @@ import (
 
 	"repro/internal/ci/instrument"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/vm"
-	"repro/internal/workloads"
 )
 
 // This file reproduces the §5.4 probe-execution claim: "These results
@@ -29,56 +29,65 @@ type ProbeCountRow struct {
 }
 
 // MeasureProbeCounts runs each workload under CI and Naive and counts
-// probe executions.
-func MeasureProbeCounts(scale int, intervalCycles int64) ([]ProbeCountRow, error) {
-	var rows []ProbeCountRow
-	for i := range workloads.All {
-		wl := &workloads.All[i]
-		base, err := MeasureBaseline(wl, scale, 1)
-		if err != nil {
-			return nil, err
-		}
-		row := ProbeCountRow{Workload: wl.Name}
-		for _, d := range []instrument.Design{instrument.CI, instrument.Naive} {
-			prog, err := core.Compile(wl.Build(scale), core.Config{
-				Design: d, ProbeIntervalIR: ProbeIntervalIR,
-			})
+// probe executions. One workload is one engine cell.
+func MeasureProbeCounts(eng *engine.Engine, scale int, intervalCycles int64) ([]ProbeCountRow, []CellError) {
+	sel := AllWorkloads()
+	cells, errs := engine.Map(eng.Pool, len(sel), func(i int) (ProbeCountRow, error) {
+		wl := sel[i]
+		key := "probes/" + wl.Name
+		hash := engine.Hash("probes", engine.ModuleFingerprint(SourceModule(eng, wl, scale)),
+			scale, intervalCycles, ProbeIntervalIR, HandlerWorkCycles, runLimit)
+		row, _, err := engine.CellDo(eng, key, hash, func() (ProbeCountRow, error) {
+			base, err := BaselineCached(eng, wl, scale, 1)
 			if err != nil {
-				return nil, err
+				return ProbeCountRow{}, err
 			}
-			machine := vm.New(prog.Mod, nil, 1)
-			machine.LimitInstrs = runLimit
-			th := machine.NewThread(0)
-			th.RT.IRPerCycle = base.IRPerCycle
-			th.RT.RegisterCI(intervalCycles, func(uint64) { th.Charge(HandlerWorkCycles) })
-			if _, err := th.Run("main", 0); err != nil {
-				return nil, err
-			}
-			if d == instrument.CI {
-				row.CIProbes = th.Stats.Probes
-				row.CIStatic = prog.Instr.Probes
-				if th.Stats.Probes > 0 {
-					row.TakenRate = float64(th.Stats.ProbesTaken) / float64(th.Stats.Probes)
+			row := ProbeCountRow{Workload: wl.Name}
+			for _, d := range []instrument.Design{instrument.CI, instrument.Naive} {
+				prog, err := CompileCached(eng, wl, scale, core.Config{
+					Design: d, ProbeIntervalIR: ProbeIntervalIR,
+				})
+				if err != nil {
+					return row, err
 				}
-			} else {
-				row.NaiveProbes = th.Stats.Probes
-				row.NaiveStatic = prog.Instr.Probes
+				machine := vm.New(prog.Mod, nil, 1)
+				machine.LimitInstrs = runLimit
+				th := machine.NewThread(0)
+				th.RT.IRPerCycle = base.IRPerCycle
+				th.RT.RegisterCI(intervalCycles, func(uint64) { th.Charge(HandlerWorkCycles) })
+				if _, err := th.Run("main", 0); err != nil {
+					return row, fmt.Errorf("%s/%v: %w", wl.Name, d, err)
+				}
+				if d == instrument.CI {
+					row.CIProbes = th.Stats.Probes
+					row.CIStatic = prog.Instr.Probes
+					if th.Stats.Probes > 0 {
+						row.TakenRate = float64(th.Stats.ProbesTaken) / float64(th.Stats.Probes)
+					}
+				} else {
+					row.NaiveProbes = th.Stats.Probes
+					row.NaiveStatic = prog.Instr.Probes
+				}
 			}
+			if row.NaiveProbes > 0 {
+				row.Reduction = 1 - float64(row.CIProbes)/float64(row.NaiveProbes)
+			}
+			return row, nil
+		})
+		return row, err
+	})
+	var rows []ProbeCountRow
+	for i, row := range cells {
+		if errs[i] == nil {
+			rows = append(rows, row)
 		}
-		if row.NaiveProbes > 0 {
-			row.Reduction = 1 - float64(row.CIProbes)/float64(row.NaiveProbes)
-		}
-		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows, cellErrors(errs, func(i int) string { return "probes/" + sel[i].Name })
 }
 
 // PrintProbeCounts renders the probe-execution comparison.
-func PrintProbeCounts(w io.Writer, scale int) error {
-	rows, err := MeasureProbeCounts(scale, 5000)
-	if err != nil {
-		return err
-	}
+func PrintProbeCounts(w io.Writer, eng *engine.Engine, scale int) error {
+	rows, errs := MeasureProbeCounts(eng, scale, 5000)
 	fmt.Fprintln(w, "Probe executions, CI vs Naive (§5.4: CI reduces executions >50% in most programs)")
 	fmt.Fprintf(w, "%-18s%14s%14s%12s%12s%10s\n",
 		"workload", "CI dynamic", "Naive dyn", "reduction", "CI static", "taken")
@@ -91,5 +100,5 @@ func PrintProbeCounts(w io.Writer, scale int) error {
 		}
 	}
 	fmt.Fprintf(w, "%d/%d workloads above 50%% reduction\n", over50, len(rows))
-	return nil
+	return renderCellErrors(w, errs)
 }

@@ -1,0 +1,112 @@
+// Benchmark regression gate: a fresh overhead sweep is compared
+// against the committed BENCH_baseline.json store and the test fails
+// when any (workload, design) cell regressed by more than 10%. The VM
+// is deterministic, so on unchanged code the fresh numbers match the
+// baseline exactly; the 10% band absorbs intentional perf-model tweaks
+// without churning the baseline on every commit.
+//
+// Updating the baseline after an intended performance change:
+//
+//	go test -run TestSweepRegressionBaseline -update-baseline .
+//	git diff BENCH_baseline.json   # review the movement, then commit
+package repro
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"testing"
+
+	"repro/internal/ci/instrument"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+)
+
+var updateBaseline = flag.Bool("update-baseline", false, "rewrite BENCH_baseline.json from current measurements")
+
+const baselinePath = "BENCH_baseline.json"
+
+// baselineSubset mirrors the determinism test's selection: one
+// workload per suite tier, quick enough to run on every `go test`.
+var baselineNames = []string{"radix", "histogram", "volrend", "kmeans"}
+
+var baselineDesigns = []instrument.Design{
+	instrument.CI, instrument.CnB, instrument.Naive,
+}
+
+func TestSweepRegressionBaseline(t *testing.T) {
+	sel, err := experiments.WorkloadsByName(baselineNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if *updateBaseline {
+		store, err := engine.OpenStore(baselinePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := engine.New(0)
+		eng.Store = store
+		fig := experiments.MeasureFigureOverheadSel(eng, 1, 1, baselineDesigns, sel)
+		if len(fig.Errs) > 0 {
+			t.Fatalf("cannot baseline a failing sweep: %v", fig.Errs)
+		}
+		if err := store.Save(); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("baseline rewritten: %s (%d cells)", baselinePath, len(store.Keys()))
+		return
+	}
+
+	// Fresh measurement, no store: nothing is skipped.
+	fig := experiments.MeasureFigureOverheadSel(engine.New(0), 1, 1, baselineDesigns, sel)
+	if len(fig.Errs) > 0 {
+		t.Fatalf("sweep cells failed: %v", fig.Errs)
+	}
+
+	store, err := engine.OpenStore(baselinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(store.Keys()) == 0 {
+		t.Fatalf("%s missing or empty; regenerate with -update-baseline", baselinePath)
+	}
+	for _, name := range baselineNames {
+		key := fmt.Sprintf("overhead/t1/%s", name)
+		cell, ok := store.Cell(key)
+		if !ok {
+			t.Errorf("baseline lacks cell %q; regenerate with -update-baseline", key)
+			continue
+		}
+		var want []experiments.OverheadRow
+		if err := json.Unmarshal(cell.Data, &want); err != nil {
+			t.Errorf("baseline cell %q: %v", key, err)
+			continue
+		}
+		got, ok := fig.Rows[name]
+		if !ok || len(got) != len(want) {
+			t.Errorf("%s: fresh sweep has %d rows, baseline %d", name, len(got), len(want))
+			continue
+		}
+		for di, g := range got {
+			w := want[di]
+			if g.Design != w.Design {
+				t.Errorf("%s[%d]: design %v vs baseline %v — baseline is stale, regenerate it",
+					name, di, g.Design, w.Design)
+				continue
+			}
+			// Regression = overhead grew. Compare with 10% relative
+			// tolerance plus a small absolute floor so near-zero
+			// overheads don't trip on rounding.
+			limit := w.Overhead*1.10 + 0.002
+			if g.Overhead > limit {
+				t.Errorf("%s/%v regressed: overhead %.4f > baseline %.4f (+10%%)",
+					name, g.Design, g.Overhead, w.Overhead)
+			}
+			if g.Overhead < w.Overhead*0.90-0.002 {
+				t.Logf("%s/%v improved past the band (%.4f vs %.4f); consider -update-baseline",
+					name, g.Design, g.Overhead, w.Overhead)
+			}
+		}
+	}
+}

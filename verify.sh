@@ -22,6 +22,12 @@ go build ./...
 echo "== go test =="
 go test ./...
 
+echo "== go test -race =="
+# The race gate keeps the parallel experiment engine honest: every
+# sweep shards cells across workers sharing memoized modules and
+# read-only baselines, so the whole suite must stay race-clean.
+go test -race ./...
+
 echo "== chaos smoke =="
 go run ./cmd/ciexp -quick chaos
 
