@@ -4,7 +4,13 @@
 // decided on, the applied loop transforms, and the exported cost table.
 // It is the debugging window into the analysis phase.
 //
-//	cidump [-probe-interval N] [-spacing] program.ir
+//	cidump [-probe-interval N] [-spacing] [-sanitize] program.ir
+//
+// With -sanitize the program is instead compiled under the
+// translation-validation sanitizer: every pipeline stage is verified
+// and semantically checked, and the differential execution oracle
+// compares the instrumented program against the uninstrumented
+// baseline for each probe design. Exits non-zero on any finding.
 package main
 
 import (
@@ -14,13 +20,17 @@ import (
 	"sort"
 
 	"repro/internal/ci/analysis"
+	"repro/internal/ci/instrument"
+	"repro/internal/core"
 	"repro/internal/ir"
+	"repro/internal/sanitize"
 )
 
 func main() {
 	probeInterval := flag.Int64("probe-interval", 250, "compile-time probe interval (IR instructions)")
 	allowable := flag.Int64("allowable-error", 0, "allowable error (0 = same as probe interval)")
 	spacing := flag.Bool("spacing", false, "also run the probe-spacing checker on instrumented functions")
+	sanitizeFlag := flag.Bool("sanitize", false, "run stage-by-stage translation validation and the differential oracle instead of the analysis dump")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cidump [flags] program.ir")
@@ -34,6 +44,10 @@ func main() {
 	m, err := ir.Parse(string(src))
 	if err != nil {
 		fail("%v", err)
+	}
+	if *sanitizeFlag {
+		runSanitize(m, *probeInterval, *allowable)
+		return
 	}
 	res := analysis.Analyze(m, analysis.Options{
 		ProbeInterval:  *probeInterval,
@@ -87,6 +101,31 @@ func main() {
 	}
 	os.Stdout.Write(data)
 	fmt.Println()
+}
+
+// runSanitize compiles the module under full translation validation for
+// every probe design and reports per-design verdicts. Any stage-check
+// failure or oracle divergence exits non-zero; an exhausted oracle step
+// budget is reported but tolerated (the static checks still ran).
+func runSanitize(m *ir.Module, probeInterval, allowable int64) {
+	failed := false
+	for _, d := range instrument.Designs {
+		_, err := sanitize.CompileChecked(m, core.Config{
+			Design:           d,
+			ProbeIntervalIR:  probeInterval,
+			AllowableErrorIR: allowable,
+		}, sanitize.Options{Exec: true, AllowInconclusive: true})
+		switch {
+		case err == nil:
+			fmt.Printf("%-14s ok (stage checks + differential oracle)\n", d)
+		default:
+			failed = true
+			fmt.Printf("%-14s FAIL: %v\n", d, err)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
 }
 
 func applyMarks(fr *analysis.FuncResult) {

@@ -16,6 +16,9 @@
 //	ciexp probes    §5.4 dynamic probe executions, CI vs Naive
 //	ciexp chaos     fault-injection sweep asserting the graceful-
 //	                degradation invariants (exits non-zero on violation)
+//	ciexp sanitize  translation-validation sweep: stage checks plus the
+//	                differential execution oracle over a fuzz corpus and
+//	                all workloads (exits non-zero on any divergence)
 //
 // The workload sweeps run on the parallel experiment engine: -workers N
 // shards the cells across N workers (0 = GOMAXPROCS; results are
@@ -24,8 +27,10 @@
 // with content hashes so unchanged cells are skipped on re-runs.
 //
 // Flags: -scale N (workload size multiplier, default 1),
-// -quick (subset of workloads for fig12; single fault rate for chaos),
-// -seed N (chaos fault-plan seed), -workers N, -store FILE.
+// -quick (subset of workloads for fig12; single fault rate for chaos;
+// smaller fuzz corpus for sanitize), -seed N (chaos fault-plan seed),
+// -workers N, -store FILE, -sanitize (route every cache-miss compile in
+// any sweep through the translation-validation stage checks).
 package main
 
 import (
@@ -44,8 +49,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "chaos: fault-plan seed")
 	workers := flag.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial)")
 	storePath := flag.String("store", "", "incremental result store (BENCH_*.json); unchanged cells are skipped")
+	sanitizeMiss := flag.Bool("sanitize", false, "run stage-by-stage translation validation on every cache-miss compile")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ciexp [flags] fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table7|hybrid|allowable|probes|chaos|all\n")
+		fmt.Fprintf(os.Stderr, "usage: ciexp [flags] fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table7|hybrid|allowable|probes|chaos|sanitize|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -56,6 +62,7 @@ func main() {
 	cmd := flag.Arg(0)
 
 	eng := engine.New(*workers)
+	eng.SanitizeOnMiss = *sanitizeMiss
 	if *storePath != "" {
 		store, err := engine.OpenStore(*storePath)
 		if err != nil {
@@ -98,6 +105,7 @@ func main() {
 			}
 			return experiments.PrintChaos(os.Stdout, *seed, rates)
 		}},
+		{"sanitize", func() error { return experiments.PrintSanitize(os.Stdout, eng, *scale, *quick) }},
 	} {
 		if cmd == c.name || cmd == "all" {
 			ran = true

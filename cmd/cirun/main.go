@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/ci/instrument"
 	"repro/internal/core"
+	"repro/internal/ir"
 	"repro/internal/stats"
 	"repro/internal/vm"
 )
@@ -55,7 +56,17 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	prog, err := core.CompileText(string(src), core.Config{
+	mod, err := ir.Parse(string(src))
+	if err != nil {
+		fail("%v", err)
+	}
+	// Refuse to execute a malformed module: verify up front so a bad
+	// input exits non-zero with the verifier's diagnosis rather than
+	// surfacing later as a VM fault.
+	if err := mod.Verify(); err != nil {
+		fail("malformed module %s: %v", flag.Arg(0), err)
+	}
+	prog, err := core.Compile(mod, core.Config{
 		Design:          d,
 		ProbeIntervalIR: *probeInterval,
 		Optimize:        *optimize,

@@ -30,6 +30,23 @@ type Options struct {
 	// MaxCloneBlocks bounds which loops count as "simple" for cloning;
 	// zero means the default of 3 blocks.
 	MaxCloneBlocks int
+	// StageHook, when non-nil, observes each function right after an
+	// analysis-side pipeline stage mutated it: "canonicalize" (§3.1
+	// return unification, loop-simplify, critical-edge splitting),
+	// "loop-transform" (§3.4) and "loop-clone" (§3.5). The hook is the
+	// attachment point for the translation-validation sanitizer
+	// (internal/sanitize); it must not mutate the function.
+	StageHook StageHook
+}
+
+// StageHook observes a function after a named analysis stage.
+type StageHook func(stage string, f *ir.Func)
+
+// stage invokes the configured StageHook, if any.
+func (o *Options) stage(name string, f *ir.Func) {
+	if o.StageHook != nil {
+		o.StageHook(name, f)
+	}
 }
 
 func (o *Options) withDefaults() *Options {
@@ -201,6 +218,7 @@ func analyzeFunc(f *ir.Func, opts *Options, costs CostTable, isRecursive bool) *
 		cfg.LoopSimplify(f)
 		a = newAnalyzer(f, opts, costs)
 	}
+	opts.stage("canonicalize", f)
 	a.res.Instrumented = false
 
 	root := a.res.Reduction.Root()

@@ -175,10 +175,12 @@ func (a *analyzer) visitLoop(c *Container) int64 {
 		if !c.Trips.IsConst() && !a.opts.DisableLoopClone && a.canClone(c) {
 			a.cloneLoop(c, perIter)
 			a.res.LoopsCloned++
+			a.opts.stage("loop-clone", a.f)
 			residual += 8
 		}
 		a.transformLoop(c, perIter)
 		a.res.LoopsTransformed++
+		a.opts.stage("loop-transform", a.f)
 		return residual
 	}
 	// Conservative per-iteration accounting (§3.4 fallback): probe at

@@ -1,0 +1,82 @@
+package fuzz
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ci/analysis"
+	"repro/internal/ci/instrument"
+	"repro/internal/ir"
+)
+
+// roundTrip asserts parse(print(m)) reaches a textual fixpoint: the
+// reparsed module prints identically, and one more cycle is stable.
+func roundTrip(t *testing.T, label string, m *ir.Module) *ir.Module {
+	t.Helper()
+	text := m.String()
+	back, err := ir.Parse(text)
+	if err != nil {
+		t.Fatalf("%s: reparse failed: %v\n%s", label, err, text)
+	}
+	if got := back.String(); got != text {
+		t.Fatalf("%s: print/parse/print not a fixpoint\nfirst:\n%s\nsecond:\n%s", label, text, got)
+	}
+	return back
+}
+
+// Property: every fuzz-corpus program round-trips through the printer
+// and parser — both bare and instrumented (probe instructions carry
+// ProbeInfo payloads that must survive the textual form).
+func TestParsePrintRoundTripOverCorpus(t *testing.T) {
+	seeds := 150
+	if testing.Short() {
+		seeds = 25
+	}
+	for seed := 1; seed <= seeds; seed++ {
+		seed := uint64(seed)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			src := Generate(seed, Options{WithExterns: seed%3 == 0})
+			back := roundTrip(t, "bare", src)
+			if err := back.Verify(); err != nil {
+				t.Fatalf("reparsed module does not verify: %v", err)
+			}
+
+			for _, d := range []instrument.Design{instrument.CI, instrument.CICycles, instrument.CD, instrument.CnB} {
+				m := src.Clone()
+				if _, err := instrument.Instrument(m, instrument.Options{
+					Design:   d,
+					Analysis: analysis.Options{ProbeInterval: 200},
+				}); err != nil {
+					t.Fatalf("%v: %v", d, err)
+				}
+				roundTrip(t, d.String(), m)
+			}
+		})
+	}
+}
+
+// The round-trip is semantic, not just textual: a reparsed instrumented
+// module must produce the same result as the module it was printed
+// from. A printer that drops probe payloads would pass a bare text
+// comparison of uninstrumented code but fail here.
+func TestRoundTripPreservesSemantics(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		src := Generate(seed, Options{WithExterns: seed%2 == 0})
+		m := src.Clone()
+		if _, err := instrument.Instrument(m, instrument.Options{
+			Design:   instrument.CI,
+			Analysis: analysis.Options{ProbeInterval: 150},
+		}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := runModule(t, m.Clone(), 4095)
+		back, err := ir.Parse(m.String())
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v", seed, err)
+		}
+		if got := runModule(t, back, 4095); got != want {
+			t.Errorf("seed %d: reparsed main(4095) = %d, want %d", seed, got, want)
+		}
+	}
+}

@@ -48,6 +48,16 @@ type Config struct {
 	// Optimize runs the IR optimizer (package opt) before the CI
 	// analysis, mirroring the paper's use of -O3 IR.
 	Optimize bool
+	// DebugVerify re-verifies the IR after every pipeline stage and
+	// fails compilation at the first stage that corrupts it.
+	DebugVerify bool
+	// FuncStageHook observes each function after every analysis-side
+	// rewrite ("canonicalize", "loop-transform", "loop-clone").
+	FuncStageHook analysis.StageHook
+	// ModStageHook observes the module at the instrumentation pipeline
+	// points ("input", "analysis", "probes"). Both hooks feed the
+	// translation-validation sanitizer (internal/sanitize).
+	ModStageHook instrument.ModStageHook
 }
 
 // Program is a compiled (instrumented) module ready to run on the VM.
@@ -80,7 +90,10 @@ func Compile(src *ir.Module, cfg Config) (*Program, error) {
 			Imported:             cfg.ImportedCosts,
 			DisableLoopTransform: cfg.DisableLoopTransform,
 			DisableLoopClone:     cfg.DisableLoopClone,
+			StageHook:            cfg.FuncStageHook,
 		},
+		DebugVerify: cfg.DebugVerify,
+		StageHook:   cfg.ModStageHook,
 	})
 	if err != nil {
 		return nil, err

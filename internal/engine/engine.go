@@ -15,6 +15,11 @@ type Engine struct {
 	// Store, when non-nil, persists sweep cells keyed by content hash
 	// so unchanged cells are skipped on re-runs.
 	Store *Store
+	// SanitizeOnMiss routes cache-miss compilations through the
+	// translation-validation sanitizer (stage checks on every pass)
+	// instead of the plain pipeline. Cache hits are unaffected, so the
+	// cost is paid once per distinct (workload, scale, config) cell.
+	SanitizeOnMiss bool
 }
 
 // New returns an engine with the given worker count (<= 0 selects

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/ir"
+	"repro/internal/sanitize"
 	"repro/internal/workloads"
 )
 
@@ -100,17 +101,29 @@ func BaselineCached(eng *engine.Engine, wl *workloads.Workload, scale, threads i
 	return v.(Baseline), nil
 }
 
+// compileMaybeChecked compiles src under cfg, routing through the
+// translation-validation sanitizer when the engine asks for it
+// (Engine.SanitizeOnMiss). Sanitized compiles pay for stage-by-stage
+// semantic checks; with memoization the cost lands only on cache
+// misses.
+func compileMaybeChecked(eng *engine.Engine, src *ir.Module, cfg core.Config) (*core.Program, error) {
+	if eng != nil && eng.SanitizeOnMiss {
+		return sanitize.CompileChecked(src, cfg, sanitize.Options{})
+	}
+	return core.Compile(src, cfg)
+}
+
 // CompileCached compiles the workload under cfg, memoized per
 // (workload, scale, config). The returned program's module is shared
 // across cells; callers must treat it as read-only (VM runs do — the
 // fingerprint guard in the cache proves it).
 func CompileCached(eng *engine.Engine, wl *workloads.Workload, scale int, cfg core.Config) (*core.Program, error) {
 	if eng == nil || eng.Cache == nil || cfg.ImportedCosts != nil {
-		return core.Compile(SourceModule(eng, wl, scale), cfg)
+		return compileMaybeChecked(eng, SourceModule(eng, wl, scale), cfg)
 	}
 	key := fmt.Sprintf("prog/%s/s%d/%s", wl.Name, scale, cfgKey(cfg))
 	v, err := eng.Cache.Get(key, func() (any, error) {
-		prog, err := core.Compile(SourceModule(eng, wl, scale), cfg)
+		prog, err := compileMaybeChecked(eng, SourceModule(eng, wl, scale), cfg)
 		if err != nil {
 			return nil, err
 		}

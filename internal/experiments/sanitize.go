@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/ci/fuzz"
+	"repro/internal/ci/instrument"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sanitize"
+)
+
+// This file drives the translation-validation sanitizer from the
+// experiment CLI: a fuzz sweep that compiles random programs under the
+// full stage checks and the differential execution oracle, plus a
+// stage-checked compile of every paper workload. It is the sweep behind
+// `ciexp sanitize` and the smoke gate in verify.sh.
+
+// sanitizeDesigns is the oracle design set: the two CI variants plus
+// the CoreDet-style and naive-balance baselines. The remaining designs
+// are covered by the fuzz package's differential tests.
+var sanitizeDesigns = []instrument.Design{
+	instrument.CI, instrument.CICycles, instrument.CD, instrument.CnB,
+}
+
+// SanitizeRow aggregates one design's verdicts over the fuzz sweep.
+type SanitizeRow struct {
+	Design string
+	// Programs is the number of fuzz programs compiled.
+	Programs int
+	// Clean counts programs that passed both stage checks and oracle.
+	Clean int
+	// Inconclusive counts oracle runs that hit the step budget.
+	Inconclusive int
+	// StageErrors counts static stage-check failures.
+	StageErrors int
+	// Divergences counts differential-oracle failures.
+	Divergences int
+	// FirstFailure is the first stage error or divergence, if any.
+	FirstFailure string
+}
+
+// sanitizeVerdict classifies one (seed, design) compile+oracle outcome.
+type sanitizeVerdict int
+
+const (
+	verdictClean sanitizeVerdict = iota
+	verdictInconclusive
+	verdictStageError
+	verdictDivergence
+)
+
+type sanitizeCell struct {
+	Verdicts [4]sanitizeVerdict
+	Failures [4]string
+}
+
+// RunSanitizeSweep fuzzes `seeds` programs and pushes each through
+// sanitize.CompileChecked (stage checks + differential oracle) for
+// every oracle design. One seed is one engine cell; the whole sweep
+// shards across the engine pool.
+func RunSanitizeSweep(eng *engine.Engine, seeds int) ([]SanitizeRow, []CellError) {
+	cells, errs := engine.Map(eng.Pool, seeds, func(i int) (sanitizeCell, error) {
+		seed := uint64(i + 1)
+		src := fuzz.Generate(seed, fuzz.Options{
+			MaxDepth: 2, MaxStmts: 5, MaxFuncs: 2, WithExterns: seed%4 == 0,
+		})
+		eo := sanitize.ExecOptions{
+			Args:        []int64{int64(seed % 4096)},
+			LimitInstrs: 30_000_000,
+		}
+		var cell sanitizeCell
+		for di, d := range sanitizeDesigns {
+			_, err := sanitize.CompileChecked(src, core.Config{
+				Design: d, ProbeIntervalIR: 200,
+			}, sanitize.Options{Exec: true, ExecOptions: eo})
+			var se *sanitize.StageError
+			var div *sanitize.Divergence
+			switch {
+			case err == nil:
+				cell.Verdicts[di] = verdictClean
+			case errors.Is(err, sanitize.ErrInconclusive):
+				cell.Verdicts[di] = verdictInconclusive
+			case errors.As(err, &se):
+				cell.Verdicts[di] = verdictStageError
+				cell.Failures[di] = fmt.Sprintf("seed %d: %v", seed, se)
+			case errors.As(err, &div):
+				cell.Verdicts[di] = verdictDivergence
+				cell.Failures[di] = fmt.Sprintf("seed %d: %v", seed, div)
+			default:
+				return cell, fmt.Errorf("seed %d/%v: %w", seed, d, err)
+			}
+		}
+		return cell, nil
+	})
+
+	rows := make([]SanitizeRow, len(sanitizeDesigns))
+	for di, d := range sanitizeDesigns {
+		rows[di].Design = d.String()
+	}
+	for i, cell := range cells {
+		if errs[i] != nil {
+			continue
+		}
+		for di := range sanitizeDesigns {
+			r := &rows[di]
+			r.Programs++
+			switch cell.Verdicts[di] {
+			case verdictClean:
+				r.Clean++
+			case verdictInconclusive:
+				r.Inconclusive++
+			case verdictStageError:
+				r.StageErrors++
+			case verdictDivergence:
+				r.Divergences++
+			}
+			if cell.Failures[di] != "" && r.FirstFailure == "" {
+				r.FirstFailure = cell.Failures[di]
+			}
+		}
+	}
+	return rows, cellErrors(errs, func(i int) string { return fmt.Sprintf("sanitize/seed%d", i+1) })
+}
+
+// SanitizeWorkloads compiles every paper workload under every oracle
+// design with the engine's sanitize-on-miss mode forced on, proving the
+// stage checks hold on the curated benchmarks, not just fuzz programs.
+// Returns the number of clean (workload, design) cells.
+func SanitizeWorkloads(eng *engine.Engine, scale int) (int, []CellError) {
+	prev := eng.SanitizeOnMiss
+	eng.SanitizeOnMiss = true
+	defer func() { eng.SanitizeOnMiss = prev }()
+
+	sel := AllWorkloads()
+	cells, errs := engine.Map(eng.Pool, len(sel), func(i int) (int, error) {
+		clean := 0
+		for _, d := range sanitizeDesigns {
+			if _, err := CompileCached(eng, sel[i], scale, core.Config{
+				Design: d, ProbeIntervalIR: ProbeIntervalIR,
+			}); err != nil {
+				return clean, fmt.Errorf("%v: %w", d, err)
+			}
+			clean++
+		}
+		return clean, nil
+	})
+	total := 0
+	for i, n := range cells {
+		if errs[i] == nil {
+			total += n
+		}
+	}
+	return total, cellErrors(errs, func(i int) string { return "sanitize/" + sel[i].Name })
+}
+
+// PrintSanitize renders the sanitizer sweep and exits non-zero (via the
+// returned error) when any stage check or oracle verdict failed. quick
+// shrinks the fuzz corpus for smoke-test use.
+func PrintSanitize(w io.Writer, eng *engine.Engine, scale int, quick bool) error {
+	seeds := 300
+	if quick {
+		seeds = 50
+	}
+	fmt.Fprintf(w, "Translation-validation sweep: %d fuzz programs x %d designs (stage checks + differential oracle)\n",
+		seeds, len(sanitizeDesigns))
+	rows, errs := RunSanitizeSweep(eng, seeds)
+	fmt.Fprintf(w, "%-12s%10s%8s%14s%13s%13s\n",
+		"design", "programs", "clean", "inconclusive", "stage errs", "divergences")
+	bad := 0
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s%10d%8d%14d%13d%13d\n",
+			r.Design, r.Programs, r.Clean, r.Inconclusive, r.StageErrors, r.Divergences)
+		bad += r.StageErrors + r.Divergences
+		if r.FirstFailure != "" {
+			fmt.Fprintf(w, "  first failure: %s\n", r.FirstFailure)
+		}
+	}
+
+	clean, werrs := SanitizeWorkloads(eng, scale)
+	fmt.Fprintf(w, "workloads: %d/%d (workload, design) cells stage-check clean\n",
+		clean, len(AllWorkloads())*len(sanitizeDesigns))
+	errs = append(errs, werrs...)
+
+	if err := renderCellErrors(w, errs); err != nil {
+		return err
+	}
+	if bad > 0 {
+		return fmt.Errorf("sanitize: %d validation failure(s)", bad)
+	}
+	fmt.Fprintln(w, "sanitize: all programs validated")
+	return nil
+}

@@ -1,0 +1,70 @@
+package sanitize
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// Options configures CompileChecked.
+type Options struct {
+	// Exec additionally runs the differential execution oracle on the
+	// compiled program.
+	Exec bool
+	// ExecOptions parameterizes the oracle (zero value = defaults).
+	ExecOptions ExecOptions
+	// AllowInconclusive makes an ErrInconclusive oracle verdict (step
+	// budget exhausted) non-fatal. Static stage checks still apply.
+	AllowInconclusive bool
+}
+
+// CompileChecked compiles src under full translation validation: the
+// stage checker is wired into every pipeline hook (chained after any
+// hooks already present in cfg, so test doubles that corrupt a stage
+// run before the checks), DebugVerify is forced on, and — with
+// opts.Exec — the differential execution oracle runs on the result.
+// The returned error is a *StageError or *Divergence when validation
+// fails.
+func CompileChecked(src *ir.Module, cfg core.Config, opts Options) (*core.Program, error) {
+	ck := NewChecker()
+	userF, userM := cfg.FuncStageHook, cfg.ModStageHook
+	cfg.DebugVerify = true
+	cfg.FuncStageHook = func(stage string, f *ir.Func) {
+		if userF != nil {
+			userF(stage, f)
+		}
+		ck.CheckFunc(stage, f)
+	}
+	cfg.ModStageHook = func(stage string, m *ir.Module) {
+		if userM != nil {
+			userM(stage, m)
+		}
+		ck.CheckModule(stage, m)
+	}
+	prog, err := core.Compile(src, cfg)
+	// Stage findings take precedence: they name the exact stage, where
+	// the final-verify error from the pipeline only says "broken".
+	if serr := ck.Err(); serr != nil {
+		return nil, serr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if opts.Exec {
+		oerr := DiffExec(src, prog.Mod, cfg.Design.String(), opts.ExecOptions)
+		if oerr != nil && !(opts.AllowInconclusive && errors.Is(oerr, ErrInconclusive)) {
+			return nil, oerr
+		}
+	}
+	return prog, nil
+}
+
+// CompileCheckedText parses textual IR and runs CompileChecked.
+func CompileCheckedText(src string, cfg core.Config, opts Options) (*core.Program, error) {
+	m, err := ir.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileChecked(m, cfg, opts)
+}

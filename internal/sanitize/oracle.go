@@ -1,0 +1,182 @@
+package sanitize
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// ErrInconclusive marks a differential run that hit a watchdog budget
+// before either side could finish: not a divergence, but not a pass.
+var ErrInconclusive = errors.New("sanitize: differential run inconclusive")
+
+// Divergence is a first-class semantic difference between baseline and
+// instrumented execution.
+type Divergence struct {
+	// Stage is where the divergence was observed ("exec" for the
+	// differential oracle).
+	Stage string
+	// Design names the instrumentation design under test.
+	Design string
+	// Func and Block locate the instrumented-side instruction that
+	// produced the first diverging observable event (block names are
+	// not comparable across the transform, so only the instrumented
+	// side is reported).
+	Func, Block string
+	// Step is the ordinal of the first diverging observable event
+	// (store number), or -1 when the divergence is in the return value
+	// or final memory.
+	Step int
+	// Detail describes the difference.
+	Detail string
+}
+
+func (d *Divergence) Error() string {
+	loc := ""
+	if d.Func != "" {
+		loc = fmt.Sprintf(" at @%s/%s", d.Func, d.Block)
+	}
+	return fmt.Sprintf("sanitize: divergence [%s/%s]%s step %d: %s",
+		d.Stage, d.Design, loc, d.Step, d.Detail)
+}
+
+// ExecOptions configures the differential oracle.
+type ExecOptions struct {
+	// Entry is the function to run (default "main").
+	Entry string
+	// Args are the entry arguments (default: one argument, 4095).
+	Args []int64
+	// LimitInstrs is the per-run step budget (default 50M). Exhausting
+	// it yields ErrInconclusive, not a divergence.
+	LimitInstrs int64
+	// IntervalCycles registers a no-op CI handler with this interval so
+	// probes actually deliver (default 5000).
+	IntervalCycles int64
+}
+
+func (o ExecOptions) withDefaults() ExecOptions {
+	if o.Entry == "" {
+		o.Entry = "main"
+	}
+	if o.Args == nil {
+		o.Args = []int64{4095}
+	}
+	if o.LimitInstrs <= 0 {
+		o.LimitInstrs = 50_000_000
+	}
+	if o.IntervalCycles <= 0 {
+		o.IntervalCycles = 5000
+	}
+	return o
+}
+
+// storeEv is one observable memory write.
+type storeEv struct{ addr, val int64 }
+
+// Trace is the observable behaviour of one run: the ordered store
+// sequence, the return value and the final memory image. Handler
+// effects are excluded by construction — the oracle's handler is a
+// no-op and probes never write program memory.
+type Trace struct {
+	Stores []storeEv
+	Ret    int64
+	Mem    []int64
+}
+
+// Execute runs m (on a private clone) and records its trace.
+func Execute(m *ir.Module, opts ExecOptions) (*Trace, error) {
+	opts = opts.withDefaults()
+	mm := m.Clone()
+	machine := vm.New(mm, nil, 1)
+	machine.LimitInstrs = opts.LimitInstrs
+	th := machine.NewThread(0)
+	th.RT.RegisterCI(opts.IntervalCycles, func(uint64) {})
+	tr := &Trace{}
+	th.OnStore = func(fn, block string, addr, val int64) {
+		tr.Stores = append(tr.Stores, storeEv{addr, val})
+	}
+	args := opts.Args
+	if f := mm.FuncByName(opts.Entry); f != nil && f.NumParams == 0 {
+		args = nil
+	}
+	rv, err := th.Run(opts.Entry, args...)
+	if err != nil {
+		if errors.Is(err, vm.ErrStepBudget) {
+			return nil, fmt.Errorf("%w: baseline hit the step budget: %v", ErrInconclusive, err)
+		}
+		return nil, fmt.Errorf("sanitize: baseline run failed: %w", err)
+	}
+	tr.Ret = rv
+	tr.Mem = append([]int64(nil), machine.Mem...)
+	return tr, nil
+}
+
+// DiffTrace runs the instrumented module (on a private clone) against a
+// recorded baseline trace and returns a *Divergence at the first
+// observable difference, ErrInconclusive on budget exhaustion, or nil.
+func DiffTrace(base *Trace, instrumented *ir.Module, design string, opts ExecOptions) error {
+	opts = opts.withDefaults()
+	mm := instrumented.Clone()
+	machine := vm.New(mm, nil, 1)
+	machine.LimitInstrs = opts.LimitInstrs
+	th := machine.NewThread(0)
+	th.RT.RegisterCI(opts.IntervalCycles, func(uint64) {})
+	var div *Divergence
+	step := 0
+	th.OnStore = func(fn, block string, addr, val int64) {
+		if div == nil {
+			switch {
+			case step >= len(base.Stores):
+				div = &Divergence{Stage: "exec", Design: design, Func: fn, Block: block, Step: step,
+					Detail: fmt.Sprintf("extra store mem[%d]=%d (baseline made %d stores)", addr, val, len(base.Stores))}
+			case base.Stores[step] != (storeEv{addr, val}):
+				want := base.Stores[step]
+				div = &Divergence{Stage: "exec", Design: design, Func: fn, Block: block, Step: step,
+					Detail: fmt.Sprintf("store mem[%d]=%d, baseline stored mem[%d]=%d", addr, val, want.addr, want.val)}
+			}
+		}
+		step++
+	}
+	args := opts.Args
+	if f := mm.FuncByName(opts.Entry); f != nil && f.NumParams == 0 {
+		args = nil
+	}
+	rv, err := th.Run(opts.Entry, args...)
+	if err != nil {
+		if errors.Is(err, vm.ErrStepBudget) {
+			return fmt.Errorf("%w: instrumented %s hit the step budget: %v", ErrInconclusive, design, err)
+		}
+		return fmt.Errorf("sanitize: instrumented %s run failed: %w", design, err)
+	}
+	if div != nil {
+		return div
+	}
+	if step != len(base.Stores) {
+		return &Divergence{Stage: "exec", Design: design, Step: step,
+			Detail: fmt.Sprintf("made %d stores, baseline made %d", step, len(base.Stores))}
+	}
+	if rv != base.Ret {
+		return &Divergence{Stage: "exec", Design: design, Step: -1,
+			Detail: fmt.Sprintf("returned %d, baseline returned %d", rv, base.Ret)}
+	}
+	for i, v := range machine.Mem {
+		if i < len(base.Mem) && v != base.Mem[i] {
+			return &Divergence{Stage: "exec", Design: design, Step: -1,
+				Detail: fmt.Sprintf("final mem[%d] = %d, baseline %d", i, v, base.Mem[i])}
+		}
+	}
+	return nil
+}
+
+// DiffExec is the one-shot differential oracle: identical observable
+// behaviour (store sequence, return value, final memory — modulo
+// handler effects) between a baseline and an instrumented module.
+func DiffExec(baseline, instrumented *ir.Module, design string, opts ExecOptions) error {
+	base, err := Execute(baseline, opts)
+	if err != nil {
+		return err
+	}
+	return DiffTrace(base, instrumented, design, opts)
+}

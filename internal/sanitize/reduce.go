@@ -1,0 +1,271 @@
+package sanitize
+
+import (
+	"repro/internal/ir"
+)
+
+// Predicate reports whether a candidate module still exhibits the
+// failure being reduced. It receives a private clone and may compile,
+// corrupt or run it freely. Predicates see only Verify-clean modules.
+type Predicate func(m *ir.Module) bool
+
+// Reduce shrinks m to a smaller module that still satisfies pred,
+// ddmin-style: it greedily applies shrinking passes — dropping whole
+// functions, committing branches to one side (pruning what dies),
+// deleting instruction chunks, splicing trivial jump chains and
+// tail-duplicating tiny return blocks — re-running pred after each
+// candidate and keeping every change that preserves the failure.
+// entry names the function that must survive (usually "main"). If m
+// does not satisfy pred, m's clone is returned unchanged.
+func Reduce(m *ir.Module, entry string, pred Predicate) *ir.Module {
+	r := &reducer{cur: m.Clone(), entry: entry, pred: pred}
+	if !pred(r.cur.Clone()) {
+		return r.cur
+	}
+	for changed := true; changed; {
+		changed = false
+		changed = r.dropFuncs() || changed
+		changed = r.commitBranches() || changed
+		changed = r.dropInstrChunks() || changed
+		changed = r.spliceJumps() || changed
+		changed = r.tailDupReturns() || changed
+	}
+	return r.cur
+}
+
+type reducer struct {
+	cur   *ir.Module
+	entry string
+	pred  Predicate
+}
+
+// accept keeps cand as the new current module when it is valid,
+// strictly smaller, and still failing.
+func (r *reducer) accept(cand *ir.Module) bool {
+	if cand.Verify() != nil || size(cand) >= size(r.cur) {
+		return false
+	}
+	if !r.pred(cand.Clone()) {
+		return false
+	}
+	r.cur = cand
+	return true
+}
+
+// size orders candidates: blocks weigh more than instructions so
+// passes that only restructure (splice, tail-dup) still count as
+// progress when they shed a block.
+func size(m *ir.Module) int {
+	n := 0
+	for _, f := range m.Funcs {
+		n += len(f.Blocks)*8 + f.NumInstrs()
+	}
+	return n
+}
+
+// dropFuncs tries deleting every function except the entry. Dangling
+// callees fail Verify and are rejected automatically.
+func (r *reducer) dropFuncs() bool {
+	any := false
+	for retry := true; retry; {
+		retry = false
+		for i, f := range r.cur.Funcs {
+			if f.Name == r.entry {
+				continue
+			}
+			cand := r.cur.Clone()
+			cand.Funcs = append(cand.Funcs[:i], cand.Funcs[i+1:]...)
+			if r.accept(cand) {
+				any, retry = true, true
+				break
+			}
+		}
+	}
+	return any
+}
+
+// commitBranches rewrites each conditional branch into an
+// unconditional jump to one of its sides, pruning blocks that become
+// unreachable.
+func (r *reducer) commitBranches() bool {
+	any := false
+	for retry := true; retry; {
+		retry = false
+	scan:
+		for fi, f := range r.cur.Funcs {
+			for bi, b := range f.Blocks {
+				if b.Term.Kind != ir.TermBr {
+					continue
+				}
+				for side := 0; side < 2; side++ {
+					cand := r.cur.Clone()
+					cb := cand.Funcs[fi].Blocks[bi]
+					target := cb.Term.Then
+					if side == 1 {
+						target = cb.Term.Else
+					}
+					cb.Term = ir.Terminator{Kind: ir.TermJmp, Then: target, Cond: ir.NoReg, Val: ir.NoReg}
+					pruneUnreachable(cand.Funcs[fi])
+					if r.accept(cand) {
+						any, retry = true, true
+						break scan
+					}
+				}
+			}
+		}
+	}
+	return any
+}
+
+// dropInstrChunks deletes instruction runs per block, halving the
+// chunk size down to single instructions (ddmin over each block).
+func (r *reducer) dropInstrChunks() bool {
+	any := false
+	for fi := 0; fi < len(r.cur.Funcs); fi++ {
+		for bi := 0; bi < len(r.cur.Funcs[fi].Blocks); bi++ {
+			n := len(r.cur.Funcs[fi].Blocks[bi].Instrs)
+			for chunk := n; chunk >= 1; chunk /= 2 {
+				for at := 0; at+chunk <= len(r.cur.Funcs[fi].Blocks[bi].Instrs); {
+					cand := r.cur.Clone()
+					cb := cand.Funcs[fi].Blocks[bi]
+					cb.Instrs = append(cb.Instrs[:at], cb.Instrs[at+chunk:]...)
+					if r.accept(cand) {
+						any = true
+					} else {
+						at++
+					}
+				}
+			}
+		}
+	}
+	return any
+}
+
+// spliceJumps merges a block that unconditionally jumps to a
+// single-predecessor successor with that successor.
+func (r *reducer) spliceJumps() bool {
+	any := false
+	for retry := true; retry; {
+		retry = false
+	scan:
+		for fi, f := range r.cur.Funcs {
+			for bi, b := range f.Blocks {
+				t := b.Term.Then
+				if b.Term.Kind != ir.TermJmp || t == b || t == f.Entry() || predCount(f, t) != 1 {
+					continue
+				}
+				cand := r.cur.Clone()
+				cf := cand.Funcs[fi]
+				cb := cf.Blocks[bi]
+				ct := cb.Term.Then
+				cb.Instrs = append(cb.Instrs, ct.Instrs...)
+				cb.Term = ct.Term
+				removeBlock(cf, ct)
+				if r.accept(cand) {
+					any, retry = true, true
+					break scan
+				}
+			}
+		}
+	}
+	return any
+}
+
+// tailDupReturns copies a tiny return block (≤2 instructions, 2–3
+// unconditional predecessors) into each predecessor so the shared join
+// disappears.
+func (r *reducer) tailDupReturns() bool {
+	any := false
+	for retry := true; retry; {
+		retry = false
+	scan:
+		for fi, f := range r.cur.Funcs {
+			for _, t := range f.Blocks {
+				if t.Term.Kind != ir.TermRet || len(t.Instrs) > 2 || t == f.Entry() {
+					continue
+				}
+				var preds []*ir.Block
+				ok := true
+				for _, p := range f.Blocks {
+					var succs []*ir.Block
+					for _, s := range p.Succs(succs) {
+						if s == t {
+							if p.Term.Kind != ir.TermJmp {
+								ok = false
+							}
+							preds = append(preds, p)
+						}
+					}
+				}
+				if !ok || len(preds) < 2 || len(preds) > 3 {
+					continue
+				}
+				cand := r.cur.Clone()
+				cf := cand.Funcs[fi]
+				ct := cf.BlockByName(t.Name)
+				for _, p := range preds {
+					cp := cf.BlockByName(p.Name)
+					cp.Instrs = append(cp.Instrs, ct.Instrs...)
+					cp.Term = ct.Term
+				}
+				removeBlock(cf, ct)
+				if r.accept(cand) {
+					any, retry = true, true
+					break scan
+				}
+			}
+		}
+	}
+	return any
+}
+
+func predCount(f *ir.Func, target *ir.Block) int {
+	n := 0
+	for _, b := range f.Blocks {
+		var succs []*ir.Block
+		for _, s := range b.Succs(succs) {
+			if s == target {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func removeBlock(f *ir.Func, b *ir.Block) {
+	for i, bb := range f.Blocks {
+		if bb == b {
+			f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+			break
+		}
+	}
+	f.Reindex()
+}
+
+// pruneUnreachable deletes blocks not reachable from the entry.
+func pruneUnreachable(f *ir.Func) {
+	if len(f.Blocks) == 0 {
+		return
+	}
+	reach := map[*ir.Block]bool{f.Blocks[0]: true}
+	work := []*ir.Block{f.Blocks[0]}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		var succs []*ir.Block
+		for _, s := range b.Succs(succs) {
+			if !reach[s] {
+				reach[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	out := f.Blocks[:0]
+	for _, b := range f.Blocks {
+		if reach[b] {
+			out = append(out, b)
+		}
+	}
+	f.Blocks = out
+	f.Reindex()
+}

@@ -1,0 +1,84 @@
+package sanitize_test
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/sanitize"
+)
+
+const reduceSrc = `
+mem 16
+func @main(%n) {
+entry:
+  %a = add %n, 5
+  jmp pre
+pre:
+  %b = call @helper(%a)
+  %d = xor %b, 9
+  jmp test
+test:
+  %c = lt %n, 10
+  br %c, keep, other
+keep:
+  %r = mov 1
+  store _, 7, %r
+  jmp out
+other:
+  %r = mov 2
+  jmp out
+out:
+  ret %r
+}
+func @helper(%x) {
+entry:
+  %y = mul %x, 3
+  ret %y
+}
+`
+
+// hasStore is a pure-structural predicate: the failure artifact is "a
+// store instruction exists in main".
+func hasStore(m *ir.Module) bool {
+	f := m.FuncByName("main")
+	if f == nil {
+		return false
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.OpStore {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestReduceShrinksToMinimalStore(t *testing.T) {
+	src := ir.MustParse(reduceSrc)
+	red := sanitize.Reduce(src, "main", hasStore)
+	if err := red.Verify(); err != nil {
+		t.Fatalf("reduced module invalid: %v\n%s", err, red)
+	}
+	if !hasStore(red) {
+		t.Fatalf("reduction lost the failure artifact:\n%s", red)
+	}
+	if len(red.Funcs) != 1 {
+		t.Errorf("kept %d functions, want 1\n%s", len(red.Funcs), red)
+	}
+	f := red.FuncByName("main")
+	if len(f.Blocks) != 1 {
+		t.Errorf("kept %d blocks, want 1 (branch committed, chains spliced)\n%s", len(f.Blocks), red)
+	}
+	if n := f.NumInstrs(); n > 3 {
+		t.Errorf("kept %d instructions, want <= 3 (store + ret, maybe the stored def)\n%s", n, red)
+	}
+}
+
+func TestReduceReturnsInputWhenNotFailing(t *testing.T) {
+	src := ir.MustParse(reduceSrc)
+	red := sanitize.Reduce(src, "main", func(m *ir.Module) bool { return false })
+	if red.String() != src.String() {
+		t.Error("Reduce modified a non-failing module")
+	}
+}

@@ -1,0 +1,71 @@
+package sanitize
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// SaveRepro persists a (typically Reduce-shrunk) failing module under
+// dir as <name>.ir, prefixing each header line with "# " so the file
+// parses back cleanly. It returns the written path. Reproducers saved
+// under testdata/repro/ are auto-loaded as pinned regressions by the
+// sanitize test suite.
+func SaveRepro(dir, name string, m *ir.Module, header string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("sanitize: %w", err)
+	}
+	var sb strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(header, "\n"), "\n") {
+		sb.WriteString("# ")
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(m.String())
+	path := filepath.Join(dir, name+".ir")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		return "", fmt.Errorf("sanitize: %w", err)
+	}
+	return path, nil
+}
+
+// Repro is one pinned reproducer loaded from disk.
+type Repro struct {
+	Name string
+	Path string
+	Mod  *ir.Module
+}
+
+// LoadRepros parses every *.ir file in dir, sorted by name. A missing
+// directory yields an empty slice, not an error.
+func LoadRepros(dir string) ([]Repro, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sanitize: %w", err)
+	}
+	var out []Repro
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".ir") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		text, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("sanitize: %w", err)
+		}
+		m, err := ir.Parse(string(text))
+		if err != nil {
+			return nil, fmt.Errorf("sanitize: reproducer %s: %w", path, err)
+		}
+		out = append(out, Repro{Name: strings.TrimSuffix(e.Name(), ".ir"), Path: path, Mod: m})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

@@ -31,8 +31,13 @@ type VM struct {
 	HW *HWConfig
 	// LimitInstrs aborts a run after this many executed IR instructions
 	// per thread (0 = no limit); a guard against accidental infinite
-	// loops in tests.
+	// loops in tests. Exceeding it returns an error wrapping
+	// ErrStepBudget.
 	LimitInstrs int64
+	// MaxHandlerCycles bounds the cycles an interrupt handler may bill
+	// (via Thread.Charge) per delivery; 0 disables the guard. Exceeding
+	// it returns an error wrapping ErrHandlerOverrun.
+	MaxHandlerCycles int64
 }
 
 // New creates a VM for the module with the given cost model (nil for
@@ -78,6 +83,13 @@ type Thread struct {
 	ID    int
 	RT    *ciruntime.Runtime
 	Stats Stats
+	// OnStore, when non-nil, observes every committed memory write
+	// (stores and atomic adds) with the enclosing function and block
+	// names, the word address and the value written. It is the
+	// observable-effect tap the differential oracle compares baseline
+	// and instrumented runs on; probes never trigger it. Observers must
+	// not mutate VM state.
+	OnStore func(fn, block string, addr, val int64)
 
 	model      *CostModel
 	memMul     float64
@@ -86,6 +98,7 @@ type Thread struct {
 	hwOverhead int64
 	trace      *Trace
 	inExt      bool
+	inHandler  bool
 	depth      int
 	limit      int64
 	funcMap    map[string]*ir.Func
@@ -134,6 +147,9 @@ func (t *Thread) Charge(cycles int64) { t.Stats.Cycles += cycles }
 // Run executes the named function with the given arguments and returns
 // its result.
 func (t *Thread) Run(fn string, args ...int64) (int64, error) {
+	if t.inHandler {
+		return 0, fmt.Errorf("vm: %w: Run(%q) from interrupt context", ErrHandlerReentrancy, fn)
+	}
 	f := t.funcMap[fn]
 	if f == nil {
 		return 0, fmt.Errorf("vm: no function %q", fn)
@@ -175,7 +191,7 @@ func (t *Thread) memAddr(regs []int64, base ir.Reg, off int64) (int64, error) {
 		addr += regs[base]
 	}
 	if addr < 0 || addr >= int64(len(t.VM.Mem)) {
-		return 0, fmt.Errorf("vm: memory fault at %d (mem size %d)", addr, len(t.VM.Mem))
+		return 0, fmt.Errorf("vm: %w: address %d (mem size %d)", ErrMemFault, addr, len(t.VM.Mem))
 	}
 	return addr, nil
 }
@@ -184,10 +200,10 @@ func (t *Thread) memAddr(regs []int64, base ir.Reg, off int64) (int64, error) {
 // "work cycles" (total minus interrupt overhead): a performance-counter
 // interrupt counts user work, not the trap/kernel/signal cost of
 // delivering the previous interrupt.
-func (t *Thread) checkHW() {
+func (t *Thread) checkHW() error {
 	hw := t.VM.HW
 	if hw == nil {
-		return
+		return nil
 	}
 	for t.Stats.Cycles-t.hwOverhead >= t.nextHW {
 		pre := t.model.HWTrapCost
@@ -206,7 +222,13 @@ func (t *Thread) checkHW() {
 		// (watchdog mode) can override it.
 		t.nextHW += hw.IntervalCycles
 		if hw.Handler != nil {
+			before := t.Stats.Cycles
+			t.inHandler = true
 			hw.Handler(t)
+			t.inHandler = false
+			if err := t.checkOverrun(t.Stats.Cycles-before, 1, "hardware"); err != nil {
+				return err
+			}
 		}
 		t.Stats.Cycles += post
 		t.hwOverhead += post
@@ -215,9 +237,21 @@ func (t *Thread) checkHW() {
 			if t.nextHW <= t.Stats.Cycles-t.hwOverhead {
 				t.nextHW = t.Stats.Cycles - t.hwOverhead + hw.IntervalCycles
 			}
-			return
+			return nil
 		}
 	}
+	return nil
+}
+
+// checkOverrun enforces MaxHandlerCycles: charged is what handlers
+// billed during one delivery window that invoked fired handlers.
+func (t *Thread) checkOverrun(charged int64, fired int, kind string) error {
+	max := t.VM.MaxHandlerCycles
+	if max <= 0 || charged <= max*int64(fired) {
+		return nil
+	}
+	return fmt.Errorf("vm: %w: %s handler billed %d cycles (budget %d x %d fires)",
+		ErrHandlerOverrun, kind, charged, max, fired)
 }
 
 const maxDepth = 4096
@@ -226,7 +260,7 @@ func (t *Thread) call(f *ir.Func, args []int64) (int64, error) {
 	t.depth++
 	if t.depth > maxDepth {
 		t.depth--
-		return 0, fmt.Errorf("vm: call depth exceeds %d in %q", maxDepth, f.Name)
+		return 0, fmt.Errorf("vm: %w: depth exceeds %d in %q", ErrCallDepth, maxDepth, f.Name)
 	}
 	defer func() { t.depth-- }()
 
@@ -239,7 +273,9 @@ func (t *Thread) call(f *ir.Func, args []int64) (int64, error) {
 			in := &b.Instrs[i]
 			switch in.Op {
 			case ir.OpProbe:
-				t.execProbe(in.Probe, regs)
+				if err := t.execProbe(in.Probe, regs); err != nil {
+					return 0, err
+				}
 				continue
 			case ir.OpNop:
 				continue
@@ -267,6 +303,9 @@ func (t *Thread) call(f *ir.Func, args []int64) (int64, error) {
 					return 0, err
 				}
 				t.VM.Mem[addr] = regs[in.B]
+				if t.OnStore != nil {
+					t.OnStore(f.Name, b.Name, addr, regs[in.B])
+				}
 			case ir.OpAtomicAdd:
 				t.Stats.Cycles += t.memCost(m.OpCost[ir.OpAtomicAdd])
 				addr, err := t.memAddr(regs, in.A, in.Imm)
@@ -276,6 +315,9 @@ func (t *Thread) call(f *ir.Func, args []int64) (int64, error) {
 				old := atomic.AddInt64(&t.VM.Mem[addr], regs[in.B]) - regs[in.B]
 				if in.Dst != ir.NoReg {
 					regs[in.Dst] = old
+				}
+				if t.OnStore != nil {
+					t.OnStore(f.Name, b.Name, addr, old+regs[in.B])
 				}
 			case ir.OpCall:
 				t.Stats.Cycles += m.OpCost[ir.OpCall]
@@ -328,8 +370,11 @@ func (t *Thread) call(f *ir.Func, args []int64) (int64, error) {
 					// coalesce to a single delivery at completion.
 					t.inExt = true
 					t.Stats.Cycles += ext.Cost
-					t.checkHW()
+					err := t.checkHW()
 					t.inExt = false
+					if err != nil {
+						return 0, err
+					}
 				} else if t.VM.HW != nil {
 					// Uninstrumented library code still takes hardware
 					// interrupts mid-call: deliver them at their
@@ -346,7 +391,9 @@ func (t *Thread) call(f *ir.Func, args []int64) (int64, error) {
 						}
 						t.Stats.Cycles += until
 						remaining -= until
-						t.checkHW()
+						if err := t.checkHW(); err != nil {
+							return 0, err
+						}
 					}
 				} else {
 					t.Stats.Cycles += ext.Cost
@@ -418,9 +465,11 @@ func (t *Thread) call(f *ir.Func, args []int64) (int64, error) {
 		t.Stats.Cycles += m.TermCost
 		t.Stats.Instrs++
 		if t.limit > 0 && t.Stats.Instrs > t.limit {
-			return 0, fmt.Errorf("vm: instruction limit %d exceeded in %q", t.limit, f.Name)
+			return 0, fmt.Errorf("vm: %w: instruction limit %d in %q", ErrStepBudget, t.limit, f.Name)
 		}
-		t.checkHW()
+		if err := t.checkHW(); err != nil {
+			return 0, err
+		}
 		switch b.Term.Kind {
 		case ir.TermJmp:
 			b = b.Term.Then
@@ -449,8 +498,11 @@ func b2i(b bool) int64 {
 }
 
 // execProbe runs one probe instruction, charging model costs and
-// driving the CI runtime.
-func (t *Thread) execProbe(p *ir.ProbeInfo, regs []int64) {
+// driving the CI runtime. CI handlers fire inside the RT.Probe* calls;
+// the thread is marked as being in interrupt context for their
+// duration so re-entering Run is caught, and any cycles they bill via
+// Charge are checked against the overrun budget.
+func (t *Thread) execProbe(p *ir.ProbeInfo, regs []int64) error {
 	m := t.model
 	t.Stats.Probes++
 	inc := p.Inc
@@ -462,43 +514,54 @@ func (t *Thread) execProbe(p *ir.ProbeInfo, regs []int64) {
 		}
 		inc = iters * p.Inc
 	}
+	var fired, reads int
 	switch p.Kind {
 	case ir.ProbeIR, ir.ProbeIRLoop:
 		t.Stats.Cycles += m.ProbeBase
-		fired := t.RT.ProbeIR(inc, t.Stats.Cycles)
-		if fired > 0 {
-			t.Stats.ProbesTaken++
-			t.Stats.HandlerCalls += int64(fired)
-			t.Stats.Cycles += m.ProbeTakenExtra + int64(fired)*m.HandlerInvoke
+		before := t.Stats.Cycles
+		t.inHandler = true
+		fired = t.RT.ProbeIR(inc, t.Stats.Cycles)
+		t.inHandler = false
+		if err := t.checkOverrun(t.Stats.Cycles-before, max(fired, 1), "CI"); err != nil {
+			return err
 		}
 	case ir.ProbeCycles, ir.ProbeCyclesLoop:
 		t.Stats.Cycles += m.ProbeBase
-		reads, fired := t.RT.ProbeCycles(inc, t.Stats.Cycles)
+		before := t.Stats.Cycles
+		t.inHandler = true
+		reads, fired = t.RT.ProbeCycles(inc, t.Stats.Cycles)
+		t.inHandler = false
+		if err := t.checkOverrun(t.Stats.Cycles-before, max(fired, 1), "CI"); err != nil {
+			return err
+		}
 		t.Stats.CycleReads += int64(reads)
 		t.Stats.Cycles += int64(reads) * m.CycleRead
-		if fired > 0 {
-			t.Stats.ProbesTaken++
-			t.Stats.HandlerCalls += int64(fired)
-			t.Stats.Cycles += m.ProbeTakenExtra + int64(fired)*m.HandlerInvoke
-		}
 	case ir.ProbeEvent:
 		t.Stats.Cycles += m.ProbeBase
-		fired := t.RT.ProbeEvent(inc, t.Stats.Cycles)
-		if fired > 0 {
-			t.Stats.ProbesTaken++
-			t.Stats.HandlerCalls += int64(fired)
-			t.Stats.Cycles += m.ProbeTakenExtra + int64(fired)*m.HandlerInvoke
+		before := t.Stats.Cycles
+		t.inHandler = true
+		fired = t.RT.ProbeEvent(inc, t.Stats.Cycles)
+		t.inHandler = false
+		if err := t.checkOverrun(t.Stats.Cycles-before, max(fired, 1), "CI"); err != nil {
+			return err
 		}
 	case ir.ProbeEventCycles:
-		reads, fired := t.RT.ProbeEventCycles(t.Stats.Cycles)
+		before := t.Stats.Cycles
+		t.inHandler = true
+		reads, fired = t.RT.ProbeEventCycles(t.Stats.Cycles)
+		t.inHandler = false
+		if err := t.checkOverrun(t.Stats.Cycles-before, max(fired, 1), "CI"); err != nil {
+			return err
+		}
 		t.Stats.CycleReads += int64(reads)
 		t.Stats.Cycles += m.ProbeBase + int64(reads)*m.CycleRead
-		if fired > 0 {
-			t.Stats.ProbesTaken++
-			t.Stats.HandlerCalls += int64(fired)
-			t.Stats.Cycles += m.ProbeTakenExtra + int64(fired)*m.HandlerInvoke
-		}
 	}
+	if fired > 0 {
+		t.Stats.ProbesTaken++
+		t.Stats.HandlerCalls += int64(fired)
+		t.Stats.Cycles += m.ProbeTakenExtra + int64(fired)*m.HandlerInvoke
+	}
+	return nil
 }
 
 // RunParallel executes fn on n threads concurrently, calling args(id)

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -125,8 +126,8 @@ entry:
 `)
 	v := New(m, nil, 1)
 	th := v.NewThread(0)
-	if _, err := th.Run("main"); err == nil || !strings.Contains(err.Error(), "memory fault") {
-		t.Errorf("err = %v, want memory fault", err)
+	if _, err := th.Run("main"); !errors.Is(err, ErrMemFault) {
+		t.Errorf("err = %v, want ErrMemFault", err)
 	}
 }
 
@@ -140,8 +141,8 @@ entry:
 	v := New(m, nil, 1)
 	v.LimitInstrs = 1000
 	th := v.NewThread(0)
-	if _, err := th.Run("main"); err == nil || !strings.Contains(err.Error(), "limit") {
-		t.Errorf("err = %v, want instruction limit", err)
+	if _, err := th.Run("main"); !errors.Is(err, ErrStepBudget) {
+		t.Errorf("err = %v, want ErrStepBudget", err)
 	}
 }
 

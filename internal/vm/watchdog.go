@@ -1,0 +1,36 @@
+package vm
+
+import "errors"
+
+// This file defines the VM watchdog layer: typed errors for every
+// abnormal termination so callers (and the translation-validation
+// sanitizer in internal/sanitize) can distinguish a budget artifact
+// from a genuine fault with errors.Is, instead of matching message
+// strings or recovering panics.
+
+var (
+	// ErrStepBudget is returned when a thread exceeds its per-run
+	// instruction budget (VM.LimitInstrs). Budget exhaustion is an
+	// artifact of the harness, not a program fault; differential oracles
+	// treat it as "inconclusive", never as a divergence.
+	ErrStepBudget = errors.New("step budget exceeded")
+
+	// ErrMemFault is returned for loads, stores and atomics whose
+	// effective address falls outside the module's flat data memory.
+	ErrMemFault = errors.New("memory access out of bounds")
+
+	// ErrHandlerReentrancy is returned when an interrupt handler (CI or
+	// hardware) re-enters the VM via Thread.Run. Handlers run logically
+	// at interrupt level on the same thread; re-entering the interpreter
+	// from one would interleave two register frames on one virtual clock.
+	ErrHandlerReentrancy = errors.New("interrupt handler re-entered the VM")
+
+	// ErrHandlerOverrun is returned when the cycles an interrupt handler
+	// bills via Thread.Charge exceed VM.MaxHandlerCycles for a single
+	// probe or interrupt delivery — the runaway-handler guard.
+	ErrHandlerOverrun = errors.New("interrupt handler overran its cycle budget")
+
+	// ErrCallDepth is returned when the call stack exceeds the VM's
+	// fixed recursion limit.
+	ErrCallDepth = errors.New("call depth limit exceeded")
+)

@@ -31,4 +31,9 @@ go test -race ./...
 echo "== chaos smoke =="
 go run ./cmd/ciexp -quick chaos
 
+echo "== sanitize smoke =="
+# Translation validation end-to-end: stage-by-stage semantic checks and
+# the differential execution oracle over a fuzz corpus + all workloads.
+go run ./cmd/ciexp -quick sanitize
+
 echo "verify: OK"
