@@ -58,7 +58,7 @@ func BenchmarkFigure4MTCPThroughputLatency(b *testing.B) {
 		b.ReportMetric(kern.ThroughputGbps, "kernel-Gbps@128conns")
 		b.ReportMetric(ci.ThroughputGbps/orig.ThroughputGbps, "CI/orig")
 	}
-	logRows(b, func(w io.Writer) error { return experiments.PrintFigure4(w) })
+	logRows(b, func(w io.Writer) error { return experiments.PrintFigure4(w, nil) })
 }
 
 // BenchmarkFigure5MTCPWithWork regenerates Figure 5: the same sweep
@@ -109,7 +109,7 @@ func BenchmarkFigure7Delegation(b *testing.B) {
 		b.ReportMetric(mcs56.ThroughputMops, "MCS-Mops@56")
 		b.ReportMetric(spin56.ThroughputMops, "spin-Mops@56")
 	}
-	logRows(b, func(w io.Writer) error { return experiments.PrintFigure7(w) })
+	logRows(b, func(w io.Writer) error { return experiments.PrintFigure7(w, nil) })
 }
 
 // BenchmarkFigure8LatencyDistribution regenerates Figure 8: the client
@@ -262,13 +262,14 @@ func BenchmarkTable7Runtimes(b *testing.B) {
 func BenchmarkAblationLoopTransform(b *testing.B) {
 	loopHeavy := []string{"radix", "histogram", "matrix_multiply",
 		"linear_regression", "swaptions", "string_match"}
+	baseOpts := []core.Option{core.WithDesign(instrument.CI), core.WithProbeInterval(250)}
 	cfgs := []struct {
 		name string
-		cfg  core.Config
+		opts []core.Option
 	}{
-		{"full", core.Config{Design: instrument.CI, ProbeIntervalIR: 250}},
-		{"no-clone", core.Config{Design: instrument.CI, ProbeIntervalIR: 250, DisableLoopClone: true}},
-		{"no-transform", core.Config{Design: instrument.CI, ProbeIntervalIR: 250, DisableLoopTransform: true}},
+		{"full", baseOpts},
+		{"no-clone", append(append([]core.Option{}, baseOpts...), core.WithLoopClone(false))},
+		{"no-transform", append(append([]core.Option{}, baseOpts...), core.WithLoopTransform(false))},
 	}
 	for i := 0; i < b.N; i++ {
 		eng := benchEngine()
@@ -280,7 +281,7 @@ func BenchmarkAblationLoopTransform(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				prog, err := experiments.CompileCached(eng, wl, 1, c.cfg)
+				prog, err := experiments.CompileCached(eng, wl, 1, c.opts...)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -310,7 +311,7 @@ func BenchmarkAblationProbeInterval(b *testing.B) {
 			b.Fatal(err)
 		}
 		for _, pi := range []int64{50, 250, 1000, 4000} {
-			prog, err := experiments.CompileCached(eng, wl, 1, core.Config{Design: instrument.CI, ProbeIntervalIR: pi})
+			prog, err := experiments.CompileCached(eng, wl, 1, core.WithDesign(instrument.CI), core.WithProbeInterval(pi))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -372,7 +373,7 @@ func BenchmarkCompile(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, m := range mods {
-			if _, err := core.Compile(m, core.Config{Design: instrument.CI, ProbeIntervalIR: 250}); err != nil {
+			if _, err := core.Compile(m, core.WithDesign(instrument.CI), core.WithProbeInterval(250)); err != nil {
 				b.Fatal(err)
 			}
 		}

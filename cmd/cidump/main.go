@@ -4,13 +4,18 @@
 // decided on, the applied loop transforms, and the exported cost table.
 // It is the debugging window into the analysis phase.
 //
-//	cidump [-probe-interval N] [-spacing] [-sanitize] program.ir
+//	cidump [-probe-interval N] [-spacing] [-sanitize] [-hot] program.ir
 //
 // With -sanitize the program is instead compiled under the
 // translation-validation sanitizer: every pipeline stage is verified
 // and semantically checked, and the differential execution oracle
 // compares the instrumented program against the uninstrumented
 // baseline for each probe design. Exits non-zero on any finding.
+//
+// With -hot the program is compiled with the selected design, run once
+// under an observability scope, and the "hottest probe sites" table is
+// printed: per IR function/block, how often its probe executed and how
+// often it fired the CI handler.
 package main
 
 import (
@@ -21,16 +26,20 @@ import (
 
 	"repro/internal/ci/analysis"
 	"repro/internal/ci/instrument"
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/sanitize"
 )
 
 func main() {
-	probeInterval := flag.Int64("probe-interval", 250, "compile-time probe interval (IR instructions)")
-	allowable := flag.Int64("allowable-error", 0, "allowable error (0 = same as probe interval)")
+	cf := cliflags.New(flag.CommandLine).AddDesign().AddCompile().AddSanitize()
 	spacing := flag.Bool("spacing", false, "also run the probe-spacing checker on instrumented functions")
-	sanitizeFlag := flag.Bool("sanitize", false, "run stage-by-stage translation validation and the differential oracle instead of the analysis dump")
+	hot := flag.Bool("hot", false, "compile, run once and print the hottest probe sites instead of the analysis dump")
+	hotN := flag.Int("hot-n", 20, "number of probe sites to print with -hot (0 = all)")
+	interval := flag.Int64("interval", 5000, "-hot: CI interval in cycles")
+	entry := flag.String("entry", "main", "-hot: entry function")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cidump [flags] program.ir")
@@ -45,13 +54,17 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	if *sanitizeFlag {
-		runSanitize(m, *probeInterval, *allowable)
+	if cf.Sanitize {
+		runSanitize(m, cf.ProbeInterval, cf.AllowableError)
+		return
+	}
+	if *hot {
+		runHot(cf, m, *entry, *interval, *hotN)
 		return
 	}
 	res := analysis.Analyze(m, analysis.Options{
-		ProbeInterval:  *probeInterval,
-		AllowableError: *allowable,
+		ProbeInterval:  cf.ProbeInterval,
+		AllowableError: cf.AllowableError,
 	})
 
 	names := make([]string, 0, len(res.Funcs))
@@ -85,10 +98,10 @@ func main() {
 		if *spacing && fr.Instrumented {
 			// Materialize probes in place to validate spacing.
 			applyMarks(fr)
-			if err := analysis.CheckSpacing(fr.Fn, 100, *probeInterval); err != nil {
+			if err := analysis.CheckSpacing(fr.Fn, 100, cf.ProbeInterval); err != nil {
 				fmt.Printf("  spacing: VIOLATION: %v\n", err)
 			} else {
-				fmt.Printf("  spacing: ok (max gap %d IR)\n", *probeInterval)
+				fmt.Printf("  spacing: ok (max gap %d IR)\n", cf.ProbeInterval)
 			}
 		}
 		fmt.Println()
@@ -125,6 +138,34 @@ func runSanitize(m *ir.Module, probeInterval, allowable int64) {
 	}
 	if failed {
 		os.Exit(1)
+	}
+}
+
+// runHot compiles with the selected design, runs the entry function
+// once with an enabled observability scope, and prints the
+// hottest-probe-sites attribution table.
+func runHot(cf *cliflags.Flags, m *ir.Module, entry string, interval int64, n int) {
+	d, err := cf.ParseDesign()
+	if err != nil {
+		fail("%v", err)
+	}
+	scope := obs.New(0)
+	prog, err := core.Compile(m,
+		core.WithDesign(d),
+		core.WithProbeInterval(cf.ProbeInterval),
+		core.WithAllowableError(cf.AllowableError),
+		core.WithObs(scope))
+	if err != nil {
+		fail("%v", err)
+	}
+	res, err := prog.Run(entry, core.WithInterval(interval))
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("design %s, %d static probes, %d cycles, %d handler calls\n",
+		d, prog.Instr.Probes, res.Stats[0].Cycles, res.Stats[0].HandlerCalls)
+	if err := scope.WriteHotSites(os.Stdout, n); err != nil {
+		fail("%v", err)
 	}
 }
 

@@ -19,6 +19,9 @@
 //	ciexp sanitize  translation-validation sweep: stage checks plus the
 //	                differential execution oracle over a fuzz corpus and
 //	                all workloads (exits non-zero on any divergence)
+//	ciexp tracecheck FILE
+//	                validate that FILE is a well-formed Chrome
+//	                trace_event JSON document (used by verify.sh)
 //
 // The workload sweeps run on the parallel experiment engine: -workers N
 // shards the cells across N workers (0 = GOMAXPROCS; results are
@@ -26,53 +29,67 @@
 // serial pipeline exactly), and -store FILE persists per-cell results
 // with content hashes so unchanged cells are skipped on re-runs.
 //
+// Observability: -trace FILE writes a Chrome trace_event JSON of the
+// run (probe fires, VM stage transitions, engine cache hits/misses,
+// mtcp/shenango/ffwd scheduling decisions — load it in chrome://tracing
+// or Perfetto) and -metrics prints counter and histogram quantiles
+// (p50/p90/p99 interval error per design, handler latency) after the
+// figures.
+//
 // Flags: -scale N (workload size multiplier, default 1),
 // -quick (subset of workloads for fig12; single fault rate for chaos;
 // smaller fuzz corpus for sanitize), -seed N (chaos fault-plan seed),
 // -workers N, -store FILE, -sanitize (route every cache-miss compile in
-// any sweep through the translation-validation stage checks).
+// any sweep through the translation-validation stage checks),
+// -trace FILE, -metrics.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/engine"
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
 )
 
 func main() {
-	scale := flag.Int("scale", 1, "workload size multiplier")
+	cf := cliflags.New(flag.CommandLine).AddScale().AddSeed().AddEngine().AddObs()
 	quick := flag.Bool("quick", false, "use a workload subset where supported")
 	all := flag.Bool("all", false, "fig9/fig11: include Naive-Cycles and CnB-Cycles")
-	seed := flag.Uint64("seed", 1, "chaos: fault-plan seed")
-	workers := flag.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial)")
-	storePath := flag.String("store", "", "incremental result store (BENCH_*.json); unchanged cells are skipped")
-	sanitizeMiss := flag.Bool("sanitize", false, "run stage-by-stage translation validation on every cache-miss compile")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ciexp [flags] fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table7|hybrid|allowable|probes|chaos|sanitize|all\n")
+		fmt.Fprintf(os.Stderr, "       ciexp tracecheck FILE\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
-
-	eng := engine.New(*workers)
-	eng.SanitizeOnMiss = *sanitizeMiss
-	if *storePath != "" {
-		store, err := engine.OpenStore(*storePath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ciexp:", err)
+	if cmd == "tracecheck" {
+		if flag.NArg() != 2 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err := tracecheck(flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "ciexp: tracecheck:", err)
 			os.Exit(1)
 		}
-		eng.Store = store
+		fmt.Printf("tracecheck: %s OK\n", flag.Arg(1))
+		return
 	}
 
-	var err error
+	eng, err := cf.Engine()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ciexp:", err)
+		os.Exit(1)
+	}
+	scope := cf.Scope()
+	scale := cf.Scale
+
 	run := func(name string, f func() error) {
 		if cmd == name || cmd == "all" {
 			if e := f(); e != nil && err == nil {
@@ -85,27 +102,27 @@ func main() {
 		name string
 		f    func() error
 	}{
-		{"fig4", func() error { return experiments.PrintFigure4(os.Stdout) }},
-		{"fig5", func() error { return experiments.PrintFigure5(os.Stdout) }},
-		{"fig6", func() error { return experiments.PrintFigure6(os.Stdout) }},
-		{"fig7", func() error { return experiments.PrintFigure7(os.Stdout) }},
-		{"fig8", func() error { return experiments.PrintFigure8(os.Stdout) }},
-		{"fig9", func() error { return experiments.PrintFigureOverhead(os.Stdout, eng, 1, *scale, *all) }},
-		{"fig10", func() error { return experiments.PrintFigure10(os.Stdout, eng, *scale) }},
-		{"fig11", func() error { return experiments.PrintFigureOverhead(os.Stdout, eng, 32, *scale, *all) }},
-		{"fig12", func() error { return experiments.PrintFigure12(os.Stdout, eng, *scale, *quick) }},
-		{"table7", func() error { return experiments.PrintTable7(os.Stdout, eng, *scale) }},
-		{"hybrid", func() error { return experiments.PrintHybrid(os.Stdout, eng, *scale) }},
-		{"allowable", func() error { return experiments.PrintAllowable(os.Stdout, eng, *scale) }},
-		{"probes", func() error { return experiments.PrintProbeCounts(os.Stdout, eng, *scale) }},
+		{"fig4", func() error { return experiments.PrintFigure4(os.Stdout, scope) }},
+		{"fig5", func() error { return experiments.PrintFigure5(os.Stdout, scope) }},
+		{"fig6", func() error { return experiments.PrintFigure6(os.Stdout, scope) }},
+		{"fig7", func() error { return experiments.PrintFigure7(os.Stdout, scope) }},
+		{"fig8", func() error { return experiments.PrintFigure8(os.Stdout, scope) }},
+		{"fig9", func() error { return experiments.PrintFigureOverhead(os.Stdout, eng, 1, scale, *all) }},
+		{"fig10", func() error { return experiments.PrintFigure10(os.Stdout, eng, scale) }},
+		{"fig11", func() error { return experiments.PrintFigureOverhead(os.Stdout, eng, 32, scale, *all) }},
+		{"fig12", func() error { return experiments.PrintFigure12(os.Stdout, eng, scale, *quick) }},
+		{"table7", func() error { return experiments.PrintTable7(os.Stdout, eng, scale) }},
+		{"hybrid", func() error { return experiments.PrintHybrid(os.Stdout, eng, scale) }},
+		{"allowable", func() error { return experiments.PrintAllowable(os.Stdout, eng, scale) }},
+		{"probes", func() error { return experiments.PrintProbeCounts(os.Stdout, eng, scale) }},
 		{"chaos", func() error {
 			rates := experiments.ChaosRates
 			if *quick {
 				rates = []float64{0.01}
 			}
-			return experiments.PrintChaos(os.Stdout, *seed, rates)
+			return experiments.PrintChaos(os.Stdout, cf.Seed, rates)
 		}},
-		{"sanitize", func() error { return experiments.PrintSanitize(os.Stdout, eng, *scale, *quick) }},
+		{"sanitize", func() error { return experiments.PrintSanitize(os.Stdout, eng, scale, *quick) }},
 	} {
 		if cmd == c.name || cmd == "all" {
 			ran = true
@@ -124,8 +141,44 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ciexp: store %s: %d cell(s) skipped, %d ran fresh\n",
 			eng.Store.Path(), hits, misses)
 	}
+	if e := cf.Finish(os.Stdout); e != nil && err == nil {
+		err = e
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ciexp:", err)
 		os.Exit(1)
 	}
+}
+
+// tracecheck validates a Chrome trace_event JSON file without external
+// tooling (jq-free, for verify.sh): the document must parse as JSON,
+// carry a traceEvents array, and every event must have a name and a
+// one-character phase.
+func tracecheck(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if !json.Valid(data) {
+		return fmt.Errorf("%s: not valid JSON", path)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("%s: missing traceEvents array", path)
+	}
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" || len(ev.Ph) != 1 {
+			return fmt.Errorf("%s: event %d malformed (name=%q ph=%q)", path, i, ev.Name, ev.Ph)
+		}
+	}
+	fmt.Printf("tracecheck: %d events\n", len(doc.TraceEvents))
+	return nil
 }

@@ -7,32 +7,27 @@
 //
 // Flags select the probe design, probe interval, CI interval, entry
 // function and arguments. Use -print to dump the instrumented IR
-// instead of running.
+// instead of running, -trace FILE to write a Chrome trace_event JSON
+// of the run (probe fires, handler windows, external calls), -metrics
+// to print interval-error quantiles, and -timeline N for the legacy
+// textual dump of the last N interrupt-timeline events.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
-	"repro/internal/ci/instrument"
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/ir"
+	"repro/internal/sanitize"
 	"repro/internal/stats"
 	"repro/internal/vm"
 )
 
-var designByName = map[string]instrument.Design{
-	"ci": instrument.CI, "ci-cycles": instrument.CICycles,
-	"naive": instrument.Naive, "naive-cycles": instrument.NaiveCycles,
-	"cd": instrument.CD, "cnb": instrument.CnB, "cnb-cycles": instrument.CnBCycles,
-}
-
 func main() {
-	design := flag.String("design", "ci", "probe design: ci, ci-cycles, naive, naive-cycles, cd, cnb, cnb-cycles")
-	probeInterval := flag.Int64("probe-interval", 250, "compile-time probe interval (IR instructions)")
+	cf := cliflags.New(flag.CommandLine).AddDesign().AddCompile().AddSanitize().AddObs()
 	interval := flag.Int64("interval", 5000, "CI interval in cycles (0 disables the handler)")
 	entry := flag.String("entry", "main", "entry function")
 	argsFlag := flag.String("args", "", "comma-separated int64 arguments for the entry function")
@@ -41,16 +36,16 @@ func main() {
 	optimize := flag.Bool("O", false, "run the IR optimizer before instrumenting")
 	printIR := flag.Bool("print", false, "print the instrumented IR and exit")
 	costs := flag.Bool("costs", false, "print the exported cost file (§2.6) and exit")
-	trace := flag.Int("trace", 0, "record and print the last N interrupt-timeline events")
+	timeline := flag.Int("timeline", 0, "record and print the last N interrupt-timeline events")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cirun [flags] program.ir")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	d, ok := designByName[strings.ToLower(*design)]
-	if !ok {
-		fail("unknown design %q", *design)
+	d, err := cf.ParseDesign()
+	if err != nil {
+		fail("%v", err)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -66,11 +61,17 @@ func main() {
 	if err := mod.Verify(); err != nil {
 		fail("malformed module %s: %v", flag.Arg(0), err)
 	}
-	prog, err := core.Compile(mod, core.Config{
-		Design:          d,
-		ProbeIntervalIR: *probeInterval,
-		Optimize:        *optimize,
-	})
+	opts := []core.Option{
+		core.WithDesign(d),
+		core.WithProbeInterval(cf.ProbeInterval),
+		core.WithAllowableError(cf.AllowableError),
+		core.WithOptimize(*optimize),
+		core.WithObs(cf.Scope()),
+	}
+	if cf.Sanitize {
+		opts = append(opts, sanitize.Checked(sanitize.Options{Exec: true, AllowInconclusive: true}))
+	}
+	prog, err := core.Compile(mod, opts...)
 	if err != nil {
 		fail("%v", err)
 	}
@@ -87,21 +88,16 @@ func main() {
 		fmt.Println()
 		return
 	}
-	var args []int64
-	if *argsFlag != "" {
-		for _, tok := range strings.Split(*argsFlag, ",") {
-			v, err := strconv.ParseInt(strings.TrimSpace(tok), 10, 64)
-			if err != nil {
-				fail("bad argument %q", tok)
-			}
-			args = append(args, v)
-		}
+	args, err := cliflags.ParseArgs(*argsFlag)
+	if err != nil {
+		fail("%v", err)
 	}
-	if *trace > 0 {
+	if *timeline > 0 {
 		machine := vm.New(prog.Mod, nil, 1)
 		machine.LimitInstrs = *limit
+		machine.Obs = cf.Scope()
 		th := machine.NewThread(0)
-		tr := vm.NewTrace(*trace)
+		tr := vm.NewTrace(*timeline)
 		th.AttachTrace(tr)
 		if *interval > 0 {
 			th.RT.RegisterCI(*interval, func(uint64) {})
@@ -111,15 +107,15 @@ func main() {
 			fail("%v", err)
 		}
 		fmt.Printf("design %s, ret=%d, %d cycles; interrupt timeline:\n%s", d, rv, th.Stats.Cycles, tr)
+		finish(cf)
 		return
 	}
-	res, err := prog.Run(*entry, core.RunConfig{
-		Threads:         *threads,
-		Args:            func(int) []int64 { return args },
-		IntervalCycles:  *interval,
-		RecordIntervals: *interval > 0,
-		LimitInstrs:     *limit,
-	})
+	res, err := prog.Run(*entry,
+		core.WithThreads(*threads),
+		core.WithArgv(args...),
+		core.WithInterval(*interval),
+		core.WithRecordIntervals(*interval > 0),
+		core.WithLimit(*limit))
 	if err != nil {
 		fail("%v", err)
 	}
@@ -130,6 +126,13 @@ func main() {
 		if ivs := res.Intervals[id]; len(ivs) > 1 {
 			fmt.Printf("  interval cycles: %s\n", stats.Summarize(ivs))
 		}
+	}
+	finish(cf)
+}
+
+func finish(cf *cliflags.Flags) {
+	if err := cf.Finish(os.Stdout); err != nil {
+		fail("%v", err)
 	}
 }
 

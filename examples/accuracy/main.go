@@ -40,7 +40,7 @@ func main() {
 
 	const target = 5000
 	for _, d := range []instrument.Design{instrument.CI, instrument.CICycles} {
-		prog, err := core.Compile(wl.Build(1), core.Config{Design: d, ProbeIntervalIR: 250})
+		prog, err := core.Compile(wl.Build(1), core.WithDesign(d), core.WithProbeInterval(250))
 		if err != nil {
 			log.Fatal(err)
 		}

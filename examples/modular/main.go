@@ -86,7 +86,7 @@ func main() {
 	cfg := core.Config{Design: instrument.CI, ProbeIntervalIR: 250}
 
 	// Build unit 1: the library, exporting its cost file.
-	lib, err := core.CompileText(libSrc, cfg)
+	lib, err := core.CompileText(libSrc, core.WithConfig(cfg))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func main() {
 	}
 	appCfg := cfg
 	appCfg.ImportedCosts = imported
-	app, err := core.CompileText(appSrc, appCfg)
+	app, err := core.CompileText(appSrc, core.WithConfig(appCfg))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -38,10 +38,9 @@ done:
 `
 
 func main() {
-	prog, err := core.CompileText(program, core.Config{
-		Design:          instrument.CI,
-		ProbeIntervalIR: 250,
-	})
+	prog, err := core.CompileText(program,
+		core.WithDesign(instrument.CI),
+		core.WithProbeInterval(250))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,13 +48,12 @@ func main() {
 
 	// register_ci(100000, &handler): print progress every ~100k cycles.
 	fires := 0
-	res, err := prog.Run("main", core.RunConfig{
-		IntervalCycles: 100000,
-		Handler: func(irSinceLast uint64) {
+	res, err := prog.Run("main",
+		core.WithInterval(100000),
+		core.WithHandler(func(irSinceLast uint64) {
 			fires++
 			fmt.Printf("interrupt %2d: %7d IR since last handler call\n", fires, irSinceLast)
-		},
-	})
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -65,6 +65,7 @@ type Runtime struct {
 
 	inscount      int64
 	events        int64
+	lastNow       int64 // latest virtual-cycle timestamp seen by any probe
 	nextIR        int64 // global gate for IR probes
 	cycGateIR     int64 // IR gate for CI-Cycles probes
 	globalDisable int
@@ -90,6 +91,14 @@ func New() *Runtime {
 
 // RegisterCI registers fn to be called approximately every
 // intervalCycles cycles and returns its ciid (§2, Table 2).
+//
+// All "since last fire" baselines start at registration time: the IR
+// and event counters at their current values, and the cycle baseline
+// at the latest probe timestamp the runtime has seen. The latter
+// matters for Deregister + re-Register mid-run — without it a
+// re-registered handler would inherit a stale zero baseline, fire
+// immediately on the next cycle-based probe, and record a garbage
+// first interval equal to absolute virtual time.
 func (rt *Runtime) RegisterCI(intervalCycles int64, fn Handler) int {
 	if intervalCycles <= 0 {
 		intervalCycles = 1
@@ -102,6 +111,7 @@ func (rt *Runtime) RegisterCI(intervalCycles int64, fn Handler) int {
 		intervalIR:     int64(float64(intervalCycles) * rt.IRPerCycle),
 		eventThreshold: rt.EventsPerInterval(intervalCycles),
 		lastFireIR:     rt.inscount,
+		lastFireCycles: rt.lastNow,
 		lastFireEvents: rt.events,
 	}
 	if h.intervalIR < 1 {
@@ -346,6 +356,7 @@ func (rt *Runtime) fire(h *handlerState, now int64) {
 // fired.
 func (rt *Runtime) ProbeIR(inc int64, now int64) int {
 	rt.inscount += inc
+	rt.lastNow = now
 	if rt.inscount <= rt.nextIR {
 		return 0
 	}
@@ -375,6 +386,7 @@ func (rt *Runtime) ProbeIR(inc int64, now int64) int {
 // how many handlers fired (for VM cost accounting).
 func (rt *Runtime) ProbeCycles(inc int64, now int64) (reads, fired int) {
 	rt.inscount += inc
+	rt.lastNow = now
 	if rt.inscount < rt.cycGateIR {
 		return 0, 0
 	}
@@ -422,6 +434,7 @@ func (rt *Runtime) ProbeCycles(inc int64, now int64) (reads, fired int) {
 func (rt *Runtime) ProbeEvent(weight int64, now int64) int {
 	rt.events += weight
 	rt.inscount += weight
+	rt.lastNow = now
 	fired := 0
 	if rt.globalDisable != 0 {
 		return 0
@@ -440,6 +453,7 @@ func (rt *Runtime) ProbeEvent(weight int64, now int64) int {
 func (rt *Runtime) ProbeEventCycles(now int64) (reads, fired int) {
 	rt.events++
 	rt.inscount++
+	rt.lastNow = now
 	reads = 1
 	if rt.globalDisable != 0 {
 		return reads, 0

@@ -1,0 +1,204 @@
+// Package cliflags is the shared flag surface of the three CLIs
+// (ciexp, cirun, cidump). Each tool used to re-declare -sanitize,
+// -workers, -seed and friends with drifting defaults; here every flag
+// has one registration helper, one default and one parser, so the
+// tools stay in lockstep. The package also owns the CLI ends of the
+// observability layer: -trace FILE and -metrics build one obs.Scope,
+// and Finish writes the trace file / metrics report after the run.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ci/instrument"
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// DesignByName maps the CLI spellings to probe designs. cirun's
+// historic names are the canonical ones.
+var DesignByName = map[string]instrument.Design{
+	"ci": instrument.CI, "ci-cycles": instrument.CICycles,
+	"naive": instrument.Naive, "naive-cycles": instrument.NaiveCycles,
+	"cd": instrument.CD, "cnb": instrument.CnB, "cnb-cycles": instrument.CnBCycles,
+}
+
+// DesignNames returns the accepted -design spellings, sorted.
+func DesignNames() []string {
+	names := make([]string, 0, len(DesignByName))
+	for n := range DesignByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseDesign resolves a -design value (case-insensitive).
+func ParseDesign(name string) (instrument.Design, error) {
+	d, ok := DesignByName[strings.ToLower(name)]
+	if !ok {
+		return 0, fmt.Errorf("unknown design %q (want one of %s)",
+			name, strings.Join(DesignNames(), ", "))
+	}
+	return d, nil
+}
+
+// Flags carries the registered flag values. Only the Add* helpers a
+// tool calls register flags; the rest stay at their zero values.
+type Flags struct {
+	fs *flag.FlagSet
+
+	// AddDesign / AddCompile
+	Design         string
+	ProbeInterval  int64
+	AllowableError int64
+
+	// AddEngine
+	Workers   int
+	StorePath string
+	Sanitize  bool
+
+	// AddSeed / AddScale
+	Seed  uint64
+	Scale int
+
+	// AddObs
+	TracePath string
+	Metrics   bool
+
+	scope    *obs.Scope
+	scopeSet bool
+}
+
+// New binds a Flags to a FlagSet (flag.CommandLine in the tools).
+func New(fs *flag.FlagSet) *Flags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	return &Flags{fs: fs}
+}
+
+// AddDesign registers -design.
+func (f *Flags) AddDesign() *Flags {
+	f.fs.StringVar(&f.Design, "design", "ci",
+		"probe design: "+strings.Join(DesignNames(), ", "))
+	return f
+}
+
+// AddCompile registers the compile-side parameters -probe-interval and
+// -allowable-error with the shared defaults (250 IR; 0 = same as the
+// probe interval).
+func (f *Flags) AddCompile() *Flags {
+	f.fs.Int64Var(&f.ProbeInterval, "probe-interval", 250, "compile-time probe interval (IR instructions)")
+	f.fs.Int64Var(&f.AllowableError, "allowable-error", 0, "allowable error (0 = same as probe interval)")
+	return f
+}
+
+// AddEngine registers the experiment-engine flags -workers, -store and
+// -sanitize.
+func (f *Flags) AddEngine() *Flags {
+	f.fs.IntVar(&f.Workers, "workers", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial)")
+	f.fs.StringVar(&f.StorePath, "store", "", "incremental result store (BENCH_*.json); unchanged cells are skipped")
+	f.AddSanitize()
+	return f
+}
+
+// AddSanitize registers -sanitize alone (cidump wants it without the
+// engine flags).
+func (f *Flags) AddSanitize() *Flags {
+	f.fs.BoolVar(&f.Sanitize, "sanitize", false, "run stage-by-stage translation validation on every compile")
+	return f
+}
+
+// AddSeed registers -seed.
+func (f *Flags) AddSeed() *Flags {
+	f.fs.Uint64Var(&f.Seed, "seed", 1, "deterministic seed (fault plans, fuzzing)")
+	return f
+}
+
+// AddScale registers -scale.
+func (f *Flags) AddScale() *Flags {
+	f.fs.IntVar(&f.Scale, "scale", 1, "workload size multiplier")
+	return f
+}
+
+// AddObs registers the observability flags -trace and -metrics.
+func (f *Flags) AddObs() *Flags {
+	f.fs.StringVar(&f.TracePath, "trace", "", "write a Chrome trace_event JSON file (load in chrome://tracing or Perfetto)")
+	f.fs.BoolVar(&f.Metrics, "metrics", false, "print counters and histogram quantiles (p50/p90/p99) after the run")
+	return f
+}
+
+// ParseDesign resolves the registered -design flag value.
+func (f *Flags) ParseDesign() (instrument.Design, error) {
+	return ParseDesign(f.Design)
+}
+
+// Scope returns the observability scope implied by -trace/-metrics:
+// one enabled scope (memoized across calls) when either was given, the
+// disabled nil scope otherwise.
+func (f *Flags) Scope() *obs.Scope {
+	if !f.scopeSet {
+		f.scopeSet = true
+		if f.TracePath != "" || f.Metrics {
+			f.scope = obs.New(0)
+		}
+	}
+	return f.scope
+}
+
+// Engine builds the experiment engine from -workers/-store/-sanitize
+// and attaches the observability scope.
+func (f *Flags) Engine() (*engine.Engine, error) {
+	eng := engine.New(f.Workers)
+	eng.SanitizeOnMiss = f.Sanitize
+	if f.StorePath != "" {
+		store, err := engine.OpenStore(f.StorePath)
+		if err != nil {
+			return nil, err
+		}
+		eng.Store = store
+	}
+	eng.AttachObs(f.Scope())
+	return eng, nil
+}
+
+// Finish flushes the observability outputs: the Chrome trace JSON to
+// -trace's path and, with -metrics, the metrics report to w.
+func (f *Flags) Finish(w io.Writer) error {
+	scope := f.Scope()
+	if f.TracePath != "" {
+		if err := scope.WriteTraceFile(f.TracePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace: wrote %s (%d events, %d dropped)\n",
+			f.TracePath, len(scope.Events()), scope.Dropped())
+	}
+	if f.Metrics {
+		return scope.WriteMetrics(w)
+	}
+	return nil
+}
+
+// ParseArgs parses a comma-separated int64 list (the -args flag of
+// cirun).
+func ParseArgs(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int64
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(tok), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad argument %q", tok)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

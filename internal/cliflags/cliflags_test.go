@@ -1,0 +1,129 @@
+package cliflags
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"repro/internal/ci/instrument"
+)
+
+func newFlags(t *testing.T, add func(f *Flags) *Flags, args ...string) *Flags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := add(New(fs))
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestParseDesignAcceptsAllSpellings(t *testing.T) {
+	for name, want := range DesignByName {
+		got, err := ParseDesign(name)
+		if err != nil || got != want {
+			t.Errorf("ParseDesign(%q) = %v, %v", name, got, err)
+		}
+		// Case-insensitive.
+		if got, err := ParseDesign(strings.ToUpper(name)); err != nil || got != want {
+			t.Errorf("ParseDesign(%q) = %v, %v", strings.ToUpper(name), got, err)
+		}
+	}
+	if _, err := ParseDesign("bogus"); err == nil || !strings.Contains(err.Error(), "ci") {
+		t.Errorf("ParseDesign(bogus) error should list valid names, got %v", err)
+	}
+}
+
+func TestSharedDefaults(t *testing.T) {
+	f := newFlags(t, func(f *Flags) *Flags {
+		return f.AddDesign().AddCompile().AddEngine().AddSeed().AddScale().AddObs()
+	})
+	if f.Design != "ci" || f.ProbeInterval != 250 || f.AllowableError != 0 {
+		t.Errorf("compile defaults: %+v", f)
+	}
+	if f.Workers != 0 || f.StorePath != "" || f.Sanitize {
+		t.Errorf("engine defaults: %+v", f)
+	}
+	if f.Seed != 1 || f.Scale != 1 {
+		t.Errorf("seed/scale defaults: %+v", f)
+	}
+	if f.TracePath != "" || f.Metrics {
+		t.Errorf("obs defaults: %+v", f)
+	}
+	d, err := f.ParseDesign()
+	if err != nil || d != instrument.CI {
+		t.Errorf("default design = %v, %v", d, err)
+	}
+}
+
+func TestScopeDisabledWithoutObsFlags(t *testing.T) {
+	f := newFlags(t, func(f *Flags) *Flags { return f.AddObs() })
+	if f.Scope().Enabled() {
+		t.Error("scope enabled without -trace/-metrics")
+	}
+}
+
+func TestScopeEnabledAndMemoized(t *testing.T) {
+	f := newFlags(t, func(f *Flags) *Flags { return f.AddObs() }, "-metrics")
+	s := f.Scope()
+	if !s.Enabled() {
+		t.Fatal("-metrics should enable the scope")
+	}
+	if f.Scope() != s {
+		t.Error("Scope not memoized")
+	}
+	f2 := newFlags(t, func(f *Flags) *Flags { return f.AddObs() }, "-trace", "/tmp/x.json")
+	if !f2.Scope().Enabled() {
+		t.Error("-trace should enable the scope")
+	}
+}
+
+func TestEngineWiresScopeObserver(t *testing.T) {
+	f := newFlags(t, func(f *Flags) *Flags { return f.AddEngine().AddObs() },
+		"-workers", "1", "-metrics")
+	eng, err := f.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Obs != f.Scope() {
+		t.Error("engine not attached to the CLI scope")
+	}
+	// A cache lookup must land in the scope's counters.
+	if _, err := eng.Cache.Get("k", func() (any, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Cache.Get("k", func() (any, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if f.Scope().Counter("engine/cache_miss") != 1 || f.Scope().Counter("engine/cache_hit") != 1 {
+		t.Errorf("cache counters: miss=%d hit=%d",
+			f.Scope().Counter("engine/cache_miss"), f.Scope().Counter("engine/cache_hit"))
+	}
+}
+
+func TestFinishWritesTraceAndMetrics(t *testing.T) {
+	path := t.TempDir() + "/t.json"
+	f := newFlags(t, func(f *Flags) *Flags { return f.AddObs() },
+		"-trace", path, "-metrics")
+	f.Scope().Count("x", 1)
+	var sb strings.Builder
+	if err := f.Finish(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "x") {
+		t.Errorf("metrics output lacks counter: %q", sb.String())
+	}
+}
+
+func TestParseArgs(t *testing.T) {
+	got, err := ParseArgs("1, -2,3")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != -2 || got[2] != 3 {
+		t.Errorf("ParseArgs = %v, %v", got, err)
+	}
+	if got, err := ParseArgs(""); err != nil || got != nil {
+		t.Errorf("ParseArgs(empty) = %v, %v", got, err)
+	}
+	if _, err := ParseArgs("1,x"); err == nil {
+		t.Error("ParseArgs accepted a non-integer")
+	}
+}

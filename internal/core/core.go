@@ -3,17 +3,17 @@
 // the instrumentation phase (§4) and the virtual machine, behind a
 // small API mirroring how the paper's LLVM pass is used.
 //
-// Typical usage:
+// Typical usage (functional options; see options.go):
 //
-//	prog, err := core.CompileText(src, core.Config{
-//	    Design:          instrument.CI,
-//	    ProbeIntervalIR: 250,
-//	})
-//	stats, err := prog.Run("main", core.RunConfig{
-//	    Threads:        1,
-//	    IntervalCycles: 5000,
-//	    Handler:        func(irDelta uint64) { ... },
-//	})
+//	prog, err := core.CompileText(src,
+//	    core.WithDesign(instrument.CI),
+//	    core.WithProbeInterval(250))
+//	stats, err := prog.Run("main",
+//	    core.WithInterval(5000),
+//	    core.WithHandler(func(irDelta uint64) { ... }))
+//
+// The Config and RunConfig structs remain for programmatic
+// construction and reach the same paths via WithConfig/WithRunConfig.
 package core
 
 import (
@@ -22,6 +22,7 @@ import (
 	"repro/internal/ci/analysis"
 	"repro/internal/ci/instrument"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/vm"
 )
@@ -69,11 +70,36 @@ type Program struct {
 	// Instr reports what the instrumentation phase did.
 	Instr *instrument.Result
 	cfg   Config
+	obs   *obs.Scope
 }
 
-// Compile clones src and instruments the clone per cfg. src itself is
-// not modified.
-func Compile(src *ir.Module, cfg Config) (*Program, error) {
+// Compile clones src and instruments the clone per the resolved
+// options. src itself is not modified. With WithSanitize the
+// compilation is delegated to the installed interceptor (translation
+// validation); with WithObs each pipeline stage emits a trace instant
+// and the scope carries over to Run.
+func Compile(src *ir.Module, opts ...Option) (*Program, error) {
+	st := resolve(opts)
+	if st.sanitize != nil {
+		p, err := st.sanitize(src, st.cfg)
+		if err != nil {
+			return nil, err
+		}
+		if p.obs == nil {
+			p.obs = st.obs
+		}
+		return p, nil
+	}
+	cfg := st.cfg
+	if scope := st.obs; scope.Enabled() {
+		inner := cfg.ModStageHook
+		cfg.ModStageHook = func(stage string, m *ir.Module) {
+			scope.Instant("compile", "stage/"+stage, 0, scope.Tick())
+			if inner != nil {
+				inner(stage, m)
+			}
+		}
+	}
 	if err := src.Verify(); err != nil {
 		return nil, fmt.Errorf("core: input module invalid: %w", err)
 	}
@@ -98,16 +124,16 @@ func Compile(src *ir.Module, cfg Config) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Program{Mod: m, Source: src, Instr: res, cfg: cfg}, nil
+	return &Program{Mod: m, Source: src, Instr: res, cfg: st.cfg, obs: st.obs}, nil
 }
 
 // CompileText parses textual IR and compiles it.
-func CompileText(src string, cfg Config) (*Program, error) {
+func CompileText(src string, opts ...Option) (*Program, error) {
 	m, err := ir.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return Compile(m, cfg)
+	return Compile(m, opts...)
 }
 
 // ExportCosts serializes the program's function cost table for
@@ -151,8 +177,16 @@ type RunResult struct {
 	Returns []int64
 }
 
-// Run executes the program's function fn under the configured VM.
-func (p *Program) Run(fn string, rc RunConfig) (*RunResult, error) {
+// Run executes the program's function fn under the configured VM. The
+// observability scope defaults to the one given at Compile time; a
+// WithObs among opts overrides it for this run.
+func (p *Program) Run(fn string, opts ...Option) (*RunResult, error) {
+	st := resolve(opts)
+	rc := st.rc
+	scope := st.obs
+	if scope == nil {
+		scope = p.obs
+	}
 	threads := rc.Threads
 	if threads < 1 {
 		threads = 1
@@ -170,6 +204,7 @@ func (p *Program) Run(fn string, rc RunConfig) (*RunResult, error) {
 	}
 	machine := vm.New(p.Mod, rc.Model, threads)
 	machine.LimitInstrs = rc.LimitInstrs
+	machine.Obs = scope
 	res := &RunResult{
 		Stats:     make([]vm.Stats, threads),
 		Intervals: make([][]int64, threads),
@@ -184,6 +219,20 @@ func (p *Program) Run(fn string, rc RunConfig) (*RunResult, error) {
 			th.RT.IRPerCycle = rc.IRPerCycle
 		}
 		th.RT.RecordIntervals = rc.RecordIntervals
+		if scope.Enabled() && rc.IntervalCycles > 0 {
+			target := rc.IntervalCycles
+			first := true
+			th.RT.OnFire = func(hid int, irDelta uint64, gap int64) {
+				if first {
+					// The first fire's gap spans registration to
+					// first interrupt, not a steady-state interval.
+					first = false
+					return
+				}
+				scope.Observe("run/handler_gap_cycles", gap)
+				scope.Observe("run/interval_error_cycles", gap-target)
+			}
+		}
 		hid := 0
 		if rc.IntervalCycles > 0 {
 			h := rc.Handler
@@ -200,6 +249,13 @@ func (p *Program) Run(fn string, rc RunConfig) (*RunResult, error) {
 		res.Stats[id] = th.Stats
 		if hid != 0 {
 			res.Intervals[id] = th.RT.Intervals(hid)
+		}
+		if scope.Enabled() {
+			scope.Span("core", "run/"+fn, int32(id), 0, th.Stats.Cycles,
+				obs.I("instrs", th.Stats.Instrs),
+				obs.I("probes", th.Stats.Probes),
+				obs.I("handler_calls", th.Stats.HandlerCalls))
+			scope.Advance(th.Stats.Cycles)
 		}
 	}
 	return res, nil

@@ -30,18 +30,17 @@ exit:
 `
 
 func TestCompileTextAndRun(t *testing.T) {
-	prog, err := CompileText(loopSrc, Config{Design: instrument.CI, ProbeIntervalIR: 200})
+	prog, err := CompileText(loopSrc, WithDesign(instrument.CI), WithProbeInterval(200))
 	if err != nil {
 		t.Fatal(err)
 	}
 	fires := 0
-	res, err := prog.Run("main", RunConfig{
-		Threads:        1,
-		Args:           func(int) []int64 { return []int64{200000} },
-		IntervalCycles: 5000,
-		Handler:        func(uint64) { fires++ },
-		LimitInstrs:    50_000_000,
-	})
+	res, err := prog.Run("main",
+		WithThreads(1),
+		WithArgv(200000),
+		WithInterval(5000),
+		WithHandler(func(uint64) { fires++ }),
+		WithLimit(50_000_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +58,7 @@ func TestCompileTextAndRun(t *testing.T) {
 func TestCompileDoesNotMutateSource(t *testing.T) {
 	src := ir.MustParse(loopSrc)
 	before := src.String()
-	if _, err := Compile(src, Config{Design: instrument.CI, ProbeIntervalIR: 100}); err != nil {
+	if _, err := Compile(src, WithDesign(instrument.CI), WithProbeInterval(100)); err != nil {
 		t.Fatal(err)
 	}
 	if src.String() != before {
@@ -71,13 +70,13 @@ func TestCompileRejectsInvalidModule(t *testing.T) {
 	m := ir.NewModule("bad")
 	f := m.NewFunc("f", 0)
 	f.NewBlock("entry") // unterminated
-	if _, err := Compile(m, Config{}); err == nil {
+	if _, err := Compile(m); err == nil {
 		t.Error("Compile accepted an invalid module")
 	}
 }
 
 func TestExportCosts(t *testing.T) {
-	prog, err := CompileText(loopSrc, Config{Design: instrument.CI, ProbeIntervalIR: 100})
+	prog, err := CompileText(loopSrc, WithDesign(instrument.CI), WithProbeInterval(100))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +88,7 @@ func TestExportCosts(t *testing.T) {
 		t.Errorf("cost file lacks main: %s", data)
 	}
 	// Non-CI designs have no cost table.
-	progN, err := CompileText(loopSrc, Config{Design: instrument.Naive})
+	progN, err := CompileText(loopSrc, WithDesign(instrument.Naive))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,11 +110,11 @@ func TestProfileMeasuresIRPerCycle(t *testing.T) {
 
 func TestRunMultiThreads(t *testing.T) {
 	wl := workloads.ByName("histogram")
-	prog, err := Compile(wl.Build(1), Config{Design: instrument.CI, ProbeIntervalIR: 250})
+	prog, err := Compile(wl.Build(1), WithDesign(instrument.CI), WithProbeInterval(250))
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := prog.Run("main", RunConfig{Threads: 4, IntervalCycles: 5000, LimitInstrs: 60_000_000})
+	res, err := prog.Run("main", WithThreads(4), WithInterval(5000), WithLimit(60_000_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,16 +129,15 @@ func TestRunMultiThreads(t *testing.T) {
 }
 
 func TestRunRecordsIntervals(t *testing.T) {
-	prog, err := CompileText(loopSrc, Config{Design: instrument.CI, ProbeIntervalIR: 200})
+	prog, err := CompileText(loopSrc, WithDesign(instrument.CI), WithProbeInterval(200))
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := prog.Run("main", RunConfig{
-		Args:            func(int) []int64 { return []int64{500000} },
-		IntervalCycles:  5000,
-		RecordIntervals: true,
-		LimitInstrs:     50_000_000,
-	})
+	res, err := prog.Run("main",
+		WithArgv(500000),
+		WithInterval(5000),
+		WithRecordIntervals(true),
+		WithLimit(50_000_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,11 +147,11 @@ func TestRunRecordsIntervals(t *testing.T) {
 }
 
 func TestRunUnknownFunction(t *testing.T) {
-	prog, err := CompileText(loopSrc, Config{})
+	prog, err := CompileText(loopSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := prog.Run("nosuch", RunConfig{}); err == nil {
+	if _, err := prog.Run("nosuch"); err == nil {
 		t.Error("Run accepted unknown function")
 	}
 }
@@ -179,20 +177,20 @@ exit:
   ret %s
 }
 `
-	plain, err := CompileText(src, Config{Design: instrument.CI, ProbeIntervalIR: 200})
+	plain, err := CompileText(src, WithDesign(instrument.CI), WithProbeInterval(200))
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt, err := CompileText(src, Config{Design: instrument.CI, ProbeIntervalIR: 200, Optimize: true})
+	opt, err := CompileText(src, WithDesign(instrument.CI), WithProbeInterval(200), WithOptimize(true))
 	if err != nil {
 		t.Fatal(err)
 	}
 	args := core_testArgs(1000)
-	rp, err := plain.Run("main", RunConfig{Args: args, LimitInstrs: 10_000_000})
+	rp, err := plain.Run("main", WithArgs(args), WithLimit(10_000_000))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ro, err := opt.Run("main", RunConfig{Args: args, LimitInstrs: 10_000_000})
+	ro, err := opt.Run("main", WithArgs(args), WithLimit(10_000_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +249,7 @@ entry:
 }
 `
 	cfg := Config{Design: instrument.CI, ProbeIntervalIR: 150}
-	lib, err := CompileText(libSrc, cfg)
+	lib, err := CompileText(libSrc, WithConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +272,7 @@ entry:
 	}
 	appCfg := cfg
 	appCfg.ImportedCosts = imported
-	app, err := CompileText(appSrc, appCfg)
+	app, err := CompileText(appSrc, WithConfig(appCfg))
 	if err != nil {
 		t.Fatal(err)
 	}

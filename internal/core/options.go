@@ -1,0 +1,195 @@
+// Functional-options surface for Compile/Run. Config and RunConfig
+// remain as plain structs for callers that build configurations
+// programmatically (and as deprecated wrappers via WithConfig /
+// WithRunConfig), but the canonical API is now
+//
+//	prog, err := core.Compile(src,
+//	    core.WithDesign(instrument.CI),
+//	    core.WithProbeInterval(250),
+//	    core.WithObs(scope))
+//	res, err := prog.Run("main",
+//	    core.WithThreads(8),
+//	    core.WithInterval(5000))
+//
+// Options apply in order; later options override earlier ones.
+package core
+
+import (
+	"repro/internal/ci/analysis"
+	"repro/internal/ci/instrument"
+	"repro/internal/ir"
+	"repro/internal/obs"
+	"repro/internal/vm"
+)
+
+// settings is the resolved option state: compile config, run config,
+// the observability scope shared by both phases, and an optional
+// compile interceptor.
+type settings struct {
+	cfg      Config
+	rc       RunConfig
+	obs      *obs.Scope
+	sanitize SanitizeFunc
+}
+
+// Option configures Compile and/or Run. Compile ignores run-only
+// options and vice versa, so one option slice can serve both phases.
+type Option func(*settings)
+
+// SanitizeFunc intercepts compilation: when installed via WithSanitize,
+// Compile delegates to it with the resolved Config. The sanitize
+// package's Checked adapter routes this through full translation
+// validation without core importing it (which would cycle).
+type SanitizeFunc func(src *ir.Module, cfg Config) (*Program, error)
+
+func resolve(opts []Option) settings {
+	var st settings
+	for _, o := range opts {
+		if o != nil {
+			o(&st)
+		}
+	}
+	return st
+}
+
+// ConfigOf resolves opts to the compile-side Config — the canonical
+// way to derive cache keys or feed struct-based entry points (e.g.
+// sanitize.CompileChecked) from an option list.
+func ConfigOf(opts ...Option) Config { return resolve(opts).cfg }
+
+// RunConfigOf resolves opts to the run-side RunConfig.
+func RunConfigOf(opts ...Option) RunConfig { return resolve(opts).rc }
+
+// WithConfig replaces the whole compile-side Config.
+//
+// Deprecated: bridge for pre-options callers; prefer the fine-grained
+// With* options.
+func WithConfig(cfg Config) Option { return func(s *settings) { s.cfg = cfg } }
+
+// WithRunConfig replaces the whole run-side RunConfig.
+//
+// Deprecated: bridge for pre-options callers; prefer the fine-grained
+// With* options.
+func WithRunConfig(rc RunConfig) Option { return func(s *settings) { s.rc = rc } }
+
+// WithDesign selects the probe design.
+func WithDesign(d instrument.Design) Option {
+	return func(s *settings) { s.cfg.Design = d }
+}
+
+// WithProbeInterval sets the compile-time probe interval in IR
+// instructions.
+func WithProbeInterval(n int64) Option {
+	return func(s *settings) { s.cfg.ProbeIntervalIR = n }
+}
+
+// WithAllowableError bounds branch-arm summarization (§3.3).
+func WithAllowableError(n int64) Option {
+	return func(s *settings) { s.cfg.AllowableErrorIR = n }
+}
+
+// WithExternCost sets the heuristic cost of uninstrumented calls (§4).
+func WithExternCost(n int64) Option {
+	return func(s *settings) { s.cfg.ExternCostIR = n }
+}
+
+// WithImportedCosts supplies cost files from other build units (§2.6).
+func WithImportedCosts(t analysis.CostTable) Option {
+	return func(s *settings) { s.cfg.ImportedCosts = t }
+}
+
+// WithLoopTransform enables or disables the §3.4 loop transform
+// (enabled by default; disable for ablations).
+func WithLoopTransform(on bool) Option {
+	return func(s *settings) { s.cfg.DisableLoopTransform = !on }
+}
+
+// WithLoopClone enables or disables the §3.5 loop clone.
+func WithLoopClone(on bool) Option {
+	return func(s *settings) { s.cfg.DisableLoopClone = !on }
+}
+
+// WithOptimize runs the IR optimizer before the CI analysis.
+func WithOptimize(on bool) Option {
+	return func(s *settings) { s.cfg.Optimize = on }
+}
+
+// WithDebugVerify re-verifies the IR after every pipeline stage.
+func WithDebugVerify(on bool) Option {
+	return func(s *settings) { s.cfg.DebugVerify = on }
+}
+
+// WithFuncStageHook observes each function after every analysis-side
+// rewrite.
+func WithFuncStageHook(h analysis.StageHook) Option {
+	return func(s *settings) { s.cfg.FuncStageHook = h }
+}
+
+// WithModStageHook observes the module at the instrumentation pipeline
+// points.
+func WithModStageHook(h instrument.ModStageHook) Option {
+	return func(s *settings) { s.cfg.ModStageHook = h }
+}
+
+// WithSanitize installs a compile interceptor, typically
+// sanitize.Checked(...), that routes compilation through translation
+// validation.
+func WithSanitize(fn SanitizeFunc) Option {
+	return func(s *settings) { s.sanitize = fn }
+}
+
+// WithObs attaches an observability scope to both phases: Compile
+// emits stage-transition instants, Run attaches the scope to the VM
+// (probe-site profile, handler spans) and records interval-error and
+// handler-latency histograms. A nil scope is the disabled default.
+func WithObs(scope *obs.Scope) Option {
+	return func(s *settings) { s.obs = scope }
+}
+
+// WithThreads runs the entry function on n VM threads.
+func WithThreads(n int) Option {
+	return func(s *settings) { s.rc.Threads = n }
+}
+
+// WithArgs supplies per-thread argument vectors.
+func WithArgs(fn func(id int) []int64) Option {
+	return func(s *settings) { s.rc.Args = fn }
+}
+
+// WithArgv passes the same fixed arguments to every thread.
+func WithArgv(vals ...int64) Option {
+	return func(s *settings) {
+		s.rc.Args = func(int) []int64 { return vals }
+	}
+}
+
+// WithInterval registers the run handler with this CI interval
+// (cycles) on every thread.
+func WithInterval(cycles int64) Option {
+	return func(s *settings) { s.rc.IntervalCycles = cycles }
+}
+
+// WithHandler sets the interrupt handler registered by WithInterval.
+func WithHandler(h func(irSinceLast uint64)) Option {
+	return func(s *settings) { s.rc.Handler = h }
+}
+
+// WithIRPerCycle tunes the runtime's IR-to-cycle ratio.
+func WithIRPerCycle(f float64) Option {
+	return func(s *settings) { s.rc.IRPerCycle = f }
+}
+
+// WithRecordIntervals records inter-fire gaps on handler id 1.
+func WithRecordIntervals(on bool) Option {
+	return func(s *settings) { s.rc.RecordIntervals = on }
+}
+
+// WithModel overrides the VM cost model.
+func WithModel(m *vm.CostModel) Option {
+	return func(s *settings) { s.rc.Model = m }
+}
+
+// WithLimit bounds per-thread execution in executed instructions.
+func WithLimit(n int64) Option {
+	return func(s *settings) { s.rc.LimitInstrs = n }
+}

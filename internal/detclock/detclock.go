@@ -40,7 +40,7 @@ type Event struct {
 func Capture(src *ir.Module, fn string, args []int64, design instrument.Design,
 	intervalCycles int64, model *vm.CostModel) ([]Event, error) {
 
-	prog, err := core.Compile(src, core.Config{Design: design, ProbeIntervalIR: 250})
+	prog, err := core.Compile(src, core.WithDesign(design), core.WithProbeInterval(250))
 	if err != nil {
 		return nil, err
 	}

@@ -14,6 +14,11 @@ import (
 // Build errors are not cached: a failed entry is removed so a later
 // lookup retries (deterministic failures simply fail again, cheaply).
 type Cache struct {
+	// Observer, when non-nil, is told about every lookup (hit or miss).
+	// It is invoked outside the cache lock; set it before concurrent
+	// use (AttachObs does).
+	Observer func(key string, hit bool)
+
 	mu      sync.Mutex
 	cap     int
 	entries map[string]*cacheEntry
@@ -56,6 +61,9 @@ func (c *Cache) Get(key string, build func() (any, error)) (any, error) {
 			c.lru.MoveToFront(e.elem)
 		}
 		c.mu.Unlock()
+		if c.Observer != nil {
+			c.Observer(key, true)
+		}
 		<-e.ready
 		return e.val, e.err
 	}
@@ -63,6 +71,9 @@ func (c *Cache) Get(key string, build func() (any, error)) (any, error) {
 	c.entries[key] = e
 	c.misses++
 	c.mu.Unlock()
+	if c.Observer != nil {
+		c.Observer(key, false)
+	}
 
 	e.val, e.err = build()
 	close(e.ready)

@@ -314,9 +314,8 @@ func TestHashStableAndDistinct(t *testing.T) {
 // instrumented module, and the fingerprint must prove it.
 func TestGuardedModuleSurvivesVMRuns(t *testing.T) {
 	wl := workloads.ByName("histogram")
-	prog, err := core.Compile(wl.Build(1), core.Config{
-		Design: instrument.CI, ProbeIntervalIR: 250,
-	})
+	prog, err := core.Compile(wl.Build(1),
+		core.WithDesign(instrument.CI), core.WithProbeInterval(250))
 	if err != nil {
 		t.Fatal(err)
 	}

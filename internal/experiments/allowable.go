@@ -54,11 +54,10 @@ func MeasureAllowableError(eng *engine.Engine, values []int64, scale int) ([]All
 			if err != nil {
 				return AllowablePoint{}, err
 			}
-			prog, err := CompileCached(eng, wl, scale, core.Config{
-				Design:           instrument.CI,
-				ProbeIntervalIR:  ProbeIntervalIR,
-				AllowableErrorIR: ae,
-			})
+			prog, err := CompileCached(eng, wl, scale,
+				core.WithDesign(instrument.CI),
+				core.WithProbeInterval(ProbeIntervalIR),
+				core.WithAllowableError(ae))
 			if err != nil {
 				return AllowablePoint{}, err
 			}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ffwd"
 	"repro/internal/mtcp"
+	"repro/internal/obs"
 	"repro/internal/shenango"
 )
 
@@ -13,10 +14,10 @@ import (
 // server thread.
 var mtcpConns = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
-func printMTCP(w io.Writer, title string, work int64) error {
+func printMTCP(w io.Writer, scope *obs.Scope, title string, work int64) error {
 	fmt.Fprintln(w, title)
 	for _, mode := range []mtcp.Mode{mtcp.Kernel, mtcp.Orig, mtcp.CI} {
-		for _, r := range mtcp.Sweep(mode, mtcpConns, work) {
+		for _, r := range mtcp.SweepObs(mode, mtcpConns, work, scope) {
 			fmt.Fprintln(w, r)
 		}
 	}
@@ -24,21 +25,23 @@ func printMTCP(w io.Writer, title string, work int64) error {
 }
 
 // PrintFigure4 renders the mTCP throughput/latency comparison
-// (epserver/epwget, 1 kB responses, no server-side compute).
-func PrintFigure4(w io.Writer) error {
-	return printMTCP(w, "Figure 4: mTCP epserver/epwget, 10 Gbps, 16 threads", 0)
+// (epserver/epwget, 1 kB responses, no server-side compute). The scope
+// (nil = disabled) collects the app models' scheduling-decision trace
+// events and latency histograms.
+func PrintFigure4(w io.Writer, scope *obs.Scope) error {
+	return printMTCP(w, scope, "Figure 4: mTCP epserver/epwget, 10 Gbps, 16 threads", 0)
 }
 
 // PrintFigure5 renders the mTCP comparison with a 1M-cycle compute
 // loop per request (an application-server-like workload).
-func PrintFigure5(w io.Writer) error {
-	return printMTCP(w, "Figure 5: mTCP with 1M-cycle work per request", 1_000_000)
+func PrintFigure5(w io.Writer, scope *obs.Scope) error {
+	return printMTCP(w, scope, "Figure 5: mTCP with 1M-cycle work per request", 1_000_000)
 }
 
 // PrintFigure6 renders the Shenango comparison: memcached latency vs
 // offered load for the dedicated-core IOKernel and CI IOKernels at
 // three intervals, plus the CPUMiner hash rate on the IOKernel core.
-func PrintFigure6(w io.Writer) error {
+func PrintFigure6(w io.Writer, scope *obs.Scope) error {
 	fmt.Fprintln(w, "Figure 6: Shenango memcached latency and CPUMiner hash rate")
 	loads := []float64{50e3, 100e3, 200e3, 400e3, 600e3, 800e3}
 	cfgs := []shenango.Config{
@@ -53,6 +56,7 @@ func PrintFigure6(w io.Writer) error {
 		for _, load := range loads {
 			c := cfg
 			c.OfferedLoad = load
+			c.Obs = scope
 			r := shenango.Run(c)
 			fmt.Fprintln(w, r)
 		}
@@ -62,7 +66,7 @@ func PrintFigure6(w io.Writer) error {
 
 // PrintFigure7 renders the fetch-and-add throughput scaling of
 // delegation (dedicated and CI-designated) against lock designs.
-func PrintFigure7(w io.Writer) error {
+func PrintFigure7(w io.Writer, scope *obs.Scope) error {
 	fmt.Fprintln(w, "Figure 7: fetch-and-add throughput (Mops) vs threads")
 	threads := []int{1, 2, 4, 8, 16, 24, 32, 40, 48, 56}
 	fmt.Fprintf(w, "%-10s", "threads")
@@ -73,7 +77,7 @@ func PrintFigure7(w io.Writer) error {
 	for _, t := range threads {
 		fmt.Fprintf(w, "%-10d", t)
 		for _, d := range ffwd.Designs {
-			r := ffwd.Run(ffwd.Config{Design: d, Threads: t})
+			r := ffwd.Run(ffwd.Config{Design: d, Threads: t, Obs: scope})
 			fmt.Fprintf(w, "%14.2f", r.ThroughputMops)
 		}
 		fmt.Fprintln(w)
@@ -83,10 +87,10 @@ func PrintFigure7(w io.Writer) error {
 
 // PrintFigure8 renders the client request latency distribution at 56
 // threads.
-func PrintFigure8(w io.Writer) error {
+func PrintFigure8(w io.Writer, scope *obs.Scope) error {
 	fmt.Fprintln(w, "Figure 8: client request latency distribution (cycles), 56 threads")
 	for _, d := range []ffwd.Design{ffwd.DelegationDedicated, ffwd.DelegationCI, ffwd.MCS, ffwd.Spinlock} {
-		r := ffwd.Run(ffwd.Config{Design: d, Threads: 56, RecordLatencies: true})
+		r := ffwd.Run(ffwd.Config{Design: d, Threads: 56, RecordLatencies: true, Obs: scope})
 		s := r.LatencySummary
 		fmt.Fprintf(w, "%-22s p10=%-8d p50=%-8d p90=%-8d p99=%-9d p99.9=%-9d max=%d\n",
 			d.String(), s.P10, s.P50, s.P90, s.P99, s.P999, s.Max)

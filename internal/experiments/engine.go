@@ -101,29 +101,30 @@ func BaselineCached(eng *engine.Engine, wl *workloads.Workload, scale, threads i
 	return v.(Baseline), nil
 }
 
-// compileMaybeChecked compiles src under cfg, routing through the
-// translation-validation sanitizer when the engine asks for it
-// (Engine.SanitizeOnMiss). Sanitized compiles pay for stage-by-stage
-// semantic checks; with memoization the cost lands only on cache
-// misses.
-func compileMaybeChecked(eng *engine.Engine, src *ir.Module, cfg core.Config) (*core.Program, error) {
+// compileMaybeChecked compiles src under the resolved options, routing
+// through the translation-validation sanitizer when the engine asks
+// for it (Engine.SanitizeOnMiss). Sanitized compiles pay for
+// stage-by-stage semantic checks; with memoization the cost lands only
+// on cache misses.
+func compileMaybeChecked(eng *engine.Engine, src *ir.Module, opts []core.Option) (*core.Program, error) {
 	if eng != nil && eng.SanitizeOnMiss {
-		return sanitize.CompileChecked(src, cfg, sanitize.Options{})
+		return sanitize.CompileChecked(src, core.ConfigOf(opts...), sanitize.Options{})
 	}
-	return core.Compile(src, cfg)
+	return core.Compile(src, opts...)
 }
 
-// CompileCached compiles the workload under cfg, memoized per
-// (workload, scale, config). The returned program's module is shared
-// across cells; callers must treat it as read-only (VM runs do — the
-// fingerprint guard in the cache proves it).
-func CompileCached(eng *engine.Engine, wl *workloads.Workload, scale int, cfg core.Config) (*core.Program, error) {
+// CompileCached compiles the workload under the given options, memoized
+// per (workload, scale, resolved config). The returned program's module
+// is shared across cells; callers must treat it as read-only (VM runs
+// do — the fingerprint guard in the cache proves it).
+func CompileCached(eng *engine.Engine, wl *workloads.Workload, scale int, opts ...core.Option) (*core.Program, error) {
+	cfg := core.ConfigOf(opts...)
 	if eng == nil || eng.Cache == nil || cfg.ImportedCosts != nil {
-		return compileMaybeChecked(eng, SourceModule(eng, wl, scale), cfg)
+		return compileMaybeChecked(eng, SourceModule(eng, wl, scale), opts)
 	}
 	key := fmt.Sprintf("prog/%s/s%d/%s", wl.Name, scale, cfgKey(cfg))
 	v, err := eng.Cache.Get(key, func() (any, error) {
-		prog, err := compileMaybeChecked(eng, SourceModule(eng, wl, scale), cfg)
+		prog, err := compileMaybeChecked(eng, SourceModule(eng, wl, scale), opts)
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/ci/instrument"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -180,10 +181,10 @@ func TestTable7Full(t *testing.T) {
 
 func TestPrintersProduceRows(t *testing.T) {
 	var sb strings.Builder
-	if err := PrintFigure7(&sb); err != nil {
+	if err := PrintFigure7(&sb, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := PrintFigure8(&sb); err != nil {
+	if err := PrintFigure8(&sb, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -303,5 +304,39 @@ func TestChaosInvariantsHold(t *testing.T) {
 	}
 	if !bytes.Contains(buf.Bytes(), []byte("all invariants hold")) {
 		t.Errorf("unexpected chaos output:\n%s", buf.String())
+	}
+}
+
+// The -metrics acceptance path: running the Figure 10 accuracy sweep
+// with an obs-attached engine must populate a per-design interval-error
+// histogram for every plotted probe design, and the metrics report must
+// surface their quantiles.
+func TestFigure10PopulatesIntervalErrorMetrics(t *testing.T) {
+	eng := testEngine()
+	scope := obs.New(0)
+	eng.AttachObs(scope)
+	var out bytes.Buffer
+	if err := PrintFigure10(&out, eng, 1); err != nil {
+		t.Fatal(err)
+	}
+	designs := []instrument.Design{
+		instrument.CI, instrument.CICycles, instrument.CnB,
+		instrument.CD, instrument.Naive,
+	}
+	for _, d := range designs {
+		h := scope.Hist("interval_error/" + d.String())
+		if h == nil || h.N() == 0 {
+			t.Errorf("no interval-error samples for design %s", d)
+		}
+	}
+	var report strings.Builder
+	if err := scope.WriteMetrics(&report); err != nil {
+		t.Fatal(err)
+	}
+	rep := report.String()
+	for _, want := range []string{"interval_error/CI", "interval_error/Naive", "p50", "p90", "p99"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("metrics report lacks %q", want)
+		}
 	}
 }

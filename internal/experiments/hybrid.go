@@ -70,9 +70,8 @@ func measureHybridOne(name string, target int64, deadlineMult float64, scale int
 		Instrs:     baseThread.Stats.Instrs,
 		IRPerCycle: float64(baseThread.Stats.Instrs) / float64(baseThread.Stats.Cycles),
 	}
-	prog, err := core.Compile(src, core.Config{
-		Design: instrument.CI, ProbeIntervalIR: ProbeIntervalIR,
-	})
+	prog, err := core.Compile(src,
+		core.WithDesign(instrument.CI), core.WithProbeInterval(ProbeIntervalIR))
 	if err != nil {
 		return HybridRow{}, err
 	}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/vm"
 	"repro/internal/workloads"
@@ -98,7 +99,8 @@ type OverheadRow struct {
 func MeasureOverhead(eng *engine.Engine, wl *workloads.Workload, d instrument.Design, base Baseline,
 	scale, threads int, intervalCycles int64, record bool) (OverheadRow, error) {
 
-	prog, err := CompileCached(eng, wl, scale, core.Config{Design: d, ProbeIntervalIR: ProbeIntervalIR})
+	prog, err := CompileCached(eng, wl, scale,
+		core.WithDesign(d), core.WithProbeInterval(ProbeIntervalIR))
 	if err != nil {
 		return OverheadRow{}, fmt.Errorf("%s/%v: %w", wl.Name, d, err)
 	}
@@ -150,6 +152,11 @@ func MeasureOverhead(eng *engine.Engine, wl *workloads.Workload, d instrument.De
 	}
 	machine := vm.New(prog.Mod, nil, threads)
 	machine.LimitInstrs = runLimit
+	// The measured run (not the calibration passes) feeds the
+	// observability scope: probe-site profile, handler spans.
+	if eng != nil {
+		machine.Obs = eng.Obs
+	}
 	th := machine.NewThread(0)
 	th.RT.IRPerCycle = irPerCycle
 	th.RT.RecordIntervals = record
@@ -312,6 +319,24 @@ func cellDoAccuracy(eng *engine.Engine, key, hash string, wl *workloads.Workload
 			if len(errsCy) == 0 {
 				errsCy = []int64{0}
 			}
+			var scope *obs.Scope
+			if eng != nil {
+				scope = eng.Obs
+			}
+			if scope.Enabled() {
+				// Feed the per-design interval-error histograms behind
+				// ciexp -metrics (absolute error, paper-CDF style, plus
+				// the signed distribution). Store-skipped cells don't
+				// reach here — re-run without -store for full metrics.
+				name := "interval_error/" + d.String()
+				for _, e := range errsCy {
+					scope.Observe(name, e)
+					if e < 0 {
+						e = -e
+					}
+					scope.Observe("interval_abs_error/"+d.String(), e)
+				}
+			}
 			sum := stats.Summarize(errsCy)
 			out = append(out, AccuracyRow{
 				Workload:    wl.Name,
@@ -395,9 +420,8 @@ func measureFig12Workload(eng *engine.Engine, wl *workloads.Workload, scale int,
 	if err != nil {
 		return fig12Cell{}, err
 	}
-	prog, err := CompileCached(eng, wl, scale, core.Config{
-		Design: instrument.CI, ProbeIntervalIR: ProbeIntervalIR,
-	})
+	prog, err := CompileCached(eng, wl, scale,
+		core.WithDesign(instrument.CI), core.WithProbeInterval(ProbeIntervalIR))
 	if err != nil {
 		return fig12Cell{}, err
 	}

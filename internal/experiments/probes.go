@@ -44,9 +44,8 @@ func MeasureProbeCounts(eng *engine.Engine, scale int, intervalCycles int64) ([]
 			}
 			row := ProbeCountRow{Workload: wl.Name}
 			for _, d := range []instrument.Design{instrument.CI, instrument.Naive} {
-				prog, err := CompileCached(eng, wl, scale, core.Config{
-					Design: d, ProbeIntervalIR: ProbeIntervalIR,
-				})
+				prog, err := CompileCached(eng, wl, scale,
+					core.WithDesign(d), core.WithProbeInterval(ProbeIntervalIR))
 				if err != nil {
 					return row, err
 				}

@@ -138,9 +138,8 @@ func SanitizeWorkloads(eng *engine.Engine, scale int) (int, []CellError) {
 	cells, errs := engine.Map(eng.Pool, len(sel), func(i int) (int, error) {
 		clean := 0
 		for _, d := range sanitizeDesigns {
-			if _, err := CompileCached(eng, sel[i], scale, core.Config{
-				Design: d, ProbeIntervalIR: ProbeIntervalIR,
-			}); err != nil {
+			if _, err := CompileCached(eng, sel[i], scale,
+				core.WithDesign(d), core.WithProbeInterval(ProbeIntervalIR)); err != nil {
 				return clean, fmt.Errorf("%v: %w", d, err)
 			}
 			clean++

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -95,6 +96,10 @@ type Config struct {
 	// fallbackTimeout and complete under the MCS fallback lock; only
 	// the delegation designs are affected.
 	FaultPlan *faults.Plan
+	// Obs, when enabled, receives per-operation latency observations and
+	// fallback-path counters on the "ffwd" trace category. It lives in
+	// Config (not Result) so Result stays comparable with ==.
+	Obs *obs.Scope
 }
 
 func (c *Config) withDefaults() Config {
@@ -282,6 +287,20 @@ func Run(cfg Config) Result {
 	res.FallbackOps = fallbackOps
 	if cfg.RecordLatencies {
 		res.LatencySummary = stats.Summarize(lats)
+	}
+	if sc := cfg.Obs; sc != nil {
+		name := cfg.Design.String()
+		hist := "ffwd/op_latency_cycles/" + name
+		for _, l := range lats {
+			sc.Observe(hist, l)
+		}
+		sc.Count("ffwd/ops_sampled", int64(len(lats)))
+		sc.Count("ffwd/fallback_ops", fallbackOps)
+		ts := sc.Tick()
+		sc.Instant("ffwd", "run/"+name, int32(T), ts,
+			obs.I("threads", int64(T)),
+			obs.I("throughput_kops", int64(throughput*2.6e9/1e3)),
+			obs.I("fallback_ops", fallbackOps))
 	}
 	return res
 }

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -112,6 +113,9 @@ type Config struct {
 	// reordering), application stall spikes, and CI handler-overrun
 	// spikes. Nil runs fault-free.
 	FaultPlan *faults.Plan
+	// Obs, when enabled, receives CI-poll spans, poll-cost histograms
+	// and interval-adaptation instants on the "mtcp" trace category.
+	Obs *obs.Scope
 	// Adaptive enables AIMD adaptation of the CI polling interval
 	// under handler overruns (CI mode only): overruns double the
 	// interval up to maxBackoffMult x the configured value; sustained
@@ -412,6 +416,15 @@ func (s *server) ciPoll() {
 	if s.cfg.Adaptive {
 		s.adaptInterval(cost)
 	}
+	if sc := s.cfg.Obs; sc != nil {
+		sc.Span("mtcp", "ci-poll", 0, t, tEnd,
+			obs.I("rx_pkts", int64(len(pkts))), obs.I("cost", cost))
+		sc.Observe("mtcp/poll_cost_cycles", cost)
+		sc.Count("mtcp/polls", 1)
+		if cost > s.curInterval {
+			sc.Count("mtcp/poll_overruns", 1)
+		}
+	}
 	s.eng.At(tEnd+s.curInterval, func() { s.ciPoll() })
 }
 
@@ -421,16 +434,22 @@ func (s *server) ciPoll() {
 // it additively back toward the target.
 func (s *server) adaptInterval(handlerCost int64) {
 	base := s.cfg.IntervalCycles
+	prev := s.curInterval
 	if handlerCost > s.curInterval {
 		s.overruns++
 		s.onTimeStreak = 0
 		s.curInterval = min(s.curInterval*2, base*maxBackoffMult)
-		return
+	} else {
+		s.onTimeStreak++
+		if s.onTimeStreak >= tightenAfter && s.curInterval > base {
+			s.onTimeStreak = 0
+			s.curInterval = max(base, s.curInterval-base/8)
+		}
 	}
-	s.onTimeStreak++
-	if s.onTimeStreak >= tightenAfter && s.curInterval > base {
-		s.onTimeStreak = 0
-		s.curInterval = max(base, s.curInterval-base/8)
+	if sc := s.cfg.Obs; sc != nil && s.curInterval != prev {
+		sc.Instant("mtcp", "adapt-interval", 0, s.eng.Now(),
+			obs.I("from", prev), obs.I("to", s.curInterval))
+		sc.Count("mtcp/interval_adaptations", 1)
 	}
 }
 
@@ -612,9 +631,15 @@ func (s *server) result() Result {
 
 // Sweep runs the Figure 4/5 connection sweep for one mode.
 func Sweep(mode Mode, conns []int, workCycles int64) []Result {
+	return SweepObs(mode, conns, workCycles, nil)
+}
+
+// SweepObs is Sweep with an observability scope threaded into every
+// run's Config (nil scope = plain Sweep).
+func SweepObs(mode Mode, conns []int, workCycles int64, scope *obs.Scope) []Result {
 	out := make([]Result, 0, len(conns))
 	for _, c := range conns {
-		out = append(out, Run(Config{Mode: mode, Conns: c, WorkCycles: workCycles}))
+		out = append(out, Run(Config{Mode: mode, Conns: c, WorkCycles: workCycles, Obs: scope}))
 	}
 	return out
 }

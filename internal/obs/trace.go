@@ -1,0 +1,163 @@
+// Chrome trace_event JSON rendering. The output loads directly in
+// chrome://tracing and Perfetto: one process per event category (with
+// process_name metadata), thread IDs taken from Event.TID, and
+// timestamps in virtual cycles reported as microseconds.
+package obs
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// WriteTrace renders the retained events as a Chrome trace_event JSON
+// object: {"traceEvents":[...],"displayTimeUnit":"ns"}. Categories are
+// mapped to trace "processes" in order of first appearance so related
+// events group together in the viewer.
+func (s *Scope) WriteTrace(w io.Writer) error {
+	var evs []Event
+	var dropped int64
+	if s != nil {
+		s.mu.Lock()
+		evs = s.eventsLocked()
+		dropped = s.dropped
+		s.mu.Unlock()
+	}
+
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"traceEvents":[`)
+
+	// Assign pids per category by first appearance.
+	pids := map[string]int{}
+	var cats []string
+	for _, ev := range evs {
+		if _, ok := pids[ev.Cat]; !ok {
+			pids[ev.Cat] = len(pids) + 1
+			cats = append(cats, ev.Cat)
+		}
+	}
+
+	first := true
+	emit := func(f func(b *bufio.Writer)) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		f(bw)
+	}
+
+	for _, cat := range cats {
+		pid := pids[cat]
+		emit(func(b *bufio.Writer) {
+			b.WriteString(`{"name":"process_name","ph":"M","pid":`)
+			b.WriteString(strconv.Itoa(pid))
+			b.WriteString(`,"tid":0,"args":{"name":`)
+			writeJSONString(b, cat)
+			b.WriteString(`}}`)
+		})
+	}
+
+	for i := range evs {
+		ev := &evs[i]
+		emit(func(b *bufio.Writer) {
+			b.WriteString(`{"name":`)
+			writeJSONString(b, ev.Name)
+			b.WriteString(`,"cat":`)
+			writeJSONString(b, ev.Cat)
+			b.WriteString(`,"ph":"`)
+			b.WriteByte(ev.Ph)
+			b.WriteString(`","ts":`)
+			b.WriteString(strconv.FormatInt(ev.TS, 10))
+			if ev.Ph == 'X' {
+				b.WriteString(`,"dur":`)
+				b.WriteString(strconv.FormatInt(ev.Dur, 10))
+			}
+			if ev.Ph == 'i' {
+				// Thread-scoped instants render as small arrows.
+				b.WriteString(`,"s":"t"`)
+			}
+			b.WriteString(`,"pid":`)
+			b.WriteString(strconv.Itoa(pids[ev.Cat]))
+			b.WriteString(`,"tid":`)
+			b.WriteString(strconv.FormatInt(int64(ev.TID), 10))
+			if ev.NArg > 0 {
+				b.WriteString(`,"args":{`)
+				for j := 0; j < int(ev.NArg); j++ {
+					if j > 0 {
+						b.WriteByte(',')
+					}
+					a := &ev.Args[j]
+					writeJSONString(b, a.Key)
+					b.WriteByte(':')
+					if a.IsStr {
+						writeJSONString(b, a.Str)
+					} else {
+						b.WriteString(strconv.FormatInt(a.Val, 10))
+					}
+				}
+				b.WriteByte('}')
+			}
+			b.WriteByte('}')
+		})
+	}
+
+	bw.WriteString(`],"displayTimeUnit":"ns","otherData":{"dropped_events":"`)
+	bw.WriteString(strconv.FormatInt(dropped, 10))
+	bw.WriteString(`"}}`)
+	bw.WriteByte('\n')
+	return bw.Flush()
+}
+
+// WriteTraceFile writes the trace to path, creating or truncating it.
+func (s *Scope) WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeJSONString writes v as a JSON string literal, escaping the
+// characters RFC 8259 requires. Event names and categories are ASCII
+// identifiers in practice; anything below 0x20 falls back to \u00XX.
+func writeJSONString(b *bufio.Writer, v string) {
+	b.WriteByte('"')
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		switch {
+		case c == '"' || c == '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case c >= 0x20:
+			b.WriteByte(c)
+		case c == '\n':
+			b.WriteString(`\n`)
+		case c == '\t':
+			b.WriteString(`\t`)
+		case c == '\r':
+			b.WriteString(`\r`)
+		default:
+			const hex = "0123456789abcdef"
+			b.WriteString(`\u00`)
+			b.WriteByte(hex[c>>4])
+			b.WriteByte(hex[c&0xf])
+		}
+	}
+	b.WriteByte('"')
+}
+
+// sortedKeys is shared by the metrics writer for deterministic output.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

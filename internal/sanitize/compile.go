@@ -42,7 +42,7 @@ func CompileChecked(src *ir.Module, cfg core.Config, opts Options) (*core.Progra
 		}
 		ck.CheckModule(stage, m)
 	}
-	prog, err := core.Compile(src, cfg)
+	prog, err := core.Compile(src, core.WithConfig(cfg))
 	// Stage findings take precedence: they name the exact stage, where
 	// the final-verify error from the pipeline only says "broken".
 	if serr := ck.Err(); serr != nil {
@@ -58,6 +58,19 @@ func CompileChecked(src *ir.Module, cfg core.Config, opts Options) (*core.Progra
 		}
 	}
 	return prog, nil
+}
+
+// Checked adapts CompileChecked to the functional-options API: it
+// returns a core.Option that makes core.Compile route the whole
+// compilation through translation validation with these opts:
+//
+//	prog, err := core.Compile(src,
+//	    core.WithDesign(instrument.CI),
+//	    sanitize.Checked(sanitize.Options{Exec: true}))
+func Checked(opts Options) core.Option {
+	return core.WithSanitize(func(src *ir.Module, cfg core.Config) (*core.Program, error) {
+		return CompileChecked(src, cfg, opts)
+	})
 }
 
 // CompileCheckedText parses textual IR and runs CompileChecked.

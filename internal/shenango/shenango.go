@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -83,6 +84,10 @@ type Config struct {
 	// ServerStallMeanGapCycles). The IOKernel detects a stalled worker
 	// at steering time and re-steers packets to live workers.
 	FaultPlan *faults.Plan
+	// Obs, when enabled, receives IOKernel poll spans, steering
+	// decisions and stall/re-steer counters on the "shenango" trace
+	// category.
+	Obs *obs.Scope
 }
 
 func (c *Config) withDefaults() Config {
@@ -230,6 +235,10 @@ func (s *state) scheduleStall() {
 			s.stalledUntil[w] = until
 		}
 		s.stalls++
+		if sc := s.cfg.Obs; sc != nil {
+			sc.Instant("shenango", "worker-stall", int32(w), now, obs.I("dur", dur))
+			sc.Count("shenango/stalls", 1)
+		}
 		s.scheduleStall()
 	})
 }
@@ -253,6 +262,14 @@ func (s *state) schedulePoll() {
 		cost += int64(len(s.ingress)+len(s.egress)) * perPacket
 		tEnd := t + cost
 		s.iokBusy += cost
+		if sc := s.cfg.Obs; sc != nil {
+			sc.Span("shenango", "iok-poll", 0, t, tEnd,
+				obs.I("ingress", int64(len(s.ingress))),
+				obs.I("egress", int64(len(s.egress))),
+				obs.I("cost", cost))
+			sc.Observe("shenango/poll_cost_cycles", cost)
+			sc.Count("shenango/polls", 1)
+		}
 		// Steer ingress packets to the least-loaded workers.
 		for _, rq := range s.ingress {
 			w := s.leastLoaded(t)
@@ -309,6 +326,11 @@ func (s *state) leastLoaded(now int64) int {
 	}
 	if best != glob && s.stalledUntil[glob] > now {
 		s.reSteers++
+		if sc := s.cfg.Obs; sc != nil {
+			sc.Instant("shenango", "re-steer", 0, now,
+				obs.I("stalled_worker", int64(glob)), obs.I("steered_to", int64(best)))
+			sc.Count("shenango/re_steers", 1)
+		}
 	}
 	return best
 }
@@ -343,6 +365,9 @@ func (s *state) complete(arrival, leave int64) {
 	}
 	s.latencies = append(s.latencies, leave-arrival+networkRTT)
 	s.completed++
+	if sc := s.cfg.Obs; sc != nil {
+		sc.Observe("shenango/request_latency_cycles", leave-arrival+networkRTT)
+	}
 }
 
 func (s *state) result() Result {

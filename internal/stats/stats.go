@@ -133,6 +133,149 @@ func (s Summary) String() string {
 		s.N, s.Min, s.P10, s.P50, s.P90, s.P99, s.P999, s.Max, s.MeanVal)
 }
 
+// logHistSub is the number of linear sub-buckets per octave of a
+// LogHist: values below logHistSub are counted exactly; above it the
+// relative bucket width is 1/logHistSub (~3% quantile error).
+const logHistSub = 32
+
+// logHistBuckets is one side's bucket count: 59 octaves (5..63) of
+// logHistSub sub-buckets on top of the exact region.
+const logHistBuckets = 59*logHistSub + logHistSub
+
+// LogHist is a log-scaled histogram over signed int64 samples: log2
+// octaves refined by linear sub-buckets (HDR-histogram style), with a
+// mirrored negative side and exact min/max tracking. It is the
+// fixed-footprint accumulator behind the observability layer's
+// p50/p90/p99/max metrics — Add is O(1) and allocation-free, so it can
+// sit on handler-fire paths, unlike Summarize which retains every
+// sample.
+type LogHist struct {
+	pos, neg [logHistBuckets]int64
+	total    int64
+	sum      float64
+	min, max int64
+}
+
+// logBucket maps v >= 0 to its bucket index. Values below logHistSub
+// map exactly to themselves; larger values map to
+// (octave-5)*32 + top-6-bits, giving ~3% resolution.
+func logBucket(v int64) int {
+	if v < logHistSub {
+		return int(v)
+	}
+	b := 63 - bitsLeadingZeros(uint64(v)) // floor(log2 v), >= 5
+	return (b-5)*logHistSub + int(v>>uint(b-5))
+}
+
+// logBucketLow returns the smallest value mapping to bucket idx.
+func logBucketLow(idx int) int64 {
+	if idx < 2*logHistSub {
+		return int64(idx)
+	}
+	shift := idx/logHistSub - 1
+	sub := idx - shift*logHistSub
+	return int64(sub) << uint(shift)
+}
+
+// Add records one sample.
+func (h *LogHist) Add(v int64) {
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if h.total == 0 || v > h.max {
+		h.max = v
+	}
+	h.total++
+	h.sum += float64(v)
+	if v < 0 {
+		h.neg[logBucket(-v)]++
+		return
+	}
+	h.pos[logBucket(v)]++
+}
+
+// N returns the number of recorded samples.
+func (h *LogHist) N() int64 { return h.total }
+
+// Min and Max return the exact extremes of the recorded samples (0 on
+// an empty histogram).
+func (h *LogHist) Min() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+func (h *LogHist) Max() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the exact arithmetic mean of the recorded samples.
+func (h *LogHist) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Quantile returns the p-th percentile (0..100) by nearest rank over
+// the buckets, reporting a bucket's lower edge. The extremes are
+// exact: p<=0 returns Min, p>=100 returns Max, and interior answers
+// are clamped into [Min, Max]. Returns 0 on an empty histogram.
+func (h *LogHist) Quantile(p float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 100 {
+		return h.max
+	}
+	rank := int64(math.Ceil(p / 100 * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	// Negative side from most negative upward.
+	for i := logHistBuckets - 1; i >= 0; i-- {
+		if c := h.neg[i]; c > 0 {
+			seen += c
+			if seen >= rank {
+				return clamp(-logBucketLow(i), h.min, h.max)
+			}
+		}
+	}
+	for i := 0; i < logHistBuckets; i++ {
+		if c := h.pos[i]; c > 0 {
+			seen += c
+			if seen >= rank {
+				return clamp(logBucketLow(i), h.min, h.max)
+			}
+		}
+	}
+	return h.max
+}
+
+func clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// String renders the histogram's headline quantiles on one line.
+func (h *LogHist) String() string {
+	return fmt.Sprintf("n=%d min=%d p50=%d p90=%d p99=%d max=%d mean=%.1f",
+		h.N(), h.Min(), h.Quantile(50), h.Quantile(90), h.Quantile(99), h.Max(), h.Mean())
+}
+
 // Histogram counts values into log2-spaced buckets, for latency
 // distribution plots (Figure 8).
 type Histogram struct {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/ci/ciruntime"
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // HWConfig enables hardware (performance-counter) interrupts: every
@@ -38,6 +39,11 @@ type VM struct {
 	// (via Thread.Charge) per delivery; 0 disables the guard. Exceeding
 	// it returns an error wrapping ErrHandlerOverrun.
 	MaxHandlerCycles int64
+	// Obs, when enabled, receives probe-site profiles, handler spans,
+	// external-call spans and hardware-interrupt instants from every
+	// thread. Nil (the default) is the disabled scope and keeps the
+	// probe-fire path allocation-free.
+	Obs *obs.Scope
 }
 
 // New creates a VM for the module with the given cost model (nil for
@@ -97,6 +103,7 @@ type Thread struct {
 	nextHW     int64
 	hwOverhead int64
 	trace      *Trace
+	obs        *obs.Scope
 	inExt      bool
 	inHandler  bool
 	depth      int
@@ -115,6 +122,7 @@ func (vm *VM) NewThread(id int) *Thread {
 		memMul: vm.Model.MemContention(vm.Threads),
 		rng:    uint64(id)*0x9e3779b97f4a7c15 + 0x243f6a8885a308d3,
 		limit:  vm.LimitInstrs,
+		obs:    vm.Obs,
 	}
 	if vm.HW != nil {
 		t.nextHW = vm.HW.IntervalCycles
@@ -218,6 +226,10 @@ func (t *Thread) checkHW() error {
 		if t.trace != nil {
 			t.trace.add(TraceEvent{Kind: TraceHW, Cycle: t.Stats.Cycles, Detail: t.model.HWInterruptCost})
 		}
+		if t.obs != nil {
+			t.obs.Instant("vm", "hw-interrupt", int32(t.ID), t.Stats.Cycles,
+				obs.I("cost", t.model.HWInterruptCost))
+		}
 		// Default periodic schedule first, so a handler calling RearmHW
 		// (watchdog mode) can override it.
 		t.nextHW += hw.IntervalCycles
@@ -273,7 +285,7 @@ func (t *Thread) call(f *ir.Func, args []int64) (int64, error) {
 			in := &b.Instrs[i]
 			switch in.Op {
 			case ir.OpProbe:
-				if err := t.execProbe(in.Probe, regs); err != nil {
+				if err := t.execProbe(f, b, in.Probe, regs); err != nil {
 					return 0, err
 				}
 				continue
@@ -365,6 +377,7 @@ func (t *Thread) call(f *ir.Func, args []int64) (int64, error) {
 				if t.trace != nil {
 					t.trace.add(TraceEvent{Kind: TraceExtCall, Cycle: t.Stats.Cycles, Detail: ext.Cost, Name: ext.Name})
 				}
+				extStart := t.Stats.Cycles
 				if ext.Blocking {
 					// Blocking system call: interrupts are deferred and
 					// coalesce to a single delivery at completion.
@@ -397,6 +410,10 @@ func (t *Thread) call(f *ir.Func, args []int64) (int64, error) {
 					}
 				} else {
 					t.Stats.Cycles += ext.Cost
+				}
+				if t.obs != nil {
+					t.obs.Span("vm", "extcall", int32(t.ID), extStart, t.Stats.Cycles,
+						obs.S("callee", ext.Name))
 				}
 				if in.Dst != ir.NoReg {
 					regs[in.Dst] = 0
@@ -501,10 +518,13 @@ func b2i(b bool) int64 {
 // driving the CI runtime. CI handlers fire inside the RT.Probe* calls;
 // the thread is marked as being in interrupt context for their
 // duration so re-entering Run is caught, and any cycles they bill via
-// Charge are checked against the overrun budget.
-func (t *Thread) execProbe(p *ir.ProbeInfo, regs []int64) error {
+// Charge are checked against the overrun budget. f and b identify the
+// probe's IR site for the observability profile; every obs call is
+// guarded on t.obs so the disabled path stays allocation-free.
+func (t *Thread) execProbe(f *ir.Func, b *ir.Block, p *ir.ProbeInfo, regs []int64) error {
 	m := t.model
 	t.Stats.Probes++
+	probeStart := t.Stats.Cycles
 	inc := p.Inc
 	switch p.Kind {
 	case ir.ProbeIRLoop, ir.ProbeCyclesLoop:
@@ -560,6 +580,14 @@ func (t *Thread) execProbe(p *ir.ProbeInfo, regs []int64) error {
 		t.Stats.ProbesTaken++
 		t.Stats.HandlerCalls += int64(fired)
 		t.Stats.Cycles += m.ProbeTakenExtra + int64(fired)*m.HandlerInvoke
+	}
+	if t.obs != nil {
+		t.obs.SiteHit(f.Name, b.Name, fired > 0)
+		if fired > 0 {
+			t.obs.Span("vm", "probe-fire", int32(t.ID), probeStart, t.Stats.Cycles,
+				obs.S("fn", f.Name), obs.S("block", b.Name), obs.I("fired", int64(fired)))
+			t.obs.Observe("vm/handler_window_cycles", t.Stats.Cycles-probeStart)
+		}
 	}
 	return nil
 }

@@ -36,4 +36,12 @@ echo "== sanitize smoke =="
 # the differential execution oracle over a fuzz corpus + all workloads.
 go run ./cmd/ciexp -quick sanitize
 
+echo "== trace smoke =="
+# Observability end-to-end: a figure run with -trace must emit a
+# well-formed Chrome trace_event JSON (validated in Go; no jq needed).
+trace_tmp="${TMPDIR:-/tmp}/ciexp-trace-smoke.json"
+go run ./cmd/ciexp -quick -trace "$trace_tmp" -metrics fig10 > /dev/null
+go run ./cmd/ciexp tracecheck "$trace_tmp"
+rm -f "$trace_tmp"
+
 echo "verify: OK"
