@@ -16,6 +16,12 @@
 //	ciexp probes    §5.4 dynamic probe executions, CI vs Naive
 //	ciexp chaos     fault-injection sweep asserting the graceful-
 //	                degradation invariants (exits non-zero on violation)
+//	ciexp ramp      load ramp: shenango offered load vs capacity with the
+//	                overload plane off and on, SLO-checked (exits
+//	                non-zero on an SLO violation)
+//	ciexp soak      scripted load ramp + chaos with the overload plane
+//	                on; every phase judged against the SLO guard (exits
+//	                non-zero on violation)
 //	ciexp sanitize  translation-validation sweep: stage checks plus the
 //	                differential execution oracle over a fuzz corpus and
 //	                all workloads (exits non-zero on any divergence)
@@ -38,10 +44,12 @@
 //
 // Flags: -scale N (workload size multiplier, default 1),
 // -quick (subset of workloads for fig12; single fault rate for chaos;
-// smaller fuzz corpus for sanitize), -seed N (chaos fault-plan seed),
-// -workers N, -store FILE, -sanitize (route every cache-miss compile in
-// any sweep through the translation-validation stage checks),
-// -trace FILE, -metrics.
+// smaller fuzz corpus for sanitize; two phases for soak), -seed N
+// (chaos/soak fault-plan seed), -workers N, -store FILE, -sanitize
+// (route every cache-miss compile in any sweep through the
+// translation-validation stage checks), -trace FILE, -metrics,
+// -slo-p999us/-max-reject (the overload SLO guard for ramp and soak),
+// -soak-duration N (per-phase cycles).
 package main
 
 import (
@@ -55,11 +63,11 @@ import (
 )
 
 func main() {
-	cf := cliflags.New(flag.CommandLine).AddScale().AddSeed().AddEngine().AddObs()
+	cf := cliflags.New(flag.CommandLine).AddScale().AddSeed().AddEngine().AddObs().AddSLO()
 	quick := flag.Bool("quick", false, "use a workload subset where supported")
 	all := flag.Bool("all", false, "fig9/fig11: include Naive-Cycles and CnB-Cycles")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ciexp [flags] fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table7|hybrid|allowable|probes|chaos|sanitize|all\n")
+		fmt.Fprintf(os.Stderr, "usage: ciexp [flags] fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table7|hybrid|allowable|probes|chaos|ramp|soak|sanitize|all\n")
 		fmt.Fprintf(os.Stderr, "       ciexp tracecheck FILE\n")
 		flag.PrintDefaults()
 	}
@@ -121,6 +129,12 @@ func main() {
 				rates = []float64{0.01}
 			}
 			return experiments.PrintChaos(os.Stdout, cf.Seed, rates)
+		}},
+		{"ramp", func() error {
+			return experiments.PrintRamp(os.Stdout, eng, cf.Seed, cf.SoakDuration*int64(scale), cf.SLO())
+		}},
+		{"soak", func() error {
+			return experiments.PrintSoak(os.Stdout, eng, cf.Seed, cf.SoakDuration*int64(scale), cf.SLO(), *quick)
 		}},
 		{"sanitize", func() error { return experiments.PrintSanitize(os.Stdout, eng, scale, *quick) }},
 	} {

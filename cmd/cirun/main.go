@@ -10,7 +10,9 @@
 // instead of running, -trace FILE to write a Chrome trace_event JSON
 // of the run (probe fires, handler windows, external calls), -metrics
 // to print interval-error quantiles, and -timeline N for the legacy
-// textual dump of the last N interrupt-timeline events.
+// textual dump of the last N interrupt-timeline events. -slo-p999us N
+// turns the reported p99.9 inter-fire interval into a gate: cirun
+// exits non-zero when the polling cadence's tail exceeds N µs.
 package main
 
 import (
@@ -27,7 +29,7 @@ import (
 )
 
 func main() {
-	cf := cliflags.New(flag.CommandLine).AddDesign().AddCompile().AddSanitize().AddObs()
+	cf := cliflags.New(flag.CommandLine).AddDesign().AddCompile().AddSanitize().AddObs().AddSLO()
 	interval := flag.Int64("interval", 5000, "CI interval in cycles (0 disables the handler)")
 	entry := flag.String("entry", "main", "entry function")
 	argsFlag := flag.String("args", "", "comma-separated int64 arguments for the entry function")
@@ -120,14 +122,27 @@ func main() {
 		fail("%v", err)
 	}
 	fmt.Printf("design %s, %d static probes\n", d, prog.Instr.Probes)
+	sloViolated := false
 	for id, s := range res.Stats {
 		fmt.Printf("thread %d: ret=%d cycles=%d instrs=%d probes=%d interrupts=%d\n",
 			id, res.Returns[id], s.Cycles, s.Instrs, s.Probes, s.HandlerCalls)
 		if ivs := res.Intervals[id]; len(ivs) > 1 {
-			fmt.Printf("  interval cycles: %s\n", stats.Summarize(ivs))
+			sum := stats.Summarize(ivs)
+			fmt.Printf("  interval cycles: %s\n", sum)
+			// -slo-p999us guards the polling cadence itself: a handler
+			// hosting a control loop is only as responsive as its p99.9
+			// inter-fire gap, so a stretched tail is an SLO violation.
+			if us := float64(sum.P999) / 2600.0; cf.SLOP999Us > 0 && us > cf.SLOP999Us {
+				fmt.Fprintf(os.Stderr, "cirun: thread %d: p99.9 inter-fire interval %.1fµs exceeds -slo-p999us %.1f\n",
+					id, us, cf.SLOP999Us)
+				sloViolated = true
+			}
 		}
 	}
 	finish(cf)
+	if sloViolated {
+		os.Exit(1)
+	}
 }
 
 func finish(cf *cliflags.Flags) {

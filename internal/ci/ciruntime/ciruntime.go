@@ -236,6 +236,20 @@ func (rt *Runtime) CurrentInterval(ciid int) int64 {
 	return 0
 }
 
+// ResetAdaptive snaps ciid's AIMD state back to the registered base
+// interval and clears its on-time streak. Overload breakers call this
+// when they trip: the backoff the controller learned while the handler
+// was drowning describes the broken regime, and carrying it into
+// recovery would leave the thread polling too slowly exactly when the
+// half-open probes need a fresh view. A no-op for non-adaptive ciids.
+func (rt *Runtime) ResetAdaptive(ciid int) {
+	if h := rt.find(ciid); h != nil && h.adaptive {
+		h.onTimeStreak = 0
+		h.setInterval(h.baseInterval, rt.IRPerCycle)
+		rt.refresh()
+	}
+}
+
 // adapt applies the AIMD controller to one observed inter-fire gap.
 func (h *handlerState) adapt(gap int64, irPerCycle float64) {
 	if !h.adaptive || h.fires <= 1 { // first fire has no meaningful gap

@@ -19,6 +19,7 @@ import (
 	"repro/internal/ci/instrument"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/overload"
 )
 
 // DesignByName maps the CLI spellings to probe designs. cirun's
@@ -71,6 +72,11 @@ type Flags struct {
 	// AddObs
 	TracePath string
 	Metrics   bool
+
+	// AddSLO
+	SLOP999Us    float64
+	MaxReject    float64
+	SoakDuration int64
 
 	scope    *obs.Scope
 	scopeSet bool
@@ -133,6 +139,24 @@ func (f *Flags) AddObs() *Flags {
 	f.fs.StringVar(&f.TracePath, "trace", "", "write a Chrome trace_event JSON file (load in chrome://tracing or Perfetto)")
 	f.fs.BoolVar(&f.Metrics, "metrics", false, "print counters and histogram quantiles (p50/p90/p99) after the run")
 	return f
+}
+
+// AddSLO registers the overload-plane guard flags -slo-p999us,
+// -max-reject and -soak-duration. The defaults encode the acceptance
+// bar of the load-ramp experiments: a 500 µs p999 ceiling and at most
+// 10% rejections beyond the unavoidable excess (measured reject slop
+// under admission runs ~8% above 1 - 1/multiplier).
+func (f *Flags) AddSLO() *Flags {
+	f.fs.Float64Var(&f.SLOP999Us, "slo-p999us", 500, "SLO: p99.9 latency ceiling in µs (0 disables the guard)")
+	f.fs.Float64Var(&f.MaxReject, "max-reject", 0.1, "SLO: max rejected fraction beyond the unavoidable excess load")
+	f.fs.Int64Var(&f.SoakDuration, "soak-duration", 26_000_000, "soak: per-phase duration in cycles")
+	return f
+}
+
+// SLO builds the overload guard from the registered -slo-p999us and
+// -max-reject values.
+func (f *Flags) SLO() overload.SLO {
+	return overload.SLO{P999Us: f.SLOP999Us, MaxRejectFrac: f.MaxReject}
 }
 
 // ParseDesign resolves the registered -design flag value.

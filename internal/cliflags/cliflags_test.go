@@ -115,6 +115,34 @@ func TestFinishWritesTraceAndMetrics(t *testing.T) {
 	}
 }
 
+func TestSLOFlags(t *testing.T) {
+	cases := []struct {
+		name      string
+		args      []string
+		p999      float64
+		maxReject float64
+		soak      int64
+	}{
+		{"defaults", nil, 500, 0.1, 26_000_000},
+		{"tightened", []string{"-slo-p999us", "150", "-max-reject", "0.02"}, 150, 0.02, 26_000_000},
+		{"disabled guard", []string{"-slo-p999us", "0", "-max-reject", "0"}, 0, 0, 26_000_000},
+		{"long soak", []string{"-soak-duration", "520000000"}, 500, 0.1, 520_000_000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := newFlags(t, func(f *Flags) *Flags { return f.AddSLO() }, tc.args...)
+			if f.SLOP999Us != tc.p999 || f.MaxReject != tc.maxReject || f.SoakDuration != tc.soak {
+				t.Errorf("parsed %+v, want p999=%v maxReject=%v soak=%v",
+					f, tc.p999, tc.maxReject, tc.soak)
+			}
+			slo := f.SLO()
+			if slo.P999Us != tc.p999 || slo.MaxRejectFrac != tc.maxReject {
+				t.Errorf("SLO() = %+v", slo)
+			}
+		})
+	}
+}
+
 func TestParseArgs(t *testing.T) {
 	got, err := ParseArgs("1, -2,3")
 	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != -2 || got[2] != 3 {

@@ -93,10 +93,10 @@ func chaosMTCP(seed uint64, rate float64) ChaosRow {
 	if r2, _ := mtcp.RunChecked(cfg); r2 != r {
 		row.Violations = append(row.Violations, "determinism: re-run differs")
 	}
-	if r.Issued != r.CompletedAll+r.Aborted+r.Outstanding || r.Outstanding < 0 || r.Outstanding > int64(cfg.Conns) {
+	if r.Issued != r.CompletedAll+r.Aborted+r.Rejects+r.Outstanding || r.Outstanding < 0 || r.Outstanding > int64(cfg.Conns) {
 		row.Violations = append(row.Violations,
-			fmt.Sprintf("conservation: issued=%d completed=%d aborted=%d outstanding=%d",
-				r.Issued, r.CompletedAll, r.Aborted, r.Outstanding))
+			fmt.Sprintf("conservation: issued=%d completed=%d aborted=%d rejects=%d outstanding=%d",
+				r.Issued, r.CompletedAll, r.Aborted, r.Rejects, r.Outstanding))
 	}
 	if rate > 0 {
 		base, _ := mtcp.RunChecked(mtcp.Config{Mode: mtcp.CI, Conns: 32, Adaptive: true, Seed: seed})

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/overload"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -100,6 +101,14 @@ type Config struct {
 	// fallback-path counters on the "ffwd" trace category. It lives in
 	// Config (not Result) so Result stays comparable with ==.
 	Obs *obs.Scope
+	// Overload enables the overload plane's brownout for the delegation
+	// designs: when offered client demand exceeds the server's service
+	// capacity, the overflow fraction of operations degrades from
+	// delegation to the MCS bypass path instead of queueing on request
+	// lines without bound. Like Obs it lives in Config so Result stays
+	// comparable; only its presence matters here (the closed-form model
+	// has no poll loop for the full controller to actuate).
+	Overload *overload.Config
 }
 
 func (c *Config) withDefaults() Config {
@@ -134,6 +143,12 @@ type Result struct {
 	// the fallback path.
 	FallbackFrac float64
 	FallbackOps  int64
+	// SatFallbackFrac is the fraction of offered demand the overload
+	// plane routed from delegation to the MCS bypass because the server
+	// was saturated; SatFallbackOps counts sampled operations that took
+	// that path. Both are zero unless Config.Overload is set.
+	SatFallbackFrac float64
+	SatFallbackOps  int64
 }
 
 // Run evaluates one configuration.
@@ -143,6 +158,10 @@ func Run(cfg Config) Result {
 	T := cfg.Threads
 	var throughput float64 // ops per cycle
 	var sample func() int64
+	// The delegation designs record their offered demand and server
+	// capacity (ops/cycle) so the overload plane below can see by how
+	// much the server is saturated; zero for the locking designs.
+	var delegDemand, delegCap float64
 
 	// MCS cost model, shared by the MCS design and the delegation
 	// designs' stalled-server fallback path.
@@ -171,7 +190,8 @@ func Run(cfg Config) Result {
 		lat := delegationLatency(clients)
 		perClient := 1.0 / float64(clientIssue+lat)
 		serverCap := 1.0 / float64(serverPerReq)
-		throughput = minF(float64(clients)*perClient, serverCap)
+		delegDemand, delegCap = float64(clients)*perClient, serverCap
+		throughput = minF(delegDemand, serverCap)
 		sample = func() int64 {
 			return lat + rng.Intn(2*scanPerLine*int64(clients)+1)
 		}
@@ -191,7 +211,8 @@ func Run(cfg Config) Result {
 		// The designated thread spends its handler time serving.
 		serverShare := 1.0 - float64(ciHandlerInvoke)/float64(ciServerInterval)
 		serverCap := serverShare / float64(serverPerReq)
-		throughput = minF(float64(T)*perClient, serverCap)
+		delegDemand, delegCap = float64(T)*perClient, serverCap
+		throughput = minF(delegDemand, serverCap)
 		sample = func() int64 {
 			return delegationLatency(T) + rng.Intn(2*scanPerLine*int64(T)+1) + rng.Intn(ciServerInterval)
 		}
@@ -243,6 +264,31 @@ func Run(cfg Config) Result {
 		}
 	}
 
+	// Overload brownout: when the delegation server is the bottleneck
+	// (offered demand exceeds its service capacity), the overload plane
+	// stops clients from queueing the overflow on their request lines.
+	// The excess fraction of operations degrades to the MCS bypass path
+	// — the same direct-access escape hatch the stall fallback uses —
+	// so the aggregate keeps the server at capacity AND makes progress
+	// on the overflow under the lock, instead of clamping at serverCap.
+	var satFallbackOps int64
+	satFrac := 0.0
+	if cfg.Overload != nil && delegDemand > delegCap && T > 1 {
+		satFrac = 1.0 - delegCap/delegDemand
+		throughput = delegCap + minF(delegDemand-delegCap, 1.0/mcsPer)
+		srng := sim.NewRNG(cfg.Seed ^ 0x6f766c64736174) // "ovldsat" stream
+		delegSample := sample
+		sample = func() int64 {
+			if srng.Float64() < satFrac {
+				satFallbackOps++
+				// The client sees response-line backpressure (one unanswered
+				// round trip) before switching to the bypass lock.
+				return delegationLatency(T) + clientIssue + mcsSample()
+			}
+			return delegSample()
+		}
+	}
+
 	// A stalled delegation server degrades the delegation designs to
 	// the MCS fallback for the stalled fraction of time: throughput
 	// blends the two paths, and a fallback operation pays the timeout
@@ -267,10 +313,11 @@ func Run(cfg Config) Result {
 	}
 
 	res := Result{
-		Design:         cfg.Design,
-		Threads:        T,
-		ThroughputMops: throughput * 2.6e9 / 1e6,
-		FallbackFrac:   fallbackFrac,
+		Design:          cfg.Design,
+		Threads:         T,
+		ThroughputMops:  throughput * 2.6e9 / 1e6,
+		FallbackFrac:    fallbackFrac,
+		SatFallbackFrac: satFrac,
 	}
 	n := cfg.OpsPerThread
 	if !cfg.RecordLatencies {
@@ -285,6 +332,7 @@ func Run(cfg Config) Result {
 	}
 	res.MeanLatency = sum / float64(n)
 	res.FallbackOps = fallbackOps
+	res.SatFallbackOps = satFallbackOps
 	if cfg.RecordLatencies {
 		res.LatencySummary = stats.Summarize(lats)
 	}
@@ -296,6 +344,7 @@ func Run(cfg Config) Result {
 		}
 		sc.Count("ffwd/ops_sampled", int64(len(lats)))
 		sc.Count("ffwd/fallback_ops", fallbackOps)
+		sc.Count("ffwd/sat_fallback_ops", satFallbackOps)
 		ts := sc.Tick()
 		sc.Instant("ffwd", "run/"+name, int32(T), ts,
 			obs.I("threads", int64(T)),

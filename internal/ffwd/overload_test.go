@@ -1,0 +1,68 @@
+package ffwd
+
+import (
+	"testing"
+
+	"repro/internal/overload"
+)
+
+// At high thread counts the delegation server is saturated (demand far
+// exceeds serverPerReq capacity). With the overload plane on, the
+// overflow degrades to the MCS bypass instead of queueing: throughput
+// must beat the plain serverCap clamp, and sampled ops must actually
+// take the bypass path.
+func TestSaturationFallbackBeatsClamp(t *testing.T) {
+	for _, d := range []Design{DelegationDedicated, DelegationCI} {
+		plain := Run(Config{Design: d, Threads: 48, Seed: 11})
+		ovld := Run(Config{Design: d, Threads: 48, Seed: 11, Overload: &overload.Config{}})
+		if ovld.SatFallbackFrac <= 0 {
+			t.Errorf("%v: server not saturated at 48 threads (satFrac=%v)", d, ovld.SatFallbackFrac)
+		}
+		if ovld.SatFallbackOps == 0 {
+			t.Errorf("%v: no sampled op took the bypass path", d)
+		}
+		if ovld.ThroughputMops <= plain.ThroughputMops {
+			t.Errorf("%v: overflow bypass did not raise throughput: %.2f vs clamped %.2f Mops",
+				d, ovld.ThroughputMops, plain.ThroughputMops)
+		}
+		// The bypass adds at most the MCS rate on top of the clamp.
+		mcs := Run(Config{Design: MCS, Threads: 48, Seed: 11})
+		if ovld.ThroughputMops > plain.ThroughputMops+mcs.ThroughputMops {
+			t.Errorf("%v: bypass exceeds serverCap+MCS bound: %.2f > %.2f+%.2f Mops",
+				d, ovld.ThroughputMops, plain.ThroughputMops, mcs.ThroughputMops)
+		}
+	}
+}
+
+// Below saturation the plane must be inert: identical result to a run
+// without it, zero bypass accounting.
+func TestSaturationFallbackInertBelowSaturation(t *testing.T) {
+	// Two threads: one client's demand is far below serverCap.
+	plain := Run(Config{Design: DelegationDedicated, Threads: 2, Seed: 11, RecordLatencies: true})
+	ovld := Run(Config{Design: DelegationDedicated, Threads: 2, Seed: 11, RecordLatencies: true,
+		Overload: &overload.Config{}})
+	if plain != ovld {
+		t.Errorf("plane below saturation changed the result:\n%+v\n%+v", plain, ovld)
+	}
+	if ovld.SatFallbackFrac != 0 || ovld.SatFallbackOps != 0 {
+		t.Errorf("bypass accounting below saturation: frac=%v ops=%d",
+			ovld.SatFallbackFrac, ovld.SatFallbackOps)
+	}
+	// Locking designs never consult the plane.
+	lock := Run(Config{Design: MCS, Threads: 48, Seed: 11, Overload: &overload.Config{}})
+	if lock.SatFallbackFrac != 0 || lock.SatFallbackOps != 0 {
+		t.Errorf("locking design consulted the overload plane: %+v", lock)
+	}
+}
+
+// Same seed + plane on: byte-identical results (the seeded bypass
+// sample stream is deterministic).
+func TestSaturationFallbackDeterministic(t *testing.T) {
+	cfg := Config{Design: DelegationCI, Threads: 48, Seed: 11, RecordLatencies: true,
+		Overload: &overload.Config{}}
+	a := Run(cfg)
+	b := Run(cfg)
+	if a != b {
+		t.Errorf("overload runs differ:\n%+v\n%+v", a, b)
+	}
+}

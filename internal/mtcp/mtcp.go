@@ -37,6 +37,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/overload"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -89,6 +90,16 @@ const (
 	// AIMD bounds for the adaptive CI polling interval.
 	maxBackoffMult = 8 // interval cap = 8x the configured interval
 	tightenAfter   = 4 // on-budget polls before re-tightening
+
+	// Overload-plane constants (CI mode with Config.Overload): a
+	// rejected request is answered with a tiny NACK instead of a full
+	// response; its client backs off before reissuing. Brownout defers
+	// packets of connections with at least deferRetxThreshold observed
+	// retransmits by one poll, giving fresh traffic the stack first.
+	rejectNACKCycles   = 500
+	nackBytes          = 64
+	rejectBackoff      = 200_000 // client-side back-off after a NACK (~77 µs)
+	deferRetxThreshold = 2
 )
 
 // ciAppSlowdownPct models the CI instrumentation overhead on the
@@ -121,6 +132,15 @@ type Config struct {
 	// interval up to maxBackoffMult x the configured value; sustained
 	// on-budget polls re-tighten it additively.
 	Adaptive bool
+	// Overload optionally enables the overload-control plane (CI mode
+	// only), actuated from the CI poll: admission with deadline
+	// propagation over the app-work backlog, NACKed rejections the
+	// clients back off from, brownout that cancels the AIMD backoff
+	// (polling *more* under pressure) and defers retransmit-heavy
+	// connections by one poll, and a breaker whose trip resets the
+	// adaptive interval to its base. Nil keeps the run bit-identical to
+	// the pre-overload model.
+	Overload *overload.Config
 }
 
 func (c *Config) withDefaults() Config {
@@ -154,11 +174,13 @@ type Result struct {
 	Drops, Retransmits                           int64
 	// Issued counts client requests (unique generations, not
 	// retransmits); Aborted counts requests given up after maxRetries;
-	// Outstanding is the requests still in flight at the end of the
-	// run. Issued = CompletedAll + Aborted + Outstanding, and
+	// Rejects counts requests the overload plane answered with a NACK
+	// (0 with the plane disabled); Outstanding is the requests still in
+	// flight at the end of the run.
+	// Issued = CompletedAll + Aborted + Rejects + Outstanding, and
 	// Outstanding never exceeds Conns (the closed loop keeps at most
 	// one request per connection in flight).
-	Issued, Aborted, Outstanding int64
+	Issued, Aborted, Rejects, Outstanding int64
 	// CompletedAll counts completions including the warmup window
 	// (Completed excludes it).
 	CompletedAll int64
@@ -170,12 +192,19 @@ type Result struct {
 	// interval; FinalIntervalCycles is the AIMD interval at run end.
 	Overruns            int64
 	FinalIntervalCycles int64
+	// Overload is the admission plane's accounting (zero when the plane
+	// is disabled).
+	Overload overload.Snapshot
 }
 
 type request struct {
 	conn      int
 	gen       int64
 	remaining int64
+	// Overload-plane fields: the propagated deadline (0 = none) and
+	// whether service has started (deadline-gated on first touch).
+	deadline int64
+	started  bool
 }
 
 type response struct {
@@ -222,6 +251,16 @@ type server struct {
 	overruns     int64
 	onTimeStreak int
 
+	// CI-mode overload-plane state.
+	ctl        *overload.Controller // nil = plane disabled
+	deadline   int64                // Overload.DeadlineCycles (0 when off)
+	appBacklog int64                // queued app work in cycles
+	admitSeq   int64                // admission counter for priority tagging
+	rejects    int64                // client-observed NACKs
+	connRetx   []int64              // observed retransmits per connection
+	deferQ     []netsim.Packet      // brownout-deferred packets (one poll)
+	procBuf    []netsim.Packet      // scratch: deferred + fresh merge
+
 	// orig-mode state
 	serverIdle bool
 
@@ -258,6 +297,30 @@ func RunChecked(cfg Config) (Result, error) {
 	s.nic.Faults = faults.New(cfg.FaultPlan, "mtcp/net")
 	s.curInterval = cfg.IntervalCycles
 	s.serverIdle = true
+	if cfg.Overload != nil && cfg.Mode == CI {
+		oc := *cfg.Overload
+		if oc.Name == "" {
+			oc.Name = "mtcp/overload"
+		}
+		if oc.Obs == nil {
+			oc.Obs = cfg.Obs
+		}
+		// A breaker trip means the regime changed: the AIMD backoff
+		// learned under the old regime must not persist into recovery.
+		userHook := oc.OnStateChange
+		oc.OnStateChange = func(from, to overload.State, now int64) {
+			if to == overload.Open && cfg.Adaptive {
+				s.curInterval = cfg.IntervalCycles
+				s.onTimeStreak = 0
+			}
+			if userHook != nil {
+				userHook(from, to, now)
+			}
+		}
+		s.ctl = overload.New(&oc)
+		s.deadline = oc.DeadlineCycles
+		s.connRetx = make([]int64, cfg.Conns)
+	}
 	// Clients open their connections spread over the first ~20 µs.
 	for c := 0; c < cfg.Conns; c++ {
 		conn := c
@@ -271,6 +334,15 @@ func RunChecked(cfg Config) (Result, error) {
 		MaxEvents:   max(cfg.DurationCycles/10, 1_000_000),
 		MaxSameTime: 1 << 17,
 	})
+	if err == nil {
+		var notStarted int64
+		for _, r := range s.appQ {
+			if !r.started {
+				notStarted++
+			}
+		}
+		err = s.ctl.Invariants(notStarted)
+	}
 	return s.result(), err
 }
 
@@ -337,6 +409,8 @@ func (s *server) armRTO(conn int, gen int64, attempt int) {
 		if attempt >= maxRetries {
 			s.aborted++
 			s.ackedGen[conn] = gen
+			now := s.eng.Now()
+			s.ctl.Observe(now, now-s.sendTime[conn], true)
 			// The client closes the connection and reopens: the
 			// closed loop continues with a fresh request.
 			s.eng.After(think, func() { s.sendRequest(conn) })
@@ -379,6 +453,7 @@ func (s *server) deliverResponse(conn int, gen int64, txDone int64) {
 		}
 		s.ackedGen[conn] = gen
 		now := s.eng.Now()
+		s.ctl.Observe(now, now-s.sendTime[conn], false)
 		s.completedAll++
 		if now > s.warmup {
 			s.latencies = append(s.latencies, now-s.sendTime[conn])
@@ -388,21 +463,88 @@ func (s *server) deliverResponse(conn int, gen int64, txDone int64) {
 	})
 }
 
+// deliverReject answers a refused request with a tiny NACK: the client
+// finishes the generation (so its RTO timer stands down), backs off,
+// then continues the closed loop. Rejections are not service outcomes,
+// so they feed neither the latency series nor the breaker window.
+func (s *server) deliverReject(conn int, gen int64, txDone int64) {
+	arrive := txDone + s.link.Delay(nackBytes)
+	s.eng.At(arrive, func() {
+		if s.ackedGen[conn] >= gen {
+			return
+		}
+		s.ackedGen[conn] = gen
+		s.rejects++
+		now := s.eng.Now()
+		s.eng.At(now+think+rejectBackoff, func() { s.sendRequest(conn) })
+	})
+}
+
 // ciPoll is the CI-mode stack run: the interrupt handler executes the
 // mTCP stack-loop body, then the application consumes the remainder of
 // the interval. Under Config.Adaptive the polling interval reacts to
-// handler overruns with AIMD.
+// handler overruns with AIMD; with the overload plane enabled the poll
+// is also the control-loop tick — admission, brownout and breaker
+// decisions all ride the CI handler's cadence.
 func (s *server) ciPoll() {
 	t := s.eng.Now()
+	s.ctl.Poll(t, s.appBacklog)
 	cost := int64(ciHandler)
 	cost += s.ciInj.Overrun() // injected handler-overrun spike
 	pkts := s.nic.Drain(t, 0)
-	if len(pkts) > 0 || len(s.txQ) > 0 {
+	if len(pkts) > 0 || len(s.txQ) > 0 || len(s.deferQ) > 0 {
 		cost += stackFixed
 	}
 	cost += int64(len(pkts)) * stackPerRx
-	for _, p := range s.admit(pkts) {
-		s.appQ = append(s.appQ, request{conn: p.Conn, gen: p.Seq, remaining: s.appCost()})
+	proc := pkts
+	if s.ctl.Enabled() {
+		// Brownout deferral: previously deferred packets run first and
+		// are never deferred twice; fresh packets from retransmit-heavy
+		// connections wait one poll so fresh traffic gets the stack.
+		proc = append(s.procBuf[:0], s.deferQ...)
+		s.deferQ = s.deferQ[:0]
+		brownout := s.ctl.BrownoutLevel() >= 1
+		for _, p := range pkts {
+			if p.Retransmit && !p.Corrupt {
+				s.connRetx[p.Conn]++
+			}
+			if brownout && p.Retransmit && !p.Corrupt && s.connRetx[p.Conn] >= deferRetxThreshold {
+				s.deferQ = append(s.deferQ, p)
+				s.ctl.NoteDeferred()
+				continue
+			}
+			proc = append(proc, p)
+		}
+		s.procBuf = proc
+	}
+	var nacks []response
+	for _, p := range s.admit(proc) {
+		if !s.ctl.Enabled() {
+			s.appQ = append(s.appQ, request{conn: p.Conn, gen: p.Seq, remaining: s.appCost()})
+			continue
+		}
+		ac := s.appCost()
+		// The completion estimate dilutes the backlog by the app's duty
+		// cycle: it only runs interval-out-of-every-period.
+		est := s.appBacklog + ac
+		if pe := s.ctl.PeriodEstCycles(); pe > s.curInterval {
+			est = int64(float64(est) * float64(pe) / float64(s.curInterval))
+		}
+		v := s.ctl.Admit(t, overload.Request{
+			Arrival: p.Arrival, EstDelayCycles: est,
+			Prio: overload.PriorityOf(s.admitSeq),
+		})
+		s.admitSeq++
+		if !v.Admitted() {
+			cost += rejectNACKCycles
+			nacks = append(nacks, response{conn: p.Conn, gen: p.Seq})
+			continue
+		}
+		s.appQ = append(s.appQ, request{
+			conn: p.Conn, gen: p.Seq, remaining: ac,
+			deadline: p.Arrival + s.deadline,
+		})
+		s.appBacklog += ac
 	}
 	cost += int64(len(s.txQ)) * stackPerTx
 	tEnd := t + cost
@@ -410,12 +552,16 @@ func (s *server) ciPoll() {
 		s.deliverResponse(r.conn, r.gen, tEnd)
 	}
 	s.txQ = s.txQ[:0]
+	for _, r := range nacks {
+		s.deliverReject(r.conn, r.gen, tEnd)
+	}
 	// Application budget until the next interrupt.
 	budget := s.curInterval
-	s.runApp(&budget)
+	s.runApp(&budget, tEnd)
 	if s.cfg.Adaptive {
 		s.adaptInterval(cost)
 	}
+	s.brownoutInterval()
 	if sc := s.cfg.Obs; sc != nil {
 		sc.Span("mtcp", "ci-poll", 0, t, tEnd,
 			obs.I("rx_pkts", int64(len(pkts))), obs.I("cost", cost))
@@ -426,6 +572,29 @@ func (s *server) ciPoll() {
 		}
 	}
 	s.eng.At(tEnd+s.curInterval, func() { s.ciPoll() })
+}
+
+// brownoutInterval overrides the AIMD interval under brownout:
+// pressure means polling *more* often, not less — level 1 cancels any
+// learned backoff, level 2 halves the base interval so the stack
+// drains queues at twice the cadence while the plane sheds load.
+func (s *server) brownoutInterval() {
+	if !s.ctl.Enabled() || !s.cfg.Adaptive {
+		return
+	}
+	base := s.cfg.IntervalCycles
+	switch lvl := s.ctl.BrownoutLevel(); {
+	case lvl >= 2:
+		if s.curInterval != base/2 {
+			s.curInterval = base / 2
+			s.onTimeStreak = 0
+		}
+	case lvl == 1:
+		if s.curInterval > base {
+			s.curInterval = base
+			s.onTimeStreak = 0
+		}
+	}
 }
 
 // adaptInterval applies AIMD to the CI polling interval: a handler
@@ -453,16 +622,37 @@ func (s *server) adaptInterval(handlerCost int64) {
 	}
 }
 
-// runApp consumes application work from the queue within budget.
-func (s *server) runApp(budget *int64) {
+// runApp consumes application work from the queue within budget. With
+// the overload plane enabled, service start is deadline-gated: a
+// request whose head-of-queue turn comes more than one poll period
+// past its propagated deadline is expired with a NACK instead of
+// burning app cycles on a dead answer.
+func (s *server) runApp(budget *int64, now int64) {
 	for *budget > 0 && len(s.appQ) > 0 {
 		r := &s.appQ[0]
+		if !r.started {
+			slack := s.curInterval
+			if pe := s.ctl.PeriodEstCycles(); pe > slack {
+				slack = pe
+			}
+			if !s.ctl.StartOrExpire(now, r.deadline, slack) {
+				s.appBacklog -= r.remaining
+				conn, gen := r.conn, r.gen
+				s.appQ = s.appQ[:copy(s.appQ, s.appQ[1:])]
+				s.deliverReject(conn, gen, now+rejectNACKCycles)
+				continue
+			}
+			r.started = true
+		}
 		use := r.remaining
 		if use > *budget {
 			use = *budget
 		}
 		r.remaining -= use
 		*budget -= use
+		if s.ctl.Enabled() {
+			s.appBacklog -= use
+		}
 		if r.remaining == 0 {
 			s.txQ = append(s.txQ, response{conn: r.conn, gen: r.gen})
 			s.appQ = s.appQ[:copy(s.appQ, s.appQ[1:])]
@@ -521,7 +711,7 @@ func (s *server) appStep() {
 	t := s.eng.Now()
 	budget := int64(quantum)
 	used := int64(quantum)
-	s.runApp(&budget)
+	s.runApp(&budget, t)
 	used -= budget
 	if len(s.appQ) > 0 {
 		// Preempted: the helper gets a full slice.
@@ -611,7 +801,8 @@ func (s *server) result() Result {
 		Retransmits:         s.retx,
 		Issued:              s.issued,
 		Aborted:             s.aborted,
-		Outstanding:         s.issued - s.completedAll - s.aborted,
+		Rejects:             s.rejects,
+		Outstanding:         s.issued - s.completedAll - s.aborted - s.rejects,
 		CompletedAll:        s.completedAll,
 		Lost:                s.nic.Lost,
 		CorruptDiscards:     s.corruptDisc,
@@ -619,6 +810,7 @@ func (s *server) result() Result {
 		BacklogDrops:        s.softDrops,
 		Overruns:            s.overruns,
 		FinalIntervalCycles: s.curInterval,
+		Overload:            s.ctl.Snapshot(),
 	}
 	if len(s.latencies) > 0 {
 		toUs := func(c int64) float64 { return float64(c) / 2600 }

@@ -175,9 +175,9 @@ func TestSmoothDegradationAtOnePercentLoss(t *testing.T) {
 
 func checkConservation(t *testing.T, r Result) {
 	t.Helper()
-	if r.Issued != r.CompletedAll+r.Aborted+r.Outstanding {
-		t.Errorf("request conservation: issued=%d completedAll=%d aborted=%d outstanding=%d",
-			r.Issued, r.CompletedAll, r.Aborted, r.Outstanding)
+	if r.Issued != r.CompletedAll+r.Aborted+r.Rejects+r.Outstanding {
+		t.Errorf("request conservation: issued=%d completedAll=%d aborted=%d rejects=%d outstanding=%d",
+			r.Issued, r.CompletedAll, r.Aborted, r.Rejects, r.Outstanding)
 	}
 	if r.Outstanding < 0 || r.Outstanding > int64(r.Conns) {
 		t.Errorf("outstanding=%d out of [0, %d]", r.Outstanding, r.Conns)

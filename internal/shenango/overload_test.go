@@ -1,0 +1,68 @@
+package shenango
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/overload"
+)
+
+// overloadedConfig offers ~2x the IOKernel's steering capacity
+// (2 packets x 600 cycles per request) with the admission plane on.
+func overloadedConfig() Config {
+	return Config{
+		Kind: CIHosted, OfferedLoad: 4.3e6, Seed: 7,
+		DurationCycles: 26_000_000,
+		Overload:       &overload.Config{DeadlineCycles: 200_000},
+	}
+}
+
+// Same seed, a fault plan AND admission enabled: byte-identical
+// results (the TestFaultRunsDeterministic pattern with the overload
+// plane in the loop).
+func TestFaultOverloadRunsDeterministic(t *testing.T) {
+	cfg := overloadedConfig()
+	cfg.FaultPlan = faults.Uniform(99, 0.01)
+	a := Run(cfg)
+	b := Run(cfg)
+	if a != b {
+		t.Errorf("fault+overload runs differ:\n%+v\n%+v", a, b)
+	}
+	if a.Overload.Offered() == 0 {
+		t.Fatal("overload plane saw no admission decisions")
+	}
+}
+
+// The plane's accounting invariants hold at 2x load (RunChecked runs
+// the oracle), load is actually shed, and brownout parks the miner.
+func TestOverloadShedsAtTwiceCapacity(t *testing.T) {
+	r, err := RunChecked(overloadedConfig())
+	if err != nil {
+		t.Fatalf("RunChecked (includes overload invariants): %v", err)
+	}
+	s := r.Overload
+	if s.RejectedDoomed == 0 {
+		t.Error("deadline propagation never rejected a doomed request")
+	}
+	if s.RejectFrac() < 0.3 {
+		t.Errorf("rejected only %.1f%% at 2x load", 100*s.RejectFrac())
+	}
+	if s.MaxBrownout < 1 {
+		t.Error("never entered brownout at 2x load")
+	}
+	if r.MinerShedFrac <= 0 {
+		t.Error("brownout never parked the miner")
+	}
+}
+
+// A disabled plane leaves the result untouched: zero snapshot, no
+// miner shedding, and the pre-overload fault behavior intact.
+func TestOverloadDisabledIsInert(t *testing.T) {
+	r := Run(Config{Kind: CIHosted, OfferedLoad: 200e3, Seed: 7, FaultPlan: faults.Uniform(7, 0.01)})
+	if r.Overload != (overload.Snapshot{}) {
+		t.Errorf("disabled plane left a snapshot: %+v", r.Overload)
+	}
+	if r.MinerShedFrac != 0 {
+		t.Errorf("disabled plane shed the miner: %v", r.MinerShedFrac)
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/overload"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -65,6 +66,10 @@ const (
 	// minerCIOverheadPct is the CPUMiner slowdown from CI
 	// instrumentation.
 	minerCIOverheadPct = 4
+	// rejectPerPacket is the IOKernel cost of refusing one packet at
+	// admission (a deadline/token check plus a cheap NACK, no steering
+	// or queue scan) — the asymmetry that makes early rejection pay.
+	rejectPerPacket = 50
 )
 
 // Config parameterizes one run.
@@ -88,6 +93,13 @@ type Config struct {
 	// decisions and stall/re-steer counters on the "shenango" trace
 	// category.
 	Obs *obs.Scope
+	// Overload optionally enables the overload-control plane, actuated
+	// from the IOKernel poll (the CI handler for CIHosted): admission
+	// with deadline propagation at steering time, deadline-gated
+	// service start, and brownout that parks the hosted miner (polling
+	// twice as often) before shedding low-priority requests. Nil keeps
+	// the run bit-identical to the pre-overload model.
+	Overload *overload.Config
 }
 
 func (c *Config) withDefaults() Config {
@@ -131,6 +143,12 @@ type Result struct {
 	// packets the IOKernel steered away from a stalled worker it would
 	// otherwise have picked.
 	Stalls, ReSteers int64
+	// Overload is the admission plane's accounting (zero when the plane
+	// is disabled).
+	Overload overload.Snapshot
+	// MinerShedFrac is the fraction of the run brownout kept the hosted
+	// miner parked (CIHosted only).
+	MinerShedFrac float64
 }
 
 // String renders a result row.
@@ -145,6 +163,7 @@ func (r Result) String() string {
 
 type request struct {
 	arrival int64
+	seq     int64
 }
 
 type state struct {
@@ -170,6 +189,12 @@ type state struct {
 
 	iokBusy    int64 // cycles the IOKernel consumed on its core
 	workerBusy int64 // cycles worker cores spent serving requests
+
+	ctl       *overload.Controller // nil = plane disabled
+	deadline  int64                // Overload.DeadlineCycles (0 when off)
+	seq       int64                // arrival counter for priority tagging
+	minerShed int64                // cycles brownout kept the miner parked
+	admitBuf  []request            // scratch for the per-poll admission pass
 }
 
 // Run simulates one configuration.
@@ -192,6 +217,17 @@ func RunChecked(cfg Config) (Result, error) {
 		stallInj:     faults.New(cfg.FaultPlan, "shenango/worker"),
 		warmup:       cfg.DurationCycles / 5,
 	}
+	if cfg.Overload != nil {
+		oc := *cfg.Overload
+		if oc.Name == "" {
+			oc.Name = "shenango/overload"
+		}
+		if oc.Obs == nil {
+			oc.Obs = cfg.Obs
+		}
+		s.ctl = overload.New(&oc)
+		s.deadline = oc.DeadlineCycles
+	}
 	interArrival := 2.6e9 / cfg.OfferedLoad
 	var scheduleArrival func()
 	scheduleArrival = func() {
@@ -200,7 +236,8 @@ func RunChecked(cfg Config) (Result, error) {
 			if cfg.Kind == Pthreads || cfg.Kind == PthreadsShared {
 				s.kernelRequest(now)
 			} else {
-				s.ingress = append(s.ingress, request{arrival: now})
+				s.ingress = append(s.ingress, request{arrival: now, seq: s.seq})
+				s.seq++
 			}
 			scheduleArrival()
 		})
@@ -214,6 +251,11 @@ func RunChecked(cfg Config) (Result, error) {
 		MaxEvents:   max(cfg.DurationCycles/10, 1_000_000),
 		MaxSameTime: 1 << 17,
 	})
+	if err == nil {
+		// Admitted packets are steered (served or expired) within the
+		// same poll, so nothing admitted is ever left queued unstarted.
+		err = s.ctl.Invariants(0)
+	}
 	return s.result(), err
 }
 
@@ -245,21 +287,68 @@ func (s *state) scheduleStall() {
 
 // schedulePoll runs the IOKernel loop: stock Shenango spins on a short
 // gap; the CI version fires every interval with the full loop body as
-// handler cost.
+// handler cost. Under brownout the CI version parks the hosted miner
+// and polls twice as often — shedding background work is the first
+// degradation step, before any request is refused.
 func (s *state) schedulePoll() {
 	gap := int64(dedicatedPollGap)
 	if s.cfg.Kind == CIHosted {
 		gap = s.cfg.IntervalCycles
+		if s.ctl.BrownoutLevel() >= 1 {
+			gap /= 2
+			s.minerShed += gap
+		}
 	}
 	s.eng.After(gap, func() {
 		t := s.eng.Now()
-		var cost int64
+		var fixed int64
 		if s.cfg.Kind == CIHosted {
-			cost = ciHandlerInvoke + ciPollFixed
+			fixed = ciHandlerInvoke + ciPollFixed
 		} else {
-			cost = dedicatedPollFixed
+			fixed = dedicatedPollFixed
 		}
-		cost += int64(len(s.ingress)+len(s.egress)) * perPacket
+		// Control-loop tick: the queue-delay signal is the sojourn of
+		// the oldest packet still waiting for the IOKernel — under
+		// saturation that is exactly the growing poll period.
+		if s.ctl.Enabled() {
+			var qd int64
+			if len(s.ingress) > 0 {
+				qd = t - s.ingress[0].arrival
+			}
+			s.ctl.Poll(t, qd)
+		}
+		// Admission pass. The delay estimate is conservative: steer at
+		// the end of a full-service poll, wait for the least-loaded live
+		// worker, serve, then leave at the next poll.
+		admitted := s.ingress
+		var nRejected int64
+		if s.ctl.Enabled() {
+			admitted = s.admitBuf[:0]
+			tEndEst := t + fixed + int64(len(s.ingress)+len(s.egress))*perPacket
+			minLive := s.minFreeLive(t)
+			egressWait := s.ctl.PeriodEstCycles()
+			if egressWait < gap {
+				egressWait = gap
+			}
+			for _, rq := range s.ingress {
+				est := minLive + int64(len(admitted))*serviceMean/int64(s.cfg.Workers)
+				if est < tEndEst {
+					est = tEndEst
+				}
+				v := s.ctl.Admit(t, overload.Request{
+					Arrival:        rq.arrival,
+					EstDelayCycles: est - t + serviceMean + egressWait,
+					Prio:           overload.PriorityOf(rq.seq),
+				})
+				if v.Admitted() {
+					admitted = append(admitted, rq)
+				} else {
+					nRejected++
+				}
+			}
+			s.admitBuf = admitted
+		}
+		cost := fixed + int64(len(admitted)+len(s.egress))*perPacket + nRejected*rejectPerPacket
 		tEnd := t + cost
 		s.iokBusy += cost
 		if sc := s.cfg.Obs; sc != nil {
@@ -270,8 +359,11 @@ func (s *state) schedulePoll() {
 			sc.Observe("shenango/poll_cost_cycles", cost)
 			sc.Count("shenango/polls", 1)
 		}
-		// Steer ingress packets to the least-loaded workers.
-		for _, rq := range s.ingress {
+		// Steer admitted packets to the least-loaded workers. An
+		// admitted packet whose service start would overrun its
+		// propagated deadline by more than one poll period is expired
+		// here instead of serving a dead answer.
+		for _, rq := range admitted {
 			w := s.leastLoaded(t)
 			start := s.workerFree[w]
 			if start < tEnd {
@@ -281,6 +373,9 @@ func (s *state) schedulePoll() {
 			// because every worker is down) delays service start.
 			if start < s.stalledUntil[w] {
 				start = s.stalledUntil[w]
+			}
+			if !s.ctl.StartOrExpire(start, rq.arrival+s.deadline, gap+cost) {
+				continue
 			}
 			svc := s.rng.Exp(serviceMean)
 			end := start + svc
@@ -301,6 +396,30 @@ func (s *state) schedulePoll() {
 		// (the stock IOKernel likewise restarts its loop after a poll).
 		s.eng.At(tEnd, func() { s.schedulePoll() })
 	})
+}
+
+// minFreeLive is the earliest free time among workers the IOKernel
+// believes live (any worker when all are stalled) — the admission
+// pass's service-start estimate, deliberately without the re-steer
+// accounting of leastLoaded.
+func (s *state) minFreeLive(now int64) int64 {
+	best, haveLive := int64(0), false
+	var globMin int64
+	for i, f := range s.workerFree {
+		if i == 0 || f < globMin {
+			globMin = f
+		}
+		if s.stalledUntil[i] > now {
+			continue
+		}
+		if !haveLive || f < best {
+			best, haveLive = f, true
+		}
+	}
+	if !haveLive {
+		return globMin
+	}
+	return best
 }
 
 // leastLoaded picks the worker to steer to: the least-loaded worker
@@ -360,6 +479,7 @@ func (s *state) kernelRequest(now int64) {
 }
 
 func (s *state) complete(arrival, leave int64) {
+	s.ctl.Observe(leave, leave-arrival+networkRTT, false)
 	if leave <= s.warmup {
 		return
 	}
@@ -393,12 +513,15 @@ func (s *state) result() Result {
 	}
 	res.Stalls = s.stalls
 	res.ReSteers = s.reSteers
+	res.Overload = s.ctl.Snapshot()
 	if cfg.Kind == CIHosted {
 		busyFrac := float64(s.iokBusy) / float64(cfg.DurationCycles)
 		if busyFrac > 1 {
 			busyFrac = 1
 		}
-		rate := (1 - busyFrac) * (1 - minerCIOverheadPct/100.0)
+		shedFrac := float64(s.minerShed) / float64(cfg.DurationCycles)
+		res.MinerShedFrac = shedFrac
+		rate := (1 - busyFrac - shedFrac) * (1 - minerCIOverheadPct/100.0)
 		if rate < 0 {
 			rate = 0
 		}

@@ -34,6 +34,125 @@ var baselineDesigns = []instrument.Design{
 	instrument.CI, instrument.CnB, instrument.Naive,
 }
 
+// Overload-plane gate: the admission-on load-ramp rows' reject
+// fractions and shed-event counts at the standard seed, stored in the
+// same BENCH_baseline.json. The plane is deterministic, so unchanged
+// code reproduces the baseline exactly; the bands absorb intentional
+// controller tuning. Both directions are gated — shedding much more
+// than baseline wastes goodput, shedding much less means admission
+// stopped protecting the tail.
+const (
+	overloadBaselineKey  = "overload/ramp"
+	overloadBaselineHash = "seed=1,dur=26000000,v1"
+	overloadRampCycles   = 26_000_000
+)
+
+type overloadBaselineRow struct {
+	Mult        float64
+	RejectFrac  float64
+	Rejected    int64
+	Expired     int64
+	Shed        int64
+	MinerShed   float64
+	MaxBrownout int
+}
+
+func measureOverloadBaseline(t *testing.T) []overloadBaselineRow {
+	t.Helper()
+	rows, errs := experiments.MeasureLoadRamp(engine.New(0), 1, overloadRampCycles, nil)
+	if len(errs) > 0 {
+		t.Fatalf("ramp cells failed: %v", errs)
+	}
+	var out []overloadBaselineRow
+	for _, r := range rows {
+		if !r.Admission {
+			continue
+		}
+		s := r.Res.Overload
+		out = append(out, overloadBaselineRow{
+			Mult: r.Mult, RejectFrac: s.RejectFrac(), Rejected: s.Rejected,
+			Expired: s.Expired, Shed: s.Shed, MinerShed: r.Res.MinerShedFrac,
+			MaxBrownout: s.MaxBrownout,
+		})
+	}
+	return out
+}
+
+// countInBand reports whether got is within the relative band of want,
+// with an absolute floor so near-zero counts don't trip on small moves.
+func countInBand(got, want, floor int64, relBand float64) bool {
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	limit := int64(float64(want)*relBand) + floor
+	return diff <= limit
+}
+
+func TestOverloadRegressionBaseline(t *testing.T) {
+	got := measureOverloadBaseline(t)
+	if len(got) == 0 {
+		t.Fatal("no admission-enabled ramp rows measured")
+	}
+
+	if *updateBaseline {
+		store, err := engine.OpenStore(baselinePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Put(overloadBaselineKey, overloadBaselineHash, got); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Save(); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("overload baseline rewritten: %s cell %q", baselinePath, overloadBaselineKey)
+		return
+	}
+
+	store, err := engine.OpenStore(baselinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, ok := store.Cell(overloadBaselineKey)
+	if !ok {
+		t.Fatalf("baseline lacks cell %q; regenerate with -update-baseline", overloadBaselineKey)
+	}
+	var want []overloadBaselineRow
+	if err := json.Unmarshal(cell.Data, &want); err != nil {
+		t.Fatalf("baseline cell %q: %v", overloadBaselineKey, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fresh ramp has %d admission rows, baseline %d — regenerate it", len(got), len(want))
+	}
+	for i, g := range got {
+		w := want[i]
+		if g.Mult != w.Mult {
+			t.Errorf("row %d: mult %.1f vs baseline %.1f — baseline is stale", i, g.Mult, w.Mult)
+			continue
+		}
+		if d := g.RejectFrac - w.RejectFrac; d > 0.05 || d < -0.05 {
+			t.Errorf("%.1fx: reject fraction %.3f vs baseline %.3f (band ±0.05)",
+				g.Mult, g.RejectFrac, w.RejectFrac)
+		}
+		if !countInBand(g.Rejected, w.Rejected, 64, 0.25) {
+			t.Errorf("%.1fx: rejected %d vs baseline %d (band ±25%%)", g.Mult, g.Rejected, w.Rejected)
+		}
+		if !countInBand(g.Expired, w.Expired, 64, 0.25) {
+			t.Errorf("%.1fx: expired %d vs baseline %d (band ±25%%)", g.Mult, g.Expired, w.Expired)
+		}
+		if !countInBand(g.Shed, w.Shed, 64, 0.25) {
+			t.Errorf("%.1fx: shed %d vs baseline %d (band ±25%%)", g.Mult, g.Shed, w.Shed)
+		}
+		if (w.MinerShed > 0) != (g.MinerShed > 0) {
+			t.Errorf("%.1fx: miner shedding flipped: %.3f vs baseline %.3f", g.Mult, g.MinerShed, w.MinerShed)
+		}
+		if g.MaxBrownout != w.MaxBrownout {
+			t.Errorf("%.1fx: max brownout %d vs baseline %d", g.Mult, g.MaxBrownout, w.MaxBrownout)
+		}
+	}
+}
+
 func TestSweepRegressionBaseline(t *testing.T) {
 	sel, err := experiments.WorkloadsByName(baselineNames)
 	if err != nil {

@@ -31,6 +31,12 @@ go test -race ./...
 echo "== chaos smoke =="
 go run ./cmd/ciexp -quick chaos
 
+echo "== soak smoke =="
+# Overload plane end-to-end: saturation and 2x-overload phases with
+# chaos composed in must hold the SLO guard (-slo-p999us/-max-reject
+# defaults); ciexp exits non-zero on any violated phase.
+go run ./cmd/ciexp -quick soak
+
 echo "== sanitize smoke =="
 # Translation validation end-to-end: stage-by-stage semantic checks and
 # the differential execution oracle over a fuzz corpus + all workloads.
