@@ -16,6 +16,13 @@
 // under an observability scope, and the "hottest probe sites" table is
 // printed: per IR function/block, how often its probe executed and how
 // often it fired the CI handler.
+//
+// With -interleave the handler interleaving verifier's race table is
+// printed instead: every address shared between @handler and -entry,
+// classified (atomic, observed, protected, same-value, annotated,
+// RACY), plus any schedule whose outcome diverged from the fire-free
+// baseline. Exits non-zero on an unclassified race or a
+// non-commutative schedule. -bound sets the context bound.
 package main
 
 import (
@@ -28,13 +35,15 @@ import (
 	"repro/internal/ci/instrument"
 	"repro/internal/cliflags"
 	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/interleave"
 	"repro/internal/ir"
 	"repro/internal/obs"
 	"repro/internal/sanitize"
 )
 
 func main() {
-	cf := cliflags.New(flag.CommandLine).AddDesign().AddCompile().AddSanitize()
+	cf := cliflags.New(flag.CommandLine).AddDesign().AddCompile().AddSanitize().AddInterleave()
 	spacing := flag.Bool("spacing", false, "also run the probe-spacing checker on instrumented functions")
 	hot := flag.Bool("hot", false, "compile, run once and print the hottest probe sites instead of the analysis dump")
 	hotN := flag.Int("hot-n", 20, "number of probe sites to print with -hot (0 = all)")
@@ -56,6 +65,10 @@ func main() {
 	}
 	if cf.Sanitize {
 		runSanitize(m, cf.ProbeInterval, cf.AllowableError)
+		return
+	}
+	if cf.Interleave {
+		runInterleave(cf, m, *entry, *interval)
 		return
 	}
 	if *hot {
@@ -114,6 +127,34 @@ func main() {
 	}
 	os.Stdout.Write(data)
 	fmt.Println()
+}
+
+// runInterleave prints the handler interleaving verifier's race table
+// for the module: every address shared between @handler and the entry,
+// classified, plus the schedules whose outcome diverged from the
+// fire-free baseline. Exits non-zero on an unclassified race or a
+// non-commutative schedule.
+func runInterleave(cf *cliflags.Flags, m *ir.Module, entry string, interval int64) {
+	d, err := cf.ParseDesign()
+	if err != nil {
+		fail("%v", err)
+	}
+	rep, err := interleave.VerifyHandlers(m, engine.Serial(), interleave.Options{
+		Entry:           entry,
+		Design:          d,
+		ProbeIntervalIR: cf.ProbeInterval,
+		IntervalCycles:  interval,
+		ContextBound:    cf.Bound,
+	})
+	if err != nil {
+		fail("interleave: %v", err)
+	}
+	if err := rep.WriteTable(os.Stdout); err != nil {
+		fail("%v", err)
+	}
+	if rep.Err() != nil {
+		os.Exit(1)
+	}
 }
 
 // runSanitize compiles the module under full translation validation for

@@ -25,6 +25,14 @@
 //	ciexp sanitize  translation-validation sweep: stage checks plus the
 //	                differential execution oracle over a fuzz corpus and
 //	                all workloads (exits non-zero on any divergence)
+//	ciexp interleave
+//	                handler interleaving sweep: probe-schedule
+//	                exploration with race classification over the three
+//	                app sharing-protocol models and a fuzz corpus with
+//	                generated handlers (exits non-zero on an
+//	                unclassified race or non-commutative schedule;
+//	                -bound sets the context bound, -quick uses bound 1
+//	                and a smaller corpus)
 //	ciexp tracecheck FILE
 //	                validate that FILE is a well-formed Chrome
 //	                trace_event JSON document (used by verify.sh)
@@ -63,11 +71,11 @@ import (
 )
 
 func main() {
-	cf := cliflags.New(flag.CommandLine).AddScale().AddSeed().AddEngine().AddObs().AddSLO()
+	cf := cliflags.New(flag.CommandLine).AddScale().AddSeed().AddEngine().AddObs().AddSLO().AddInterleave()
 	quick := flag.Bool("quick", false, "use a workload subset where supported")
 	all := flag.Bool("all", false, "fig9/fig11: include Naive-Cycles and CnB-Cycles")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ciexp [flags] fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table7|hybrid|allowable|probes|chaos|ramp|soak|sanitize|all\n")
+		fmt.Fprintf(os.Stderr, "usage: ciexp [flags] fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table7|hybrid|allowable|probes|chaos|ramp|soak|sanitize|interleave|all\n")
 		fmt.Fprintf(os.Stderr, "       ciexp tracecheck FILE\n")
 		flag.PrintDefaults()
 	}
@@ -137,6 +145,13 @@ func main() {
 			return experiments.PrintSoak(os.Stdout, eng, cf.Seed, cf.SoakDuration*int64(scale), cf.SLO(), *quick)
 		}},
 		{"sanitize", func() error { return experiments.PrintSanitize(os.Stdout, eng, scale, *quick) }},
+		{"interleave", func() error {
+			bound := cf.Bound
+			if *quick {
+				bound = 1
+			}
+			return experiments.PrintInterleave(os.Stdout, eng, bound, *quick)
+		}},
 	} {
 		if cmd == c.name || cmd == "all" {
 			ran = true

@@ -12,7 +12,14 @@
 // to print interval-error quantiles, and -timeline N for the legacy
 // textual dump of the last N interrupt-timeline events. -slo-p999us N
 // turns the reported p99.9 inter-fire interval into a gate: cirun
-// exits non-zero when the polling cadence's tail exceeds N µs.
+// exits non-zero when the polling cadence's tail exceeds N µs;
+// -slo-maxus N gates the worst-case single gap the same way.
+//
+// -interleave switches to verify-then-exit mode: instead of running
+// the program, the handler interleaving verifier explores forcing
+// @handler at every feasible probe site (context bound -bound) and
+// prints the race-classification table, exiting non-zero on an
+// unclassified race or a non-commutative schedule.
 package main
 
 import (
@@ -22,6 +29,8 @@ import (
 
 	"repro/internal/cliflags"
 	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/interleave"
 	"repro/internal/ir"
 	"repro/internal/sanitize"
 	"repro/internal/stats"
@@ -29,7 +38,7 @@ import (
 )
 
 func main() {
-	cf := cliflags.New(flag.CommandLine).AddDesign().AddCompile().AddSanitize().AddObs().AddSLO()
+	cf := cliflags.New(flag.CommandLine).AddDesign().AddCompile().AddSanitize().AddObs().AddSLO().AddInterleave()
 	interval := flag.Int64("interval", 5000, "CI interval in cycles (0 disables the handler)")
 	entry := flag.String("entry", "main", "entry function")
 	argsFlag := flag.String("args", "", "comma-separated int64 arguments for the entry function")
@@ -62,6 +71,32 @@ func main() {
 	// surfacing later as a VM fault.
 	if err := mod.Verify(); err != nil {
 		fail("malformed module %s: %v", flag.Arg(0), err)
+	}
+	if cf.Interleave {
+		// Verify-then-exit mode: explore handler placements instead of
+		// running the program, mirroring `go vet` vs `go run`.
+		args, err := cliflags.ParseArgs(*argsFlag)
+		if err != nil {
+			fail("%v", err)
+		}
+		rep, err := interleave.VerifyHandlers(mod, engine.Serial(), interleave.Options{
+			Entry:           *entry,
+			Args:            args,
+			Design:          d,
+			ProbeIntervalIR: cf.ProbeInterval,
+			IntervalCycles:  *interval,
+			ContextBound:    cf.Bound,
+		})
+		if err != nil {
+			fail("interleave: %v", err)
+		}
+		if err := rep.WriteTable(os.Stdout); err != nil {
+			fail("%v", err)
+		}
+		if rep.Err() != nil {
+			os.Exit(1)
+		}
+		return
 	}
 	opts := []core.Option{
 		core.WithDesign(d),
@@ -135,6 +170,14 @@ func main() {
 			if us := float64(sum.P999) / 2600.0; cf.SLOP999Us > 0 && us > cf.SLOP999Us {
 				fmt.Fprintf(os.Stderr, "cirun: thread %d: p99.9 inter-fire interval %.1fµs exceeds -slo-p999us %.1f\n",
 					id, us, cf.SLOP999Us)
+				sloViolated = true
+			}
+			// -slo-maxus gates the worst single gap: the quantile gate
+			// tolerates a lone stall that a control loop hosted in the
+			// handler cannot (one missed deadline is still missed).
+			if us := float64(sum.Max) / 2600.0; cf.SLOMaxUs > 0 && us > cf.SLOMaxUs {
+				fmt.Fprintf(os.Stderr, "cirun: thread %d: worst inter-fire interval %.1fµs exceeds -slo-maxus %.1f\n",
+					id, us, cf.SLOMaxUs)
 				sloViolated = true
 			}
 		}

@@ -365,6 +365,47 @@ func (rt *Runtime) fire(h *handlerState, now int64) {
 	h.disable--
 }
 
+// FireAll fires every handler that is currently eligible (registered,
+// not deregistered, not disabled individually or globally), regardless
+// of cadence state — the forced-delivery primitive behind the VM's
+// OnProbe schedule driver. Baselines update exactly as for a cadence
+// fire, so a forced fire resets the handler's "since last" deltas and
+// records an interval like any other. Returns how many handlers fired;
+// 0 when delivery is infeasible at this point (e.g. inside a
+// ci_disable region), which is what makes disabled regions invisible
+// to the interleaving explorer's site enumeration.
+func (rt *Runtime) FireAll(now int64) int {
+	rt.lastNow = now
+	if rt.globalDisable != 0 {
+		return 0
+	}
+	fired := 0
+	for _, h := range rt.handlers {
+		if h.disable == 0 && !h.gone {
+			rt.fire(h, now)
+			fired++
+		}
+	}
+	if fired > 0 {
+		rt.refresh()
+	}
+	return fired
+}
+
+// CanFire reports whether FireAll would deliver at least one handler
+// right now — the feasibility predicate for forced-fire sites.
+func (rt *Runtime) CanFire() bool {
+	if rt.globalDisable != 0 {
+		return false
+	}
+	for _, h := range rt.handlers {
+		if h.disable == 0 && !h.gone {
+			return true
+		}
+	}
+	return false
+}
+
 // ProbeIR is the pure-IR probe of Table 3: advance the counter by inc
 // and fire any handlers that are due. Returns the number of handlers
 // fired.

@@ -1,0 +1,111 @@
+package ciruntime
+
+import "testing"
+
+// FireAll / CanFire back the interleaving explorer's forced-fire
+// schedule driver: delivery must respect the same eligibility rules as
+// cadence fires (disable nesting, global disable, deregistration) and
+// update the same baselines, or forced schedules would diverge from
+// what a cadence run could ever produce.
+
+func TestFireAllFiresEligibleHandlersOnly(t *testing.T) {
+	rt := New()
+	var a, b int
+	ida := rt.RegisterCI(1000, func(uint64) { a++ })
+	rt.RegisterCI(1000, func(uint64) { b++ })
+
+	if !rt.CanFire() {
+		t.Fatal("CanFire = false with two enabled handlers")
+	}
+	if n := rt.FireAll(10); n != 2 || a != 1 || b != 1 {
+		t.Fatalf("FireAll = %d (a=%d b=%d), want 2 fires", n, a, b)
+	}
+
+	rt.Disable(ida)
+	if n := rt.FireAll(20); n != 1 || a != 1 || b != 2 {
+		t.Fatalf("with a disabled: FireAll = %d (a=%d b=%d), want only b", n, a, b)
+	}
+	if !rt.CanFire() {
+		t.Fatal("CanFire = false with one handler still enabled")
+	}
+	rt.Enable(ida)
+
+	rt.Disable(0)
+	if rt.CanFire() {
+		t.Fatal("CanFire = true under global disable")
+	}
+	if n := rt.FireAll(30); n != 0 || a != 1 || b != 2 {
+		t.Fatalf("under global disable: FireAll = %d (a=%d b=%d), want none", n, a, b)
+	}
+	rt.Enable(0)
+
+	if n := rt.FireAll(40); n != 2 {
+		t.Fatalf("after re-enable: FireAll = %d, want 2", n)
+	}
+}
+
+func TestFireAllUpdatesBaselinesLikeCadenceFires(t *testing.T) {
+	rt := New()
+	rt.RecordIntervals = true
+	id := rt.RegisterCI(100, func(uint64) {})
+
+	// Advance the IR counter close to the cadence threshold, then force
+	// a fire: the baseline reset must push the next cadence fire a full
+	// interval out.
+	rt.ProbeIR(390, 97) // intervalIR = 400; not due yet
+	if n := rt.FireAll(99); n != 1 {
+		t.Fatalf("FireAll = %d, want 1", n)
+	}
+	if got := rt.Fires(id); got != 1 {
+		t.Fatalf("Fires = %d, want 1", got)
+	}
+	// 10 more IR would have crossed the old gate; the forced fire moved it.
+	if n := rt.ProbeIR(20, 110); n != 0 {
+		t.Fatal("cadence fired immediately after a forced fire; baseline not reset")
+	}
+	if n := rt.ProbeIR(400, 250); n != 1 {
+		t.Fatalf("cadence fire after a full fresh interval = %d, want 1", n)
+	}
+	ivs := rt.Intervals(id)
+	if len(ivs) != 2 || ivs[1] != 250-99 {
+		t.Fatalf("intervals = %v, want forced fire to anchor the second gap at 151", ivs)
+	}
+}
+
+func TestFireAllSkipsDeregisteredHandlers(t *testing.T) {
+	rt := New()
+	var n int
+	id := rt.RegisterCI(1000, func(uint64) { n++ })
+	rt.Deregister(id)
+	if rt.CanFire() {
+		t.Fatal("CanFire = true after deregistration")
+	}
+	if got := rt.FireAll(5); got != 0 || n != 0 {
+		t.Fatalf("FireAll = %d (handler ran %d times), want nothing", got, n)
+	}
+}
+
+func TestFireAllRespectsSelfDisableDuringFire(t *testing.T) {
+	// A handler force-firing the runtime from inside its own invocation
+	// must not recurse into itself: fire() holds h.disable for the
+	// duration (§2.2), so the nested sweep sees no eligible handler.
+	rt := New()
+	depth, calls := 0, 0
+	rt.RegisterCI(1000, func(uint64) {
+		depth++
+		calls++
+		if depth > 1 {
+			t.Fatal("handler re-entered itself through FireAll")
+		}
+		if rt.CanFire() {
+			t.Error("CanFire = true from inside the only handler's invocation")
+		}
+		if n := rt.FireAll(50); n != 0 {
+			t.Errorf("nested FireAll = %d, want 0", n)
+		}
+		depth--
+	})
+	if n := rt.FireAll(40); n != 1 || calls != 1 {
+		t.Fatalf("FireAll = %d (calls=%d), want exactly one invocation", n, calls)
+	}
+}

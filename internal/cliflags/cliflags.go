@@ -75,8 +75,13 @@ type Flags struct {
 
 	// AddSLO
 	SLOP999Us    float64
+	SLOMaxUs     float64
 	MaxReject    float64
 	SoakDuration int64
+
+	// AddInterleave
+	Interleave bool
+	Bound      int
 
 	scope    *obs.Scope
 	scopeSet bool
@@ -148,8 +153,18 @@ func (f *Flags) AddObs() *Flags {
 // under admission runs ~8% above 1 - 1/multiplier).
 func (f *Flags) AddSLO() *Flags {
 	f.fs.Float64Var(&f.SLOP999Us, "slo-p999us", 500, "SLO: p99.9 latency ceiling in µs (0 disables the guard)")
+	f.fs.Float64Var(&f.SLOMaxUs, "slo-maxus", 0, "SLO: worst-case inter-fire gap ceiling in µs (0 disables the guard)")
 	f.fs.Float64Var(&f.MaxReject, "max-reject", 0.1, "SLO: max rejected fraction beyond the unavoidable excess load")
 	f.fs.Int64Var(&f.SoakDuration, "soak-duration", 26_000_000, "soak: per-phase duration in cycles")
+	return f
+}
+
+// AddInterleave registers the handler-interleaving-verifier flags
+// -interleave and -bound.
+func (f *Flags) AddInterleave() *Flags {
+	f.fs.BoolVar(&f.Interleave, "interleave", false,
+		"run the handler interleaving verifier (probe-schedule exploration + race table)")
+	f.fs.IntVar(&f.Bound, "bound", 2, "interleave: context bound (max forced handler fires per schedule, 1-3)")
 	return f
 }
 

@@ -1,0 +1,82 @@
+package ffwd
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/interleave"
+	"repro/internal/vm"
+)
+
+func TestInterleaveSpecVerifiesClean(t *testing.T) {
+	m, opts := InterleaveSpec()
+	rep, err := interleave.VerifyHandlers(m, engine.Serial(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verr := rep.Err(); verr != nil {
+		var buf bytes.Buffer
+		rep.WriteTable(&buf)
+		t.Fatalf("%v\n%s", verr, buf.String())
+	}
+	if rep.FeasibleSites == 0 {
+		t.Fatal("no feasible fire sites: the model never exposes the handler")
+	}
+	want := map[int64]interleave.Class{
+		0: interleave.ClassObserved,  // REQ line
+		1: interleave.ClassObserved,  // REQSEQ
+		2: interleave.ClassProtected, // DONE watermark (reaped under disable)
+		3: interleave.ClassAtomic,    // delegated counter
+	}
+	for _, a := range rep.Addrs {
+		c, ok := want[a.Addr]
+		if !ok {
+			t.Errorf("unexpected shared word %d (%v)", a.Addr, a.Class)
+			continue
+		}
+		if a.Class != c {
+			t.Errorf("word %d class = %v, want %v", a.Addr, a.Class, c)
+		}
+		delete(want, a.Addr)
+	}
+	for addr := range want {
+		t.Errorf("word %d never observed as shared", addr)
+	}
+}
+
+func TestInterleaveHandlerOverrunSurfaces(t *testing.T) {
+	m, opts := InterleaveSpec()
+	opts.IntervalCycles = 200
+	opts.MaxHandlerCycles = 20
+	opts.FaultPlan = &faults.Plan{Seed: 3, OverrunProb: 1, OverrunCycles: 50_000}
+	_, err := interleave.VerifyHandlers(m, engine.Serial(), opts)
+	if !errors.Is(err, vm.ErrHandlerOverrun) {
+		t.Fatalf("overrun injection err = %v, want ErrHandlerOverrun", err)
+	}
+}
+
+func TestInterleaveHandlerReentrancySurfaces(t *testing.T) {
+	m, _ := InterleaveSpec()
+	prog, err := core.Compile(m, core.WithConfig(core.Config{ProbeIntervalIR: 100}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := vm.New(prog.Mod, nil, 1)
+	th := machine.NewThread(0)
+	var herr error
+	th.RT.RegisterCI(300, func(uint64) {
+		if _, err := th.Run("handler", 0); err != nil && herr == nil {
+			herr = err
+		}
+	})
+	if _, err := th.Run("main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(herr, vm.ErrHandlerReentrancy) {
+		t.Fatalf("reentrant Run err = %v, want ErrHandlerReentrancy", herr)
+	}
+}

@@ -96,6 +96,30 @@ type Thread struct {
 	// and instrumented runs on; probes never trigger it. Observers must
 	// not mutate VM state.
 	OnStore func(fn, block string, addr, val int64)
+	// OnLoad is the load-side twin of OnStore: it observes every
+	// committed memory read with the value that was read. The
+	// interleaving verifier (internal/interleave) needs both sides of
+	// the access trace to find handler/main races; the differential
+	// oracle keeps using OnStore alone. Nil (the default) keeps the
+	// load path allocation-free. Note that the implicit read half of an
+	// atomic add reports through OnAtomic/OnStore, not here.
+	OnLoad func(fn, block string, addr, val int64)
+	// OnAtomic, when non-nil, refines OnStore for atomic adds: it
+	// receives the value before the add and the addend separately, and
+	// the atomic is then NOT reported to OnStore. Observers that only
+	// care about the committed value (the differential oracle) leave it
+	// nil and keep seeing atomics through OnStore; the race detector
+	// sets it to tell commutative read-modify-writes apart from plain
+	// stores without shadow-memory reconstruction.
+	OnAtomic func(fn, block string, addr, old, add int64)
+	// OnProbe, when non-nil, is consulted at every probe executed in
+	// main (non-handler) context, before the cadence logic runs. The
+	// return value is the number of forced handler sweeps to deliver at
+	// this probe site via the CI runtime's FireAll — the interleaving
+	// explorer's schedule driver. Return 0 for "no forced fire here".
+	// Probes reached from handler IR (via CallHandler) never consult it,
+	// so site ordinals are stable under schedule perturbation.
+	OnProbe func() int
 
 	model      *CostModel
 	memMul     float64
@@ -235,9 +259,10 @@ func (t *Thread) checkHW() error {
 		t.nextHW += hw.IntervalCycles
 		if hw.Handler != nil {
 			before := t.Stats.Cycles
+			prev := t.inHandler
 			t.inHandler = true
 			hw.Handler(t)
-			t.inHandler = false
+			t.inHandler = prev
 			if err := t.checkOverrun(t.Stats.Cycles-before, 1, "hardware"); err != nil {
 				return err
 			}
@@ -308,6 +333,9 @@ func (t *Thread) call(f *ir.Func, args []int64) (int64, error) {
 					return 0, err
 				}
 				regs[in.Dst] = t.VM.Mem[addr]
+				if t.OnLoad != nil {
+					t.OnLoad(f.Name, b.Name, addr, regs[in.Dst])
+				}
 			case ir.OpStore:
 				t.Stats.Cycles += t.memCost(m.OpCost[ir.OpStore])
 				addr, err := t.memAddr(regs, in.A, in.Imm)
@@ -328,7 +356,9 @@ func (t *Thread) call(f *ir.Func, args []int64) (int64, error) {
 				if in.Dst != ir.NoReg {
 					regs[in.Dst] = old
 				}
-				if t.OnStore != nil {
+				if t.OnAtomic != nil {
+					t.OnAtomic(f.Name, b.Name, addr, old, regs[in.B])
+				} else if t.OnStore != nil {
 					t.OnStore(f.Name, b.Name, addr, old+regs[in.B])
 				}
 			case ir.OpCall:
@@ -524,6 +554,10 @@ func b2i(b bool) int64 {
 func (t *Thread) execProbe(f *ir.Func, b *ir.Block, p *ir.ProbeInfo, regs []int64) error {
 	m := t.model
 	t.Stats.Probes++
+	var forced int
+	if t.OnProbe != nil && !t.inHandler {
+		forced = t.OnProbe()
+	}
 	probeStart := t.Stats.Cycles
 	inc := p.Inc
 	switch p.Kind {
@@ -539,18 +573,20 @@ func (t *Thread) execProbe(f *ir.Func, b *ir.Block, p *ir.ProbeInfo, regs []int6
 	case ir.ProbeIR, ir.ProbeIRLoop:
 		t.Stats.Cycles += m.ProbeBase
 		before := t.Stats.Cycles
+		prev := t.inHandler
 		t.inHandler = true
 		fired = t.RT.ProbeIR(inc, t.Stats.Cycles)
-		t.inHandler = false
+		t.inHandler = prev
 		if err := t.checkOverrun(t.Stats.Cycles-before, max(fired, 1), "CI"); err != nil {
 			return err
 		}
 	case ir.ProbeCycles, ir.ProbeCyclesLoop:
 		t.Stats.Cycles += m.ProbeBase
 		before := t.Stats.Cycles
+		prev := t.inHandler
 		t.inHandler = true
 		reads, fired = t.RT.ProbeCycles(inc, t.Stats.Cycles)
-		t.inHandler = false
+		t.inHandler = prev
 		if err := t.checkOverrun(t.Stats.Cycles-before, max(fired, 1), "CI"); err != nil {
 			return err
 		}
@@ -559,17 +595,19 @@ func (t *Thread) execProbe(f *ir.Func, b *ir.Block, p *ir.ProbeInfo, regs []int6
 	case ir.ProbeEvent:
 		t.Stats.Cycles += m.ProbeBase
 		before := t.Stats.Cycles
+		prev := t.inHandler
 		t.inHandler = true
 		fired = t.RT.ProbeEvent(inc, t.Stats.Cycles)
-		t.inHandler = false
+		t.inHandler = prev
 		if err := t.checkOverrun(t.Stats.Cycles-before, max(fired, 1), "CI"); err != nil {
 			return err
 		}
 	case ir.ProbeEventCycles:
 		before := t.Stats.Cycles
+		prev := t.inHandler
 		t.inHandler = true
 		reads, fired = t.RT.ProbeEventCycles(t.Stats.Cycles)
-		t.inHandler = false
+		t.inHandler = prev
 		if err := t.checkOverrun(t.Stats.Cycles-before, max(fired, 1), "CI"); err != nil {
 			return err
 		}
@@ -581,6 +619,16 @@ func (t *Thread) execProbe(f *ir.Func, b *ir.Block, p *ir.ProbeInfo, regs []int6
 		t.Stats.HandlerCalls += int64(fired)
 		t.Stats.Cycles += m.ProbeTakenExtra + int64(fired)*m.HandlerInvoke
 	}
+	if forced > 0 {
+		n, err := t.forceFire(forced)
+		if err != nil {
+			return err
+		}
+		if n > 0 && fired == 0 {
+			t.Stats.ProbesTaken++
+		}
+		fired += n
+	}
 	if t.obs != nil {
 		t.obs.SiteHit(f.Name, b.Name, fired > 0)
 		if fired > 0 {
@@ -590,6 +638,57 @@ func (t *Thread) execProbe(f *ir.Func, b *ir.Block, p *ir.ProbeInfo, regs []int6
 		}
 	}
 	return nil
+}
+
+// forceFire delivers n unconditional handler sweeps at the current
+// probe site on behalf of OnProbe — the interleaving explorer's
+// schedule driver. Each sweep fires every currently-enabled handler
+// through the runtime's FireAll, under the same interrupt-context and
+// overrun guards as cadence fires (kind "forced" in the overrun
+// error). Sweeps that find every handler disabled deliver nothing;
+// the caller learns the delivered count from its own fire observers.
+func (t *Thread) forceFire(n int) (int, error) {
+	m := t.model
+	total := 0
+	for k := 0; k < n; k++ {
+		before := t.Stats.Cycles
+		prev := t.inHandler
+		t.inHandler = true
+		fired := t.RT.FireAll(t.Stats.Cycles)
+		t.inHandler = prev
+		if err := t.checkOverrun(t.Stats.Cycles-before, max(fired, 1), "forced"); err != nil {
+			return total, err
+		}
+		if fired > 0 {
+			t.Stats.HandlerCalls += int64(fired)
+			t.Stats.Cycles += m.ProbeTakenExtra + int64(fired)*m.HandlerInvoke
+			total += fired
+		}
+	}
+	return total, nil
+}
+
+// CallHandler executes the named IR function in interrupt context, on
+// behalf of a registered handler closure. Run refuses to re-enter the
+// interpreter from a handler (ErrHandlerReentrancy) because it would
+// start a fresh top-level frame on the same virtual clock; CallHandler
+// is the sanctioned path for handlers whose body is itself IR in the
+// module — it keeps the thread marked as in interrupt context, so
+// probes executed by the handler's own code never consult OnProbe and
+// a nested Run attempt still trips the reentrancy guard.
+func (t *Thread) CallHandler(fn string, args ...int64) (int64, error) {
+	f := t.funcMap[fn]
+	if f == nil {
+		return 0, fmt.Errorf("vm: no function %q", fn)
+	}
+	if len(args) != f.NumParams {
+		return 0, fmt.Errorf("vm: %q takes %d args, got %d", fn, f.NumParams, len(args))
+	}
+	prev := t.inHandler
+	t.inHandler = true
+	rv, err := t.call(f, args)
+	t.inHandler = prev
+	return rv, err
 }
 
 // RunParallel executes fn on n threads concurrently, calling args(id)

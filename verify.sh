@@ -42,6 +42,13 @@ echo "== sanitize smoke =="
 # the differential execution oracle over a fuzz corpus + all workloads.
 go run ./cmd/ciexp -quick sanitize
 
+echo "== interleave smoke =="
+# Handler interleaving verifier end-to-end: context-bound-1 exploration
+# over the three app sharing-protocol models and a fuzz corpus with
+# generated handlers; ciexp exits non-zero on an unclassified race or a
+# non-commutative schedule.
+go run ./cmd/ciexp -quick interleave
+
 echo "== trace smoke =="
 # Observability end-to-end: a figure run with -trace must emit a
 # well-formed Chrome trace_event JSON (validated in Go; no jq needed).
