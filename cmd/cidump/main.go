@@ -43,7 +43,7 @@ import (
 )
 
 func main() {
-	cf := cliflags.New(flag.CommandLine).AddDesign().AddCompile().AddSanitize().AddInterleave()
+	cf := cliflags.New(flag.CommandLine).AddDesign().AddCompile().AddSanitize().AddTier().AddInterleave()
 	spacing := flag.Bool("spacing", false, "also run the probe-spacing checker on instrumented functions")
 	hot := flag.Bool("hot", false, "compile, run once and print the hottest probe sites instead of the analysis dump")
 	hotN := flag.Int("hot-n", 20, "number of probe sites to print with -hot (0 = all)")
@@ -190,11 +190,16 @@ func runHot(cf *cliflags.Flags, m *ir.Module, entry string, interval int64, n in
 	if err != nil {
 		fail("%v", err)
 	}
+	tier, err := cf.ParseTier()
+	if err != nil {
+		fail("%v", err)
+	}
 	scope := obs.New(0)
 	prog, err := core.Compile(m,
 		core.WithDesign(d),
 		core.WithProbeInterval(cf.ProbeInterval),
 		core.WithAllowableError(cf.AllowableError),
+		core.WithTier(tier),
 		core.WithObs(scope))
 	if err != nil {
 		fail("%v", err)

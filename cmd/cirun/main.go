@@ -38,7 +38,7 @@ import (
 )
 
 func main() {
-	cf := cliflags.New(flag.CommandLine).AddDesign().AddCompile().AddSanitize().AddObs().AddSLO().AddInterleave()
+	cf := cliflags.New(flag.CommandLine).AddDesign().AddCompile().AddSanitize().AddTier().AddObs().AddSLO().AddInterleave()
 	interval := flag.Int64("interval", 5000, "CI interval in cycles (0 disables the handler)")
 	entry := flag.String("entry", "main", "entry function")
 	argsFlag := flag.String("args", "", "comma-separated int64 arguments for the entry function")
@@ -55,6 +55,10 @@ func main() {
 		os.Exit(2)
 	}
 	d, err := cf.ParseDesign()
+	if err != nil {
+		fail("%v", err)
+	}
+	tier, err := cf.ParseTier()
 	if err != nil {
 		fail("%v", err)
 	}
@@ -103,6 +107,7 @@ func main() {
 		core.WithProbeInterval(cf.ProbeInterval),
 		core.WithAllowableError(cf.AllowableError),
 		core.WithOptimize(*optimize),
+		core.WithTier(tier),
 		core.WithObs(cf.Scope()),
 	}
 	if cf.Sanitize {
@@ -132,6 +137,7 @@ func main() {
 	if *timeline > 0 {
 		machine := vm.New(prog.Mod, nil, 1)
 		machine.LimitInstrs = *limit
+		machine.Tier = tier
 		machine.Obs = cf.Scope()
 		th := machine.NewThread(0)
 		tr := vm.NewTrace(*timeline)

@@ -410,11 +410,30 @@ func (rt *Runtime) CanFire() bool {
 // and fire any handlers that are due. Returns the number of handlers
 // fired.
 func (rt *Runtime) ProbeIR(inc int64, now int64) int {
-	rt.inscount += inc
-	rt.lastNow = now
-	if rt.inscount <= rt.nextIR {
+	if !rt.ProbeIRDue(inc, now) {
 		return 0
 	}
+	return rt.FireDueIR(now)
+}
+
+// ProbeIRDue is the untaken-probe fast path of ProbeIR, split out so a
+// compiled dispatch loop can inline it: advance the IR counter, stamp
+// the clock, and report whether the global gate passed. When it
+// returns true the caller must invoke FireDueIR to run the taken half
+// (fire sweep + gate recomputation); calling ProbeIRDue alone on a due
+// probe would leave the gate stale.
+func (rt *Runtime) ProbeIRDue(inc int64, now int64) bool {
+	rt.inscount += inc
+	rt.lastNow = now
+	return rt.inscount > rt.nextIR
+}
+
+// FireDueIR is the taken half of ProbeIR: fire every handler whose IR
+// interval elapsed and recompute the global gate. The gate refresh runs
+// even when nothing fires (disabled handlers, global disable) — that is
+// what re-arms nextIR after a gate passage, exactly as ProbeIR always
+// did.
+func (rt *Runtime) FireDueIR(now int64) int {
 	fired := 0
 	if rt.globalDisable == 0 {
 		if h := rt.single; h != nil { // fast path (footnote 1)
@@ -440,11 +459,26 @@ func (rt *Runtime) ProbeIR(inc int64, now int64) int {
 // has elapsed. Returns how many cycle-counter reads were performed and
 // how many handlers fired (for VM cost accounting).
 func (rt *Runtime) ProbeCycles(inc int64, now int64) (reads, fired int) {
-	rt.inscount += inc
-	rt.lastNow = now
-	if rt.inscount < rt.cycGateIR {
+	if !rt.ProbeCyclesDue(inc, now) {
 		return 0, 0
 	}
+	return rt.FireDueCycles(now)
+}
+
+// ProbeCyclesDue is the untaken fast path of ProbeCycles: advance the
+// IR counter, stamp the clock, and report whether the IR gate for the
+// next cycle-counter read passed. On true the caller must invoke
+// FireDueCycles for the taken half.
+func (rt *Runtime) ProbeCyclesDue(inc int64, now int64) bool {
+	rt.inscount += inc
+	rt.lastNow = now
+	return rt.inscount >= rt.cycGateIR
+}
+
+// FireDueCycles is the taken half of ProbeCycles: perform the cycle
+// read, fire handlers past their cycle interval, and re-aim the IR gate
+// at roughly half the minimum remaining interval.
+func (rt *Runtime) FireDueCycles(now int64) (reads, fired int) {
 	reads = 1
 	minRemaining := int64(never)
 	if rt.globalDisable == 0 {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/overload"
+	"repro/internal/vm"
 )
 
 // DesignByName maps the CLI spellings to probe designs. cirun's
@@ -60,10 +61,11 @@ type Flags struct {
 	ProbeInterval  int64
 	AllowableError int64
 
-	// AddEngine
+	// AddEngine / AddTier
 	Workers   int
 	StorePath string
 	Sanitize  bool
+	Tier      string
 
 	// AddSeed / AddScale
 	Seed  uint64
@@ -111,13 +113,27 @@ func (f *Flags) AddCompile() *Flags {
 	return f
 }
 
-// AddEngine registers the experiment-engine flags -workers, -store and
-// -sanitize.
+// AddEngine registers the experiment-engine flags -workers, -store,
+// -sanitize and -tier.
 func (f *Flags) AddEngine() *Flags {
 	f.fs.IntVar(&f.Workers, "workers", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial)")
 	f.fs.StringVar(&f.StorePath, "store", "", "incremental result store (BENCH_*.json); unchanged cells are skipped")
 	f.AddSanitize()
+	f.AddTier()
 	return f
+}
+
+// AddTier registers -tier alone (cirun and cidump want it without the
+// engine flags).
+func (f *Flags) AddTier() *Flags {
+	f.fs.StringVar(&f.Tier, "tier", "interpreter",
+		"VM execution tier: interpreter (reference) or compiled (closure-threaded, cycle-exact)")
+	return f
+}
+
+// ParseTier resolves the registered -tier flag value.
+func (f *Flags) ParseTier() (vm.Tier, error) {
+	return vm.ParseTier(f.Tier)
 }
 
 // AddSanitize registers -sanitize alone (cidump wants it without the
@@ -197,6 +213,13 @@ func (f *Flags) Scope() *obs.Scope {
 func (f *Flags) Engine() (*engine.Engine, error) {
 	eng := engine.New(f.Workers)
 	eng.SanitizeOnMiss = f.Sanitize
+	if f.Tier != "" {
+		tier, err := f.ParseTier()
+		if err != nil {
+			return nil, err
+		}
+		eng.Tier = tier
+	}
 	if f.StorePath != "" {
 		store, err := engine.OpenStore(f.StorePath)
 		if err != nil {

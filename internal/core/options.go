@@ -30,6 +30,9 @@ type settings struct {
 	rc       RunConfig
 	obs      *obs.Scope
 	sanitize SanitizeFunc
+	// tierSet marks an explicit WithTier so Program.Run can distinguish
+	// "override the compiled-in tier" from the zero value.
+	tierSet bool
 }
 
 // Option configures Compile and/or Run. Compile ignores run-only
@@ -129,6 +132,19 @@ func WithFuncStageHook(h analysis.StageHook) Option {
 // points.
 func WithModStageHook(h instrument.ModStageHook) Option {
 	return func(s *settings) { s.cfg.ModStageHook = h }
+}
+
+// WithTier selects the VM execution tier: vm.TierInterpreter (the
+// default and the reference semantics) or vm.TierCompiled (the
+// closure-threaded compiled tier, cycle-exact with the interpreter).
+// The tier participates in compile-side Config so engine cache keys
+// separate tiers; at Run it selects the machine's engine. A run-time
+// WithTier overrides the tier the program was compiled with.
+func WithTier(t vm.Tier) Option {
+	return func(s *settings) {
+		s.cfg.Tier = t
+		s.tierSet = true
+	}
 }
 
 // WithSanitize installs a compile interceptor, typically

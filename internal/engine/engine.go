@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"repro/internal/obs"
+	"repro/internal/vm"
 )
 
 // Engine bundles the three layers of the experiment engine: the worker
@@ -26,6 +27,10 @@ type Engine struct {
 	// hit/miss instants and counters. Attach it via AttachObs so the
 	// cache observer is wired as well.
 	Obs *obs.Scope
+	// Tier selects the VM execution tier for every cell the engine
+	// runs (interpreter by default). It is folded into compile cache
+	// keys, so one engine can host both tiers without aliasing.
+	Tier vm.Tier
 }
 
 // AttachObs points the engine (and its cache) at an observability

@@ -8,7 +8,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/stats"
-	"repro/internal/vm"
 	"repro/internal/workloads"
 )
 
@@ -62,7 +61,7 @@ func MeasureAllowableError(eng *engine.Engine, values []int64, scale int) ([]All
 				return AllowablePoint{}, err
 			}
 			probes += prog.Instr.Probes
-			machine := vm.New(prog.Mod, nil, 1)
+			machine := newMachine(eng, prog.Mod, nil, 1)
 			machine.LimitInstrs = runLimit
 			th := machine.NewThread(0)
 			th.RT.IRPerCycle = base.IRPerCycle

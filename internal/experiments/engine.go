@@ -8,6 +8,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/ir"
 	"repro/internal/sanitize"
+	"repro/internal/vm"
 	"repro/internal/workloads"
 )
 
@@ -66,9 +67,19 @@ type progEntry struct {
 // cfgKey folds every compilation-relevant core.Config field into a
 // cache key component.
 func cfgKey(cfg core.Config) string {
-	return fmt.Sprintf("%v/pi%d/ae%d/xc%d/lt%t/lc%t/o%t",
+	return fmt.Sprintf("%v/pi%d/ae%d/xc%d/lt%t/lc%t/o%t/tier-%s",
 		cfg.Design, cfg.ProbeIntervalIR, cfg.AllowableErrorIR, cfg.ExternCostIR,
-		cfg.DisableLoopTransform, cfg.DisableLoopClone, cfg.Optimize)
+		cfg.DisableLoopTransform, cfg.DisableLoopClone, cfg.Optimize, cfg.Tier)
+}
+
+// newMachine builds a VM on the engine's execution tier (interpreter
+// with a nil engine).
+func newMachine(eng *engine.Engine, m *ir.Module, model *vm.CostModel, threads int) *vm.VM {
+	v := vm.New(m, model, threads)
+	if eng != nil {
+		v.Tier = eng.Tier
+	}
+	return v
 }
 
 // SourceModule returns the workload's uninstrumented module, memoized
@@ -93,7 +104,7 @@ func BaselineCached(eng *engine.Engine, wl *workloads.Workload, scale, threads i
 	}
 	key := fmt.Sprintf("base/%s/s%d/t%d", wl.Name, scale, threads)
 	v, err := eng.Cache.Get(key, func() (any, error) {
-		return runBaseline(SourceModule(eng, wl, scale), wl.Name, threads)
+		return runBaseline(eng, SourceModule(eng, wl, scale), wl.Name, threads)
 	})
 	if err != nil {
 		return Baseline{}, err
@@ -118,6 +129,11 @@ func compileMaybeChecked(eng *engine.Engine, src *ir.Module, opts []core.Option)
 // is shared across cells; callers must treat it as read-only (VM runs
 // do — the fingerprint guard in the cache proves it).
 func CompileCached(eng *engine.Engine, wl *workloads.Workload, scale int, opts ...core.Option) (*core.Program, error) {
+	if eng != nil {
+		// Bake the engine's tier into the program (an explicit WithTier
+		// among opts still wins — options apply in order).
+		opts = append([]core.Option{core.WithTier(eng.Tier)}, opts...)
+	}
 	cfg := core.ConfigOf(opts...)
 	if eng == nil || eng.Cache == nil || cfg.ImportedCosts != nil {
 		return compileMaybeChecked(eng, SourceModule(eng, wl, scale), opts)

@@ -40,7 +40,7 @@ type HybridRow struct {
 // engine cell; a failing program is reported without losing the rest.
 func MeasureHybrid(eng *engine.Engine, names []string, target int64, deadlineMult float64, scale int) ([]HybridRow, []CellError) {
 	cells, errs := engine.Map(eng.Pool, len(names), func(i int) (HybridRow, error) {
-		return measureHybridOne(names[i], target, deadlineMult, scale)
+		return measureHybridOne(eng, names[i], target, deadlineMult, scale)
 	})
 	var rows []HybridRow
 	for i, row := range cells {
@@ -52,12 +52,12 @@ func MeasureHybrid(eng *engine.Engine, names []string, target int64, deadlineMul
 }
 
 // measureHybridOne runs one program's CI-only vs hybrid comparison.
-func measureHybridOne(name string, target int64, deadlineMult float64, scale int) (HybridRow, error) {
+func measureHybridOne(eng *engine.Engine, name string, target int64, deadlineMult float64, scale int) (HybridRow, error) {
 	src, err := hybridProgram(name, scale)
 	if err != nil {
 		return HybridRow{}, err
 	}
-	baseMachine := vm.New(src, nil, 1)
+	baseMachine := newMachine(eng, src, nil, 1)
 	baseMachine.LimitInstrs = runLimit
 	baseThread := baseMachine.NewThread(0)
 	if _, err := baseThread.Run("main", 0); err != nil {
@@ -85,7 +85,7 @@ func measureHybridOne(name string, target int64, deadlineMult float64, scale int
 		model := vm.Default()
 		model.HWInterruptCost = 10000
 		model.HWTrapCost = 4000
-		machine := vm.New(prog.Mod, model, 1)
+		machine := newMachine(eng, prog.Mod, model, 1)
 		machine.LimitInstrs = runLimit
 		var gaps []int64
 		var lastFire int64

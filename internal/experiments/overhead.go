@@ -48,13 +48,13 @@ type Baseline struct {
 // count) and returns the reference cycles and the profiled IR/cycle
 // ratio used to tune the CI runtime (§4 footnote 3).
 func MeasureBaseline(wl *workloads.Workload, scale, threads int) (Baseline, error) {
-	return runBaseline(wl.Build(scale), wl.Name, threads)
+	return runBaseline(nil, wl.Build(scale), wl.Name, threads)
 }
 
 // runBaseline measures the uninstrumented module m (shared read-only
 // when it comes from the engine cache).
-func runBaseline(m *ir.Module, name string, threads int) (Baseline, error) {
-	machine := vm.New(m, nil, threads)
+func runBaseline(eng *engine.Engine, m *ir.Module, name string, threads int) (Baseline, error) {
+	machine := newMachine(eng, m, nil, threads)
 	machine.LimitInstrs = runLimit
 	th := machine.NewThread(0)
 	if _, err := th.Run("main", 0); err != nil {
@@ -108,7 +108,7 @@ func MeasureOverhead(eng *engine.Engine, wl *workloads.Workload, d instrument.De
 	eventScale := 1.0
 	if record {
 		cal := func() (int64, error) {
-			machine := vm.New(prog.Mod, nil, threads)
+			machine := newMachine(eng, prog.Mod, nil, threads)
 			machine.LimitInstrs = runLimit
 			th := machine.NewThread(0)
 			th.RT.IRPerCycle = irPerCycle
@@ -150,7 +150,7 @@ func MeasureOverhead(eng *engine.Engine, wl *workloads.Workload, d instrument.De
 			}
 		}
 	}
-	machine := vm.New(prog.Mod, nil, threads)
+	machine := newMachine(eng, prog.Mod, nil, threads)
 	machine.LimitInstrs = runLimit
 	// The measured run (not the calibration passes) feeds the
 	// observability scope: probe-site profile, handler spans.
@@ -432,7 +432,7 @@ func measureFig12Workload(eng *engine.Engine, wl *workloads.Workload, scale int,
 	}
 	for _, interval := range intervals {
 		// CI run.
-		machine := vm.New(prog.Mod, nil, 1)
+		machine := newMachine(eng, prog.Mod, nil, 1)
 		machine.LimitInstrs = runLimit
 		th := machine.NewThread(0)
 		th.RT.IRPerCycle = base.IRPerCycle
@@ -443,7 +443,7 @@ func measureFig12Workload(eng *engine.Engine, wl *workloads.Workload, scale int,
 		cell.CI = append(cell.CI, float64(th.Stats.Cycles)/float64(base.Cycles))
 
 		// Hardware-interrupt run on the uninstrumented program.
-		hwMachine := vm.New(hwMod, nil, 1)
+		hwMachine := newMachine(eng, hwMod, nil, 1)
 		hwMachine.LimitInstrs = runLimit
 		hwMachine.HW = &vm.HWConfig{
 			IntervalCycles: interval,

@@ -7,7 +7,6 @@ import (
 	"repro/internal/ci/instrument"
 	"repro/internal/core"
 	"repro/internal/engine"
-	"repro/internal/vm"
 )
 
 // This file reproduces the §5.4 probe-execution claim: "These results
@@ -49,7 +48,7 @@ func MeasureProbeCounts(eng *engine.Engine, scale int, intervalCycles int64) ([]
 				if err != nil {
 					return row, err
 				}
-				machine := vm.New(prog.Mod, nil, 1)
+				machine := newMachine(eng, prog.Mod, nil, 1)
 				machine.LimitInstrs = runLimit
 				th := machine.NewThread(0)
 				th.RT.IRPerCycle = base.IRPerCycle

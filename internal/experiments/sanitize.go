@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/sanitize"
+	"repro/internal/vm"
 )
 
 // This file drives the translation-validation sanitizer from the
@@ -38,6 +39,12 @@ type SanitizeRow struct {
 	StageErrors int
 	// Divergences counts differential-oracle failures.
 	Divergences int
+	// TierChecked / TierDivergences count tier-differential oracle runs
+	// (compiled vs interpreter, stat parity included) and their
+	// failures. Only populated when the engine's tier is the compiled
+	// one; the sweep output is unchanged otherwise.
+	TierChecked     int
+	TierDivergences int
 	// FirstFailure is the first stage error or divergence, if any.
 	FirstFailure string
 }
@@ -55,13 +62,22 @@ const (
 type sanitizeCell struct {
 	Verdicts [4]sanitizeVerdict
 	Failures [4]string
+	// TierChecked / TierDiverged mark per-design tier-differential
+	// verdicts (engine on the compiled tier only).
+	TierChecked  [4]bool
+	TierDiverged [4]bool
 }
 
 // RunSanitizeSweep fuzzes `seeds` programs and pushes each through
 // sanitize.CompileChecked (stage checks + differential oracle) for
 // every oracle design. One seed is one engine cell; the whole sweep
-// shards across the engine pool.
+// shards across the engine pool. An engine on the compiled tier
+// additionally runs every clean instrumented module through the
+// tier-differential oracle (sanitize.DiffTiers), so
+// `ciexp sanitize -tier=compiled` gates the compiled tier's bit
+// exactness over the same fuzz corpus.
 func RunSanitizeSweep(eng *engine.Engine, seeds int) ([]SanitizeRow, []CellError) {
+	tiered := eng.Tier == vm.TierCompiled
 	cells, errs := engine.Map(eng.Pool, seeds, func(i int) (sanitizeCell, error) {
 		seed := uint64(i + 1)
 		src := fuzz.Generate(seed, fuzz.Options{
@@ -73,7 +89,7 @@ func RunSanitizeSweep(eng *engine.Engine, seeds int) ([]SanitizeRow, []CellError
 		}
 		var cell sanitizeCell
 		for di, d := range sanitizeDesigns {
-			_, err := sanitize.CompileChecked(src, core.Config{
+			prog, err := sanitize.CompileChecked(src, core.Config{
 				Design: d, ProbeIntervalIR: 200,
 			}, sanitize.Options{Exec: true, ExecOptions: eo})
 			var se *sanitize.StageError
@@ -81,6 +97,19 @@ func RunSanitizeSweep(eng *engine.Engine, seeds int) ([]SanitizeRow, []CellError
 			switch {
 			case err == nil:
 				cell.Verdicts[di] = verdictClean
+				if tiered {
+					cell.TierChecked[di] = true
+					terr := sanitize.DiffTiers(prog.Mod, eo)
+					var tdiv *sanitize.Divergence
+					switch {
+					case terr == nil || errors.Is(terr, sanitize.ErrInconclusive):
+					case errors.As(terr, &tdiv):
+						cell.TierDiverged[di] = true
+						cell.Failures[di] = fmt.Sprintf("seed %d: %v", seed, tdiv)
+					default:
+						return cell, fmt.Errorf("seed %d/%v: tier oracle: %w", seed, d, terr)
+					}
+				}
 			case errors.Is(err, sanitize.ErrInconclusive):
 				cell.Verdicts[di] = verdictInconclusive
 			case errors.As(err, &se):
@@ -116,6 +145,12 @@ func RunSanitizeSweep(eng *engine.Engine, seeds int) ([]SanitizeRow, []CellError
 				r.StageErrors++
 			case verdictDivergence:
 				r.Divergences++
+			}
+			if cell.TierChecked[di] {
+				r.TierChecked++
+			}
+			if cell.TierDiverged[di] {
+				r.TierDivergences++
 			}
 			if cell.Failures[di] != "" && r.FirstFailure == "" {
 				r.FirstFailure = cell.Failures[di]
@@ -163,16 +198,29 @@ func PrintSanitize(w io.Writer, eng *engine.Engine, scale int, quick bool) error
 	if quick {
 		seeds = 50
 	}
-	fmt.Fprintf(w, "Translation-validation sweep: %d fuzz programs x %d designs (stage checks + differential oracle)\n",
-		seeds, len(sanitizeDesigns))
+	tiered := eng.Tier == vm.TierCompiled
+	suffix := ""
+	if tiered {
+		suffix = " + tier-differential oracle (compiled vs interpreter)"
+	}
+	fmt.Fprintf(w, "Translation-validation sweep: %d fuzz programs x %d designs (stage checks + differential oracle)%s\n",
+		seeds, len(sanitizeDesigns), suffix)
 	rows, errs := RunSanitizeSweep(eng, seeds)
-	fmt.Fprintf(w, "%-12s%10s%8s%14s%13s%13s\n",
+	fmt.Fprintf(w, "%-12s%10s%8s%14s%13s%13s",
 		"design", "programs", "clean", "inconclusive", "stage errs", "divergences")
+	if tiered {
+		fmt.Fprintf(w, "%12s%11s", "tier runs", "tier divs")
+	}
+	fmt.Fprintln(w)
 	bad := 0
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-12s%10d%8d%14d%13d%13d\n",
+		fmt.Fprintf(w, "%-12s%10d%8d%14d%13d%13d",
 			r.Design, r.Programs, r.Clean, r.Inconclusive, r.StageErrors, r.Divergences)
-		bad += r.StageErrors + r.Divergences
+		if tiered {
+			fmt.Fprintf(w, "%12d%11d", r.TierChecked, r.TierDivergences)
+		}
+		fmt.Fprintln(w)
+		bad += r.StageErrors + r.Divergences + r.TierDivergences
 		if r.FirstFailure != "" {
 			fmt.Fprintf(w, "  first failure: %s\n", r.FirstFailure)
 		}

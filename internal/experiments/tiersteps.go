@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ci/instrument"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/vm"
+)
+
+// TierSteps is the tier speed comparison over a workload set: host
+// wall-clock execution rates (simulated IR instructions per host
+// second) for the interpreter and the compiled tier running the same
+// instrumented programs, plus their ratio. Cycle accounting is
+// identical across tiers by construction, so the comparison is pure
+// dispatch efficiency.
+type TierSteps struct {
+	// Workloads is the number of programs in the set.
+	Workloads int
+	// Instrs is the simulated instruction count of one full pass over
+	// the set (equal for both tiers — checked, not assumed).
+	Instrs int64
+	// InterpStepsPerSec / CompiledStepsPerSec are the measured rates.
+	InterpStepsPerSec   float64
+	CompiledStepsPerSec float64
+	// Speedup is CompiledStepsPerSec / InterpStepsPerSec.
+	Speedup float64
+}
+
+// MeasureTierSteps compiles the named Table-7 workloads (CI design,
+// 250-IR probes) and runs each once per tier on a raw VM with a
+// 5000-cycle no-op CI handler, timing the host-side execution. It
+// fails if the tiers disagree on the executed instruction count —
+// a speed measurement on diverging semantics would be meaningless.
+func MeasureTierSteps(eng *engine.Engine, names []string, scale int) (TierSteps, error) {
+	sel, err := WorkloadsByName(names)
+	if err != nil {
+		return TierSteps{}, err
+	}
+	progs := make([]*core.Program, len(sel))
+	for i, wl := range sel {
+		progs[i], err = CompileCached(eng, wl, scale,
+			core.WithDesign(instrument.CI), core.WithProbeInterval(250))
+		if err != nil {
+			return TierSteps{}, fmt.Errorf("%s: %w", wl.Name, err)
+		}
+	}
+	run := func(tier vm.Tier) (int64, time.Duration, error) {
+		// Best of three passes: the VM is deterministic, so the instruction
+		// count is identical across passes and the minimum wall-clock is the
+		// least host-noise-contaminated measurement.
+		var best time.Duration
+		var instrs int64
+		for rep := 0; rep < 3; rep++ {
+			var passInstrs int64
+			var elapsed time.Duration
+			for i, prog := range progs {
+				machine := vm.New(prog.Mod, nil, 1)
+				machine.Tier = tier
+				machine.LimitInstrs = 400_000_000
+				th := machine.NewThread(0)
+				th.RT.RegisterCI(5000, func(uint64) {})
+				start := time.Now()
+				if _, err := th.Run("main", 0); err != nil {
+					return 0, 0, fmt.Errorf("%s under %s: %w", sel[i].Name, tier, err)
+				}
+				elapsed += time.Since(start)
+				passInstrs += th.Stats.Instrs
+			}
+			if rep == 0 || elapsed < best {
+				best = elapsed
+			}
+			instrs = passInstrs
+		}
+		return instrs, best, nil
+	}
+	iInstrs, iElapsed, err := run(vm.TierInterpreter)
+	if err != nil {
+		return TierSteps{}, err
+	}
+	cInstrs, cElapsed, err := run(vm.TierCompiled)
+	if err != nil {
+		return TierSteps{}, err
+	}
+	if iInstrs != cInstrs {
+		return TierSteps{}, fmt.Errorf("tier drift: interpreter executed %d instructions, compiled %d", iInstrs, cInstrs)
+	}
+	out := TierSteps{
+		Workloads:           len(sel),
+		Instrs:              iInstrs,
+		InterpStepsPerSec:   float64(iInstrs) / iElapsed.Seconds(),
+		CompiledStepsPerSec: float64(cInstrs) / cElapsed.Seconds(),
+	}
+	out.Speedup = out.CompiledStepsPerSec / out.InterpStepsPerSec
+	return out, nil
+}

@@ -1,0 +1,123 @@
+// Tier-differential oracle: the compiled VM tier promises bit-exact
+// equivalence with the interpreter — same store stream, same return
+// value, same final memory, same handler fire count and the same
+// Stats, cycle for cycle. This file runs one module under both tiers
+// and reports the first difference as a *Divergence (Stage "tier").
+// Stat parity is deliberate and load-bearing: a cycle drift is a
+// miscompile even when every memory effect agrees, because the whole
+// point of the VM is its virtual clock.
+package sanitize
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// tierStoreEv is one observable write in a tier trace. Atomics are
+// distinguished from plain stores so a tier that turned one into the
+// other would diverge even when the committed value coincides.
+type tierStoreEv struct {
+	addr, val int64
+	atomic    bool
+}
+
+// TierTrace is the observable behaviour the tier oracle compares: the
+// ordered write stream, the return value, the final memory image, the
+// CI handler fire count and the full VM statistics.
+type TierTrace struct {
+	stores []tierStoreEv
+	Ret    int64
+	Mem    []int64
+	Fires  int64
+	Stats  vm.Stats
+}
+
+// runTier executes m (on a private clone) under one tier and records
+// its trace. Both tiers attach the same OnStore/OnAtomic observers —
+// the compiled tier supports them natively (no deopt), so the oracle
+// compares real compiled execution rather than a deopted shadow of it.
+func runTier(m *ir.Module, tier vm.Tier, opts ExecOptions) (*TierTrace, error) {
+	opts = opts.withDefaults()
+	mm := m.Clone()
+	machine := vm.New(mm, nil, 1)
+	machine.Tier = tier
+	machine.LimitInstrs = opts.LimitInstrs
+	th := machine.NewThread(0)
+	hid := th.RT.RegisterCI(opts.IntervalCycles, func(uint64) {})
+	tr := &TierTrace{}
+	th.OnStore = func(fn, block string, addr, val int64) {
+		tr.stores = append(tr.stores, tierStoreEv{addr, val, false})
+	}
+	th.OnAtomic = func(fn, block string, addr, old, add int64) {
+		tr.stores = append(tr.stores, tierStoreEv{addr, old + add, true})
+	}
+	args := opts.Args
+	if f := mm.FuncByName(opts.Entry); f != nil && f.NumParams == 0 {
+		args = nil
+	}
+	rv, err := th.Run(opts.Entry, args...)
+	if err != nil {
+		if errors.Is(err, vm.ErrStepBudget) {
+			return nil, fmt.Errorf("%w: %s tier hit the step budget: %v", ErrInconclusive, tier, err)
+		}
+		return nil, fmt.Errorf("sanitize: %s tier run failed: %w", tier, err)
+	}
+	tr.Ret = rv
+	tr.Mem = append([]int64(nil), machine.Mem...)
+	tr.Fires = th.RT.Fires(hid)
+	tr.Stats = th.Stats
+	return tr, nil
+}
+
+// DiffTiers runs m under the interpreter (the reference semantics) and
+// the compiled tier and returns a *Divergence at the first observable
+// difference, ErrInconclusive when either side exhausts the step
+// budget, or nil when the tiers agree bit for bit.
+func DiffTiers(m *ir.Module, opts ExecOptions) error {
+	ref, err := runTier(m, vm.TierInterpreter, opts)
+	if err != nil {
+		return err
+	}
+	got, err := runTier(m, vm.TierCompiled, opts)
+	if err != nil {
+		return err
+	}
+	return diffTierTraces(ref, got)
+}
+
+// diffTierTraces compares a compiled-tier trace against the
+// interpreter reference, most-localizing check first (store stream,
+// then return value, memory, fire count, stats).
+func diffTierTraces(ref, got *TierTrace) error {
+	div := func(step int, format string, args ...any) *Divergence {
+		return &Divergence{Stage: "tier", Design: "compiled", Step: step,
+			Detail: fmt.Sprintf(format, args...)}
+	}
+	n := min(len(ref.stores), len(got.stores))
+	for i := 0; i < n; i++ {
+		if ref.stores[i] != got.stores[i] {
+			return div(i, "store %+v, interpreter stored %+v", got.stores[i], ref.stores[i])
+		}
+	}
+	if len(got.stores) != len(ref.stores) {
+		return div(n, "made %d stores, interpreter made %d", len(got.stores), len(ref.stores))
+	}
+	if got.Ret != ref.Ret {
+		return div(-1, "returned %d, interpreter returned %d", got.Ret, ref.Ret)
+	}
+	for i := range got.Mem {
+		if i < len(ref.Mem) && got.Mem[i] != ref.Mem[i] {
+			return div(-1, "final mem[%d] = %d, interpreter %d", i, got.Mem[i], ref.Mem[i])
+		}
+	}
+	if got.Fires != ref.Fires {
+		return div(-1, "handler fired %d times, interpreter %d", got.Fires, ref.Fires)
+	}
+	if got.Stats != ref.Stats {
+		return div(-1, "stats drift: compiled %+v, interpreter %+v", got.Stats, ref.Stats)
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+// Entry-liveness analysis for the compiled tier's frame pooling.
+//
+// The interpreter allocates a fresh (zeroed) register file per call;
+// the compiled tier reuses pooled frames, so a recycled frame starts
+// with whatever the previous occupant left behind. Zeroing the whole
+// file per call is what the pool was supposed to avoid — on
+// call-heavy workloads the memclr dominates the profile. Instead,
+// compileFunc computes the function's live-in register set (registers
+// some path can read before writing) with a standard backward
+// dataflow over the CFG, and pushFrame zeroes only those. Registers
+// outside the set are written before every possible read, so the
+// garbage they hold is unobservable and parity with the interpreter's
+// all-zero file is exact. The IR has no indirect register addressing,
+// which is what makes the use/def sets syntactically complete.
+package vm
+
+import "repro/internal/ir"
+
+// regSet is a dense bitset over a function's virtual registers.
+type regSet []uint64
+
+func newRegSet(numRegs int) regSet { return make(regSet, (numRegs+63)/64) }
+
+func (s regSet) add(r ir.Reg) {
+	if r != ir.NoReg {
+		s[uint32(r)>>6] |= 1 << (uint32(r) & 63)
+	}
+}
+
+func (s regSet) has(r ir.Reg) bool {
+	return r != ir.NoReg && s[uint32(r)>>6]&(1<<(uint32(r)&63)) != 0
+}
+
+// orInto folds o into s, reporting whether s changed.
+func (s regSet) orInto(o regSet) bool {
+	changed := false
+	for i, w := range o {
+		if s[i]|w != s[i] {
+			s[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// instrRegs reports the registers one instruction reads (use) and
+// writes (def), in the exact order the interpreter and the compiled
+// closures touch them. Loop-probe closures read their induction and
+// base registers; unknown opcodes halt with an error before touching
+// any register, so they contribute nothing.
+func instrRegs(in *ir.Instr, use, def func(ir.Reg)) {
+	switch {
+	case in.Op == ir.OpNop:
+	case in.Op == ir.OpProbe:
+		if p := in.Probe; p != nil && (p.Kind == ir.ProbeIRLoop || p.Kind == ir.ProbeCyclesLoop) {
+			use(p.IndVar)
+			use(p.Base)
+		}
+	case in.Op == ir.OpMov:
+		if !in.BImm {
+			use(in.A)
+		}
+		def(in.Dst)
+	case in.Op.IsBinary():
+		use(in.A)
+		if !in.BImm {
+			use(in.B)
+		}
+		def(in.Dst)
+	case in.Op == ir.OpLoad:
+		use(in.A) // NoReg (absolute address) is ignored by the sets
+		def(in.Dst)
+	case in.Op == ir.OpStore:
+		use(in.A)
+		use(in.B)
+	case in.Op == ir.OpAtomicAdd:
+		use(in.A)
+		use(in.B)
+		def(in.Dst)
+	case in.Op == ir.OpCall, in.Op == ir.OpExtCall:
+		for _, r := range in.Args {
+			use(r)
+		}
+		def(in.Dst)
+	case in.Op == ir.OpReadCycles:
+		def(in.Dst)
+	}
+}
+
+// liveInRegs computes the live-in set of f's entry block: every
+// register some path from entry can read before writing. Classic
+// backward may-analysis — per-block gen (read before written) and
+// kill (written) sets, then liveIn = gen ∪ (liveOut \ kill) iterated
+// to fixpoint — returned as a sorted index list for pushFrame.
+func liveInRegs(f *ir.Func) []int32 {
+	n := len(f.Blocks)
+	gen := make([]regSet, n)
+	kill := make([]regSet, n)
+	liveIn := make([]regSet, n)
+	for i, b := range f.Blocks {
+		g, k := newRegSet(f.NumRegs), newRegSet(f.NumRegs)
+		for j := range b.Instrs {
+			instrRegs(&b.Instrs[j],
+				func(r ir.Reg) {
+					if !k.has(r) {
+						g.add(r)
+					}
+				},
+				k.add)
+		}
+		switch b.Term.Kind {
+		case ir.TermBr:
+			if !k.has(b.Term.Cond) {
+				g.add(b.Term.Cond)
+			}
+		case ir.TermRet:
+			if !k.has(b.Term.Val) {
+				g.add(b.Term.Val)
+			}
+		}
+		gen[i], kill[i] = g, k
+		liveIn[i] = newRegSet(f.NumRegs)
+		copy(liveIn[i], g)
+	}
+	// Local block index: the analysis runs on a module other VMs may be
+	// executing concurrently, so it must not touch shared Block.Index.
+	idx := make(map[*ir.Block]int, n)
+	for i, b := range f.Blocks {
+		idx[b] = i
+	}
+	var succs []*ir.Block
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			liveOut := newRegSet(f.NumRegs)
+			succs = b.Succs(succs[:0])
+			for _, s := range succs {
+				liveOut.orInto(liveIn[idx[s]])
+			}
+			// liveIn[i] |= liveOut \ kill[i]
+			in := liveIn[i]
+			k := kill[i]
+			for w := range liveOut {
+				add := liveOut[w] &^ k[w]
+				if in[w]|add != in[w] {
+					in[w] |= add
+					changed = true
+				}
+			}
+		}
+	}
+	var out []int32
+	entry := liveIn[0]
+	for r := 0; r < f.NumRegs; r++ {
+		if entry.has(ir.Reg(r)) {
+			out = append(out, int32(r))
+		}
+	}
+	return out
+}

@@ -44,6 +44,18 @@ type VM struct {
 	// thread. Nil (the default) is the disabled scope and keeps the
 	// probe-fire path allocation-free.
 	Obs *obs.Scope
+	// Tier selects the execution engine: TierInterpreter (the default,
+	// and the reference semantics) or TierCompiled, which pre-decodes
+	// the module into closure-threaded code with fused superinstructions
+	// and a single-compare untaken-probe path. The compiled tier is
+	// cycle-exact — Stats match the interpreter bit for bit — and
+	// threads with an OnProbe hook, an attached trace, or an enabled obs
+	// scope transparently deoptimize back to the interpreter (see
+	// compiled.go for the deopt rules).
+	Tier Tier
+
+	compileOnce sync.Once
+	compiled    *compiledModule
 }
 
 // New creates a VM for the module with the given cost model (nil for
@@ -133,6 +145,11 @@ type Thread struct {
 	depth      int
 	limit      int64
 	funcMap    map[string]*ir.Func
+	// frames is the compiled tier's register-frame pool, indexed by call
+	// depth − 1. Pointers are stable (each frame is allocated once, the
+	// first time its depth is reached), so frames in flight across a
+	// nested dispatch loop stay valid while deeper calls extend the pool.
+	frames []*frame
 }
 
 // NewThread creates thread id with a fresh CI runtime whose clock is
@@ -189,6 +206,21 @@ func (t *Thread) Run(fn string, args ...int64) (int64, error) {
 	if len(args) != f.NumParams {
 		return 0, fmt.Errorf("vm: %q takes %d args, got %d", fn, f.NumParams, len(args))
 	}
+	return t.exec(f, args)
+}
+
+// exec routes execution to the selected tier. The compiled tier only
+// runs when no deopt-forcing observer is attached: OnProbe (forced-fire
+// schedules), an attached trace, and an enabled obs scope all need the
+// interpreter's full observation surface, so those threads fall back
+// per run. OnStore/OnLoad/OnAtomic are supported natively by the
+// compiled closures and do not deopt.
+func (t *Thread) exec(f *ir.Func, args []int64) (int64, error) {
+	if t.VM.Tier == TierCompiled && t.OnProbe == nil && t.trace == nil && t.obs == nil {
+		if cf := t.VM.compiledMod().funcs[f.Name]; cf != nil {
+			return t.callCompiled(cf, args)
+		}
+	}
 	return t.call(f, args)
 }
 
@@ -213,6 +245,11 @@ func (t *Thread) memCost(base int64) int64 {
 		c += m.MissCost2
 	} else if r < m.MissP2+m.MissP1 {
 		c += m.MissCost1
+	}
+	if t.memMul == 1 {
+		// Exact: int64(float64(c)*1.0) == c for any cost in range, so
+		// single-threaded runs skip the float round trip entirely.
+		return c
 	}
 	return int64(float64(c) * t.memMul)
 }
@@ -379,74 +416,8 @@ func (t *Thread) call(f *ir.Func, args []int64) (int64, error) {
 					regs[in.Dst] = rv
 				}
 			case ir.OpExtCall:
-				// libci intrinsics (Table 2): programs call
-				// ci_disable/ci_enable as externs; the VM routes them
-				// to the thread's CI runtime. ciid comes from the
-				// first argument (0 = all handlers, per §2.2).
-				if in.Callee == "ci_disable" || in.Callee == "ci_enable" {
-					t.Stats.Cycles += 4
-					ciid := 0
-					if len(in.Args) > 0 {
-						ciid = int(regs[in.Args[0]])
-					}
-					if in.Callee == "ci_disable" {
-						t.RT.Disable(ciid)
-					} else {
-						t.RT.Enable(ciid)
-					}
-					if in.Dst != ir.NoReg {
-						regs[in.Dst] = 0
-					}
-					continue
-				}
-				ext := t.VM.Mod.Externs[in.Callee]
-				if ext == nil {
-					return 0, fmt.Errorf("vm: extcall to unknown extern %q", in.Callee)
-				}
-				t.Stats.ExtCalls++
-				if t.trace != nil {
-					t.trace.add(TraceEvent{Kind: TraceExtCall, Cycle: t.Stats.Cycles, Detail: ext.Cost, Name: ext.Name})
-				}
-				extStart := t.Stats.Cycles
-				if ext.Blocking {
-					// Blocking system call: interrupts are deferred and
-					// coalesce to a single delivery at completion.
-					t.inExt = true
-					t.Stats.Cycles += ext.Cost
-					err := t.checkHW()
-					t.inExt = false
-					if err != nil {
-						return 0, err
-					}
-				} else if t.VM.HW != nil {
-					// Uninstrumented library code still takes hardware
-					// interrupts mid-call: deliver them at their
-					// deadlines inside the call.
-					remaining := ext.Cost
-					for remaining > 0 {
-						until := t.nextHW - (t.Stats.Cycles - t.hwOverhead)
-						if until > remaining {
-							t.Stats.Cycles += remaining
-							break
-						}
-						if until < 0 {
-							until = 0
-						}
-						t.Stats.Cycles += until
-						remaining -= until
-						if err := t.checkHW(); err != nil {
-							return 0, err
-						}
-					}
-				} else {
-					t.Stats.Cycles += ext.Cost
-				}
-				if t.obs != nil {
-					t.obs.Span("vm", "extcall", int32(t.ID), extStart, t.Stats.Cycles,
-						obs.S("callee", ext.Name))
-				}
-				if in.Dst != ir.NoReg {
-					regs[in.Dst] = 0
+				if err := t.execExtCall(in, regs); err != nil {
+					return 0, err
 				}
 			case ir.OpReadCycles:
 				t.Stats.Cycles += m.OpCost[ir.OpReadCycles]
@@ -535,6 +506,83 @@ func (t *Thread) call(f *ir.Func, args []int64) (int64, error) {
 			return 0, fmt.Errorf("vm: unterminated block %q in %q", b.Name, f.Name)
 		}
 	}
+}
+
+// execExtCall executes one external (uninstrumented) call — shared
+// verbatim by both execution tiers so the libci intrinsics, blocking
+// coalescing, and mid-call hardware-interrupt delivery stay
+// tier-independent. The caller has already counted the instruction.
+func (t *Thread) execExtCall(in *ir.Instr, regs []int64) error {
+	// libci intrinsics (Table 2): programs call
+	// ci_disable/ci_enable as externs; the VM routes them
+	// to the thread's CI runtime. ciid comes from the
+	// first argument (0 = all handlers, per §2.2).
+	if in.Callee == "ci_disable" || in.Callee == "ci_enable" {
+		t.Stats.Cycles += 4
+		ciid := 0
+		if len(in.Args) > 0 {
+			ciid = int(regs[in.Args[0]])
+		}
+		if in.Callee == "ci_disable" {
+			t.RT.Disable(ciid)
+		} else {
+			t.RT.Enable(ciid)
+		}
+		if in.Dst != ir.NoReg {
+			regs[in.Dst] = 0
+		}
+		return nil
+	}
+	ext := t.VM.Mod.Externs[in.Callee]
+	if ext == nil {
+		return fmt.Errorf("vm: extcall to unknown extern %q", in.Callee)
+	}
+	t.Stats.ExtCalls++
+	if t.trace != nil {
+		t.trace.add(TraceEvent{Kind: TraceExtCall, Cycle: t.Stats.Cycles, Detail: ext.Cost, Name: ext.Name})
+	}
+	extStart := t.Stats.Cycles
+	if ext.Blocking {
+		// Blocking system call: interrupts are deferred and
+		// coalesce to a single delivery at completion.
+		t.inExt = true
+		t.Stats.Cycles += ext.Cost
+		err := t.checkHW()
+		t.inExt = false
+		if err != nil {
+			return err
+		}
+	} else if t.VM.HW != nil {
+		// Uninstrumented library code still takes hardware
+		// interrupts mid-call: deliver them at their
+		// deadlines inside the call.
+		remaining := ext.Cost
+		for remaining > 0 {
+			until := t.nextHW - (t.Stats.Cycles - t.hwOverhead)
+			if until > remaining {
+				t.Stats.Cycles += remaining
+				break
+			}
+			if until < 0 {
+				until = 0
+			}
+			t.Stats.Cycles += until
+			remaining -= until
+			if err := t.checkHW(); err != nil {
+				return err
+			}
+		}
+	} else {
+		t.Stats.Cycles += ext.Cost
+	}
+	if t.obs != nil {
+		t.obs.Span("vm", "extcall", int32(t.ID), extStart, t.Stats.Cycles,
+			obs.S("callee", ext.Name))
+	}
+	if in.Dst != ir.NoReg {
+		regs[in.Dst] = 0
+	}
+	return nil
 }
 
 func b2i(b bool) int64 {
@@ -686,7 +734,7 @@ func (t *Thread) CallHandler(fn string, args ...int64) (int64, error) {
 	}
 	prev := t.inHandler
 	t.inHandler = true
-	rv, err := t.call(f, args)
+	rv, err := t.exec(f, args)
 	t.inHandler = prev
 	return rv, err
 }

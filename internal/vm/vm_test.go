@@ -11,9 +11,25 @@ import (
 	"repro/internal/ir"
 )
 
-func run(t *testing.T, m *ir.Module, fn string, args ...int64) (int64, *Thread) {
+// forEachTier runs the test body once per execution tier, so the
+// compiled tier inherits the full conformance surface of the
+// interpreter rather than a parallel copy.
+func forEachTier(t *testing.T, f func(t *testing.T, tier Tier)) {
+	for _, tier := range []Tier{TierInterpreter, TierCompiled} {
+		t.Run(tier.String(), func(t *testing.T) { f(t, tier) })
+	}
+}
+
+// newVM is New plus tier selection, for tests.
+func newVM(m *ir.Module, model *CostModel, threads int, tier Tier) *VM {
+	v := New(m, model, threads)
+	v.Tier = tier
+	return v
+}
+
+func run(t *testing.T, tier Tier, m *ir.Module, fn string, args ...int64) (int64, *Thread) {
 	t.Helper()
-	v := New(m, nil, 1)
+	v := newVM(m, nil, 1, tier)
 	v.LimitInstrs = 50_000_000
 	th := v.NewThread(0)
 	rv, err := th.Run(fn, args...)
@@ -24,7 +40,8 @@ func run(t *testing.T, m *ir.Module, fn string, args ...int64) (int64, *Thread) 
 }
 
 func TestArithmeticAndControlFlow(t *testing.T) {
-	m := ir.MustParse(`
+	forEachTier(t, func(t *testing.T, tier Tier) {
+		m := ir.MustParse(`
 func @main(%n) {
 entry:
   %s = mov 0
@@ -41,17 +58,19 @@ exit:
   ret %s
 }
 `)
-	rv, th := run(t, m, "main", 100)
-	if rv != 4950 {
-		t.Errorf("sum 0..99 = %d, want 4950", rv)
-	}
-	if th.Stats.Instrs < 500 || th.Stats.Cycles < th.Stats.Instrs {
-		t.Errorf("stats implausible: %+v", th.Stats)
-	}
+		rv, th := run(t, tier, m, "main", 100)
+		if rv != 4950 {
+			t.Errorf("sum 0..99 = %d, want 4950", rv)
+		}
+		if th.Stats.Instrs < 500 || th.Stats.Cycles < th.Stats.Instrs {
+			t.Errorf("stats implausible: %+v", th.Stats)
+		}
+	})
 }
 
 func TestRecursionAndCalls(t *testing.T) {
-	m := ir.MustParse(`
+	forEachTier(t, func(t *testing.T, tier Tier) {
+		m := ir.MustParse(`
 func @fib(%n) {
 entry:
   %c = lt %n, 2
@@ -67,14 +86,16 @@ rec:
   ret %s
 }
 `)
-	rv, _ := run(t, m, "fib", 15)
-	if rv != 610 {
-		t.Errorf("fib(15) = %d, want 610", rv)
-	}
+		rv, _ := run(t, tier, m, "fib", 15)
+		if rv != 610 {
+			t.Errorf("fib(15) = %d, want 610", rv)
+		}
+	})
 }
 
 func TestMemoryOps(t *testing.T) {
-	m := ir.MustParse(`
+	forEachTier(t, func(t *testing.T, tier Tier) {
+		m := ir.MustParse(`
 mem 128
 func @main() {
 entry:
@@ -88,14 +109,16 @@ entry:
   ret %sum
 }
 `)
-	rv, _ := run(t, m, "main")
-	if rv != 42+84 {
-		t.Errorf("got %d, want 126", rv)
-	}
+		rv, _ := run(t, tier, m, "main")
+		if rv != 42+84 {
+			t.Errorf("got %d, want 126", rv)
+		}
+	})
 }
 
 func TestMinMaxDivByZero(t *testing.T) {
-	m := ir.MustParse(`
+	forEachTier(t, func(t *testing.T, tier Tier) {
+		m := ir.MustParse(`
 func @main(%a, %b) {
 entry:
   %mn = min %a, %b
@@ -109,14 +132,16 @@ entry:
   ret %s
 }
 `)
-	rv, _ := run(t, m, "main", 3, 9)
-	if rv != 12 {
-		t.Errorf("got %d, want 12 (min+max, div/rem by zero = 0)", rv)
-	}
+		rv, _ := run(t, tier, m, "main", 3, 9)
+		if rv != 12 {
+			t.Errorf("got %d, want 12 (min+max, div/rem by zero = 0)", rv)
+		}
+	})
 }
 
 func TestMemoryFault(t *testing.T) {
-	m := ir.MustParse(`
+	forEachTier(t, func(t *testing.T, tier Tier) {
+		m := ir.MustParse(`
 mem 8
 func @main() {
 entry:
@@ -124,30 +149,34 @@ entry:
   ret %x
 }
 `)
-	v := New(m, nil, 1)
-	th := v.NewThread(0)
-	if _, err := th.Run("main"); !errors.Is(err, ErrMemFault) {
-		t.Errorf("err = %v, want ErrMemFault", err)
-	}
+		v := newVM(m, nil, 1, tier)
+		th := v.NewThread(0)
+		if _, err := th.Run("main"); !errors.Is(err, ErrMemFault) {
+			t.Errorf("err = %v, want ErrMemFault", err)
+		}
+	})
 }
 
 func TestInstrLimit(t *testing.T) {
-	m := ir.MustParse(`
+	forEachTier(t, func(t *testing.T, tier Tier) {
+		m := ir.MustParse(`
 func @main() {
 entry:
   jmp entry
 }
 `)
-	v := New(m, nil, 1)
-	v.LimitInstrs = 1000
-	th := v.NewThread(0)
-	if _, err := th.Run("main"); !errors.Is(err, ErrStepBudget) {
-		t.Errorf("err = %v, want ErrStepBudget", err)
-	}
+		v := newVM(m, nil, 1, tier)
+		v.LimitInstrs = 1000
+		th := v.NewThread(0)
+		if _, err := th.Run("main"); !errors.Is(err, ErrStepBudget) {
+			t.Errorf("err = %v, want ErrStepBudget", err)
+		}
+	})
 }
 
 func TestDeterminism(t *testing.T) {
-	src := `
+	forEachTier(t, func(t *testing.T, tier Tier) {
+		src := `
 mem 4096
 func @main(%n) {
 entry:
@@ -167,18 +196,20 @@ exit:
   ret %i
 }
 `
-	cycles := func() int64 {
-		m := ir.MustParse(src)
-		_, th := run(t, m, "main", 5000)
-		return th.Stats.Cycles
-	}
-	if a, b := cycles(), cycles(); a != b {
-		t.Errorf("non-deterministic cycles: %d vs %d", a, b)
-	}
+		cycles := func() int64 {
+			m := ir.MustParse(src)
+			_, th := run(t, tier, m, "main", 5000)
+			return th.Stats.Cycles
+		}
+		if a, b := cycles(), cycles(); a != b {
+			t.Errorf("non-deterministic cycles: %d vs %d", a, b)
+		}
+	})
 }
 
 func TestExtCallChargesCost(t *testing.T) {
-	m := ir.MustParse(`
+	forEachTier(t, func(t *testing.T, tier Tier) {
+		m := ir.MustParse(`
 extern @slow cost 5000
 func @main() {
 entry:
@@ -186,17 +217,19 @@ entry:
   ret
 }
 `)
-	_, th := run(t, m, "main")
-	if th.Stats.Cycles < 5000 {
-		t.Errorf("cycles = %d, want >= 5000", th.Stats.Cycles)
-	}
-	if th.Stats.ExtCalls != 1 {
-		t.Errorf("ExtCalls = %d", th.Stats.ExtCalls)
-	}
+		_, th := run(t, tier, m, "main")
+		if th.Stats.Cycles < 5000 {
+			t.Errorf("cycles = %d, want >= 5000", th.Stats.Cycles)
+		}
+		if th.Stats.ExtCalls != 1 {
+			t.Errorf("ExtCalls = %d", th.Stats.ExtCalls)
+		}
+	})
 }
 
 func TestHWInterrupts(t *testing.T) {
-	src := `
+	forEachTier(t, func(t *testing.T, tier Tier) {
+		src := `
 func @main(%n) {
 entry:
   %i = mov 0
@@ -211,38 +244,39 @@ exit:
   ret %i
 }
 `
-	base := func() int64 {
+		base := func() int64 {
+			m := ir.MustParse(src)
+			_, th := run(t, tier, m, "main", 200000)
+			return th.Stats.Cycles
+		}()
 		m := ir.MustParse(src)
-		_, th := run(t, m, "main", 200000)
-		return th.Stats.Cycles
-	}()
-	m := ir.MustParse(src)
-	v := New(m, nil, 1)
-	fired := 0
-	v.HW = &HWConfig{IntervalCycles: 5000, Handler: func(t *Thread) { fired++ }}
-	th := v.NewThread(0)
-	if _, err := th.Run("main", 200000); err != nil {
-		t.Fatal(err)
-	}
-	if fired == 0 || th.Stats.HWInterrupts != int64(fired) {
-		t.Fatalf("HW interrupts = %d / stat %d", fired, th.Stats.HWInterrupts)
-	}
-	// Overhead must be roughly interrupts * HWInterruptCost.
-	over := th.Stats.Cycles - base
-	wantMin := int64(fired) * v.Model.HWInterruptCost
-	if over < wantMin {
-		t.Errorf("overhead %d < interrupts*cost %d", over, wantMin)
-	}
-	// With cost 40000 per 5000-cycle interval, slowdown should be ~9x.
-	slow := float64(th.Stats.Cycles) / float64(base)
-	if slow < 5 || slow > 15 {
-		t.Errorf("HW slowdown = %.1fx, want ~9x", slow)
-	}
+		v := newVM(m, nil, 1, tier)
+		fired := 0
+		v.HW = &HWConfig{IntervalCycles: 5000, Handler: func(t *Thread) { fired++ }}
+		th := v.NewThread(0)
+		if _, err := th.Run("main", 200000); err != nil {
+			t.Fatal(err)
+		}
+		if fired == 0 || th.Stats.HWInterrupts != int64(fired) {
+			t.Fatalf("HW interrupts = %d / stat %d", fired, th.Stats.HWInterrupts)
+		}
+		// Overhead must be roughly interrupts * HWInterruptCost.
+		over := th.Stats.Cycles - base
+		wantMin := int64(fired) * v.Model.HWInterruptCost
+		if over < wantMin {
+			t.Errorf("overhead %d < interrupts*cost %d", over, wantMin)
+		}
+		// With cost 40000 per 5000-cycle interval, slowdown should be ~9x.
+		slow := float64(th.Stats.Cycles) / float64(base)
+		if slow < 5 || slow > 15 {
+			t.Errorf("HW slowdown = %.1fx, want ~9x", slow)
+		}
+	})
 }
 
 // Semantic preservation: every instrumentation design must leave
 // program results unchanged. This exercises the loop transform and
-// cloning surgery end to end.
+// cloning surgery end to end, on both execution tiers.
 func TestInstrumentationPreservesSemantics(t *testing.T) {
 	programs := []struct {
 		name string
@@ -401,30 +435,111 @@ exit:
 			fn: "main", args: []int64{7}, want: 14,
 		},
 	}
-	for _, p := range programs {
-		for _, d := range instrument.Designs {
-			t.Run(fmt.Sprintf("%s/%s", p.name, d), func(t *testing.T) {
-				m := ir.MustParse(p.src)
-				_, err := instrument.Instrument(m, instrument.Options{
-					Design:   d,
-					Analysis: analysis.Options{ProbeInterval: 150},
+	forEachTier(t, func(t *testing.T, tier Tier) {
+		for _, p := range programs {
+			for _, d := range instrument.Designs {
+				t.Run(fmt.Sprintf("%s/%s", p.name, d), func(t *testing.T) {
+					m := ir.MustParse(p.src)
+					_, err := instrument.Instrument(m, instrument.Options{
+						Design:   d,
+						Analysis: analysis.Options{ProbeInterval: 150},
+					})
+					if err != nil {
+						t.Fatalf("instrument: %v", err)
+					}
+					v := newVM(m, nil, 1, tier)
+					v.LimitInstrs = 50_000_000
+					th := v.NewThread(0)
+					th.RT.RegisterCI(5000, func(uint64) {})
+					got, err := th.Run(p.fn, p.args...)
+					if err != nil {
+						t.Fatalf("run: %v\n%s", err, m)
+					}
+					if got != p.want {
+						t.Errorf("result = %d, want %d\n%s", got, p.want, m)
+					}
 				})
-				if err != nil {
-					t.Fatalf("instrument: %v", err)
-				}
-				v := New(m, nil, 1)
-				v.LimitInstrs = 50_000_000
-				th := v.NewThread(0)
-				th.RT.RegisterCI(5000, func(uint64) {})
-				got, err := th.Run(p.fn, p.args...)
-				if err != nil {
-					t.Fatalf("run: %v\n%s", err, m)
-				}
-				if got != p.want {
-					t.Errorf("result = %d, want %d\n%s", got, p.want, m)
-				}
-			})
+			}
 		}
+	})
+}
+
+// Tier parity: the compiled tier must reproduce the interpreter's
+// Stats struct byte for byte — cycles, instruction counts, probe
+// counters, handler calls, cycle reads — along with the return value
+// and handler fire count, across every instrumentation design. This is
+// the in-package complement of the sanitize corpus oracle.
+func TestTierStatParity(t *testing.T) {
+	src := `
+mem 4096
+extern @lib cost 900
+func @mix(%x) {
+entry:
+  %a = and %x, 1023
+  %v = load %a, 0
+  %v = add %v, %x
+  store %a, 0, %v
+  %old = aadd _, 0, %x
+  %y = mul %x, 3
+  ret %y
+}
+func @main(%n) {
+entry:
+  %s = mov 0
+  %i = mov 0
+  jmp head
+head:
+  %c = lt %i, %n
+  br %c, body, exit
+body:
+  %w = call @mix(%i)
+  %s = add %s, %w
+  %b = and %i, 255
+  %e = eq %b, 0
+  br %e, ext, cont
+ext:
+  extcall @lib()
+  jmp cont
+cont:
+  %i = add %i, 1
+  jmp head
+exit:
+  ret %s
+}
+`
+	type result struct {
+		rv    int64
+		stats Stats
+		fires uint64
+	}
+	exec := func(t *testing.T, tier Tier, d instrument.Design) result {
+		t.Helper()
+		m := ir.MustParse(src)
+		if _, err := instrument.Instrument(m, instrument.Options{
+			Design:   d,
+			Analysis: analysis.Options{ProbeInterval: 150},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		v := newVM(m, nil, 1, tier)
+		v.LimitInstrs = 50_000_000
+		th := v.NewThread(0)
+		var fires uint64
+		th.RT.RegisterCI(2000, func(uint64) { fires++ })
+		rv, err := th.Run("main", 20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return result{rv: rv, stats: th.Stats, fires: fires}
+	}
+	for _, d := range instrument.Designs {
+		t.Run(string(d), func(t *testing.T) {
+			ref := exec(t, TierInterpreter, d)
+			got := exec(t, TierCompiled, d)
+			if got != ref {
+				t.Errorf("tier divergence:\n interp  %+v\n compiled %+v", ref, got)
+			}
+		})
 	}
 }
 
@@ -480,38 +595,41 @@ exit:
 }
 `, []int64{50000}},
 	}
-	for name, tc := range srcs {
-		t.Run(name, func(t *testing.T) {
-			m := ir.MustParse(tc.src)
-			_, err := instrument.Instrument(m, instrument.Options{
-				Design:   instrument.CI,
-				Analysis: analysis.Options{ProbeInterval: 200},
+	forEachTier(t, func(t *testing.T, tier Tier) {
+		for name, tc := range srcs {
+			t.Run(name, func(t *testing.T) {
+				m := ir.MustParse(tc.src)
+				_, err := instrument.Instrument(m, instrument.Options{
+					Design:   instrument.CI,
+					Analysis: analysis.Options{ProbeInterval: 200},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				v := newVM(m, nil, 1, tier)
+				v.LimitInstrs = 100_000_000
+				th := v.NewThread(0)
+				th.RT.RegisterCI(1000, func(uint64) {})
+				if _, err := th.Run("main", tc.args...); err != nil {
+					t.Fatal(err)
+				}
+				counted := float64(th.RT.InsCount())
+				actual := float64(th.Stats.Instrs)
+				ratio := counted / actual
+				if ratio < 0.85 || ratio > 1.15 {
+					t.Errorf("counted %v vs executed %v IR (ratio %.3f), want within 15%%",
+						counted, actual, ratio)
+				}
 			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			v := New(m, nil, 1)
-			v.LimitInstrs = 100_000_000
-			th := v.NewThread(0)
-			th.RT.RegisterCI(1000, func(uint64) {})
-			if _, err := th.Run("main", tc.args...); err != nil {
-				t.Fatal(err)
-			}
-			counted := float64(th.RT.InsCount())
-			actual := float64(th.Stats.Instrs)
-			ratio := counted / actual
-			if ratio < 0.85 || ratio > 1.15 {
-				t.Errorf("counted %v vs executed %v IR (ratio %.3f), want within 15%%",
-					counted, actual, ratio)
-			}
-		})
-	}
+		}
+	})
 }
 
 // Handler firing interval: with a tuned IR-per-cycle ratio, CI handlers
 // should fire near the requested cycle interval.
 func TestCIIntervalAccuracy(t *testing.T) {
-	src := `
+	forEachTier(t, func(t *testing.T, tier Tier) {
+		src := `
 func @main(%n) {
 entry:
   %s = mov 0
@@ -529,36 +647,37 @@ exit:
   ret %s
 }
 `
-	// Profiling run to measure IR per cycle.
-	m0 := ir.MustParse(src)
-	_, th0 := run(t, m0, "main", 100000)
-	irPerCycle := float64(th0.Stats.Instrs) / float64(th0.Stats.Cycles)
+		// Profiling run to measure IR per cycle.
+		m0 := ir.MustParse(src)
+		_, th0 := run(t, tier, m0, "main", 100000)
+		irPerCycle := float64(th0.Stats.Instrs) / float64(th0.Stats.Cycles)
 
-	m := ir.MustParse(src)
-	if _, err := instrument.Instrument(m, instrument.Options{
-		Design:   instrument.CI,
-		Analysis: analysis.Options{ProbeInterval: 200},
-	}); err != nil {
-		t.Fatal(err)
-	}
-	v := New(m, nil, 1)
-	v.LimitInstrs = 100_000_000
-	th := v.NewThread(0)
-	th.RT.IRPerCycle = irPerCycle
-	th.RT.RecordIntervals = true
-	id := th.RT.RegisterCI(5000, func(uint64) {})
-	if _, err := th.Run("main", 1_000_000); err != nil {
-		t.Fatal(err)
-	}
-	ivs := th.RT.Intervals(id)
-	if len(ivs) < 100 {
-		t.Fatalf("only %d intervals recorded", len(ivs))
-	}
-	// Median within 40% of the 5000-cycle target.
-	med := median(ivs)
-	if med < 3000 || med > 9000 {
-		t.Errorf("median interval = %d cycles, want ~5000", med)
-	}
+		m := ir.MustParse(src)
+		if _, err := instrument.Instrument(m, instrument.Options{
+			Design:   instrument.CI,
+			Analysis: analysis.Options{ProbeInterval: 200},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		v := newVM(m, nil, 1, tier)
+		v.LimitInstrs = 100_000_000
+		th := v.NewThread(0)
+		th.RT.IRPerCycle = irPerCycle
+		th.RT.RecordIntervals = true
+		id := th.RT.RegisterCI(5000, func(uint64) {})
+		if _, err := th.Run("main", 1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		ivs := th.RT.Intervals(id)
+		if len(ivs) < 100 {
+			t.Fatalf("only %d intervals recorded", len(ivs))
+		}
+		// Median within 40% of the 5000-cycle target.
+		med := median(ivs)
+		if med < 3000 || med > 9000 {
+			t.Errorf("median interval = %d cycles, want ~5000", med)
+		}
+	})
 }
 
 func median(xs []int64) int64 {
@@ -572,7 +691,8 @@ func median(xs []int64) int64 {
 }
 
 func TestRunParallelAtomicCounter(t *testing.T) {
-	m := ir.MustParse(`
+	forEachTier(t, func(t *testing.T, tier Tier) {
+		m := ir.MustParse(`
 mem 64
 func @main(%n) {
 entry:
@@ -590,24 +710,26 @@ exit:
   ret %i
 }
 `)
-	v := New(m, nil, 8)
-	v.LimitInstrs = 10_000_000
-	stats, err := v.RunParallel(8, "main", func(id int) []int64 { return []int64{1000} }, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if v.Mem[0] != 8000 {
-		t.Errorf("shared counter = %d, want 8000", v.Mem[0])
-	}
-	for i, s := range stats {
-		if s.Cycles == 0 || s.Instrs == 0 {
-			t.Errorf("thread %d has empty stats", i)
+		v := newVM(m, nil, 8, tier)
+		v.LimitInstrs = 10_000_000
+		stats, err := v.RunParallel(8, "main", func(id int) []int64 { return []int64{1000} }, nil)
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
+		if v.Mem[0] != 8000 {
+			t.Errorf("shared counter = %d, want 8000", v.Mem[0])
+		}
+		for i, s := range stats {
+			if s.Cycles == 0 || s.Instrs == 0 {
+				t.Errorf("thread %d has empty stats", i)
+			}
+		}
+	})
 }
 
 func TestContentionScalesMemoryCost(t *testing.T) {
-	src := `
+	forEachTier(t, func(t *testing.T, tier Tier) {
+		src := `
 mem 1024
 func @main(%n) {
 entry:
@@ -626,25 +748,26 @@ exit:
   ret %i
 }
 `
-	cyc := func(threads int) int64 {
-		m := ir.MustParse(src)
-		v := New(m, nil, threads)
-		v.LimitInstrs = 10_000_000
-		th := v.NewThread(0)
-		rv, err := th.Run("main", 20000)
-		if err != nil || rv != 20000 {
-			t.Fatalf("run: %v rv=%d", err, rv)
+		cyc := func(threads int) int64 {
+			m := ir.MustParse(src)
+			v := newVM(m, nil, threads, tier)
+			v.LimitInstrs = 10_000_000
+			th := v.NewThread(0)
+			rv, err := th.Run("main", 20000)
+			if err != nil || rv != 20000 {
+				t.Fatalf("run: %v rv=%d", err, rv)
+			}
+			return th.Stats.Cycles
 		}
-		return th.Stats.Cycles
-	}
-	c1, c32 := cyc(1), cyc(32)
-	if c32 <= c1 {
-		t.Errorf("32-thread contention did not increase cycles: %d vs %d", c32, c1)
-	}
-	ratio := float64(c32) / float64(c1)
-	if ratio < 1.3 || ratio > 5 {
-		t.Errorf("contention ratio = %.2f, want ~1.5-4", ratio)
-	}
+		c1, c32 := cyc(1), cyc(32)
+		if c32 <= c1 {
+			t.Errorf("32-thread contention did not increase cycles: %d vs %d", c32, c1)
+		}
+		ratio := float64(c32) / float64(c1)
+		if ratio < 1.3 || ratio > 5 {
+			t.Errorf("contention ratio = %.2f, want ~1.5-4", ratio)
+		}
+	})
 }
 
 // §2.2: a program brackets its critical sections with
@@ -697,42 +820,44 @@ exit:
   ret %i
 }
 `
-	run := func(protect int64) (violations, fires int64) {
-		m := ir.MustParse(src)
-		if _, err := instrument.Instrument(m, instrument.Options{
-			Design:   instrument.CI,
-			Analysis: analysis.Options{ProbeInterval: 50},
-		}); err != nil {
-			t.Fatal(err)
-		}
-		v := New(m, nil, 1)
-		v.LimitInstrs = 50_000_000
-		th := v.NewThread(0)
-		th.RT.RegisterCI(300, func(uint64) {
-			fires++
-			if v.Mem[0] != 0 {
-				violations++
+	forEachTier(t, func(t *testing.T, tier Tier) {
+		run := func(protect int64) (violations, fires int64) {
+			m := ir.MustParse(src)
+			if _, err := instrument.Instrument(m, instrument.Options{
+				Design:   instrument.CI,
+				Analysis: analysis.Options{ProbeInterval: 50},
+			}); err != nil {
+				t.Fatal(err)
 			}
-		})
-		if _, err := th.Run("main", protect); err != nil {
-			t.Fatal(err)
+			v := newVM(m, nil, 1, tier)
+			v.LimitInstrs = 50_000_000
+			th := v.NewThread(0)
+			th.RT.RegisterCI(300, func(uint64) {
+				fires++
+				if v.Mem[0] != 0 {
+					violations++
+				}
+			})
+			if _, err := th.Run("main", protect); err != nil {
+				t.Fatal(err)
+			}
+			return violations, fires
 		}
-		return violations, fires
-	}
-	rawViolations, rawFires := run(0)
-	if rawFires == 0 {
-		t.Fatal("handler never fired")
-	}
-	if rawViolations == 0 {
-		t.Fatal("unprotected run should observe handler fires inside the critical section")
-	}
-	guardViolations, guardFires := run(1)
-	if guardFires == 0 {
-		t.Fatal("protected run silenced the handler entirely")
-	}
-	if guardViolations != 0 {
-		t.Errorf("ci_disable/ci_enable leaked %d handler fires into critical sections", guardViolations)
-	}
+		rawViolations, rawFires := run(0)
+		if rawFires == 0 {
+			t.Fatal("handler never fired")
+		}
+		if rawViolations == 0 {
+			t.Fatal("unprotected run should observe handler fires inside the critical section")
+		}
+		guardViolations, guardFires := run(1)
+		if guardFires == 0 {
+			t.Fatal("protected run silenced the handler entirely")
+		}
+		if guardViolations != 0 {
+			t.Errorf("ci_disable/ci_enable leaked %d handler fires into critical sections", guardViolations)
+		}
+	})
 }
 
 // Hardware interrupts coalesce across blocking system calls but fire
@@ -752,31 +877,34 @@ l:
   ret
 }
 `
-	count := func(blocking int64) int64 {
-		m := ir.MustParse(src)
-		v := New(m, nil, 1)
-		v.HW = &HWConfig{IntervalCycles: 10000}
-		th := v.NewThread(0)
-		if _, err := th.Run("main", blocking); err != nil {
-			t.Fatal(err)
+	forEachTier(t, func(t *testing.T, tier Tier) {
+		count := func(blocking int64) int64 {
+			m := ir.MustParse(src)
+			v := newVM(m, nil, 1, tier)
+			v.HW = &HWConfig{IntervalCycles: 10000}
+			th := v.NewThread(0)
+			if _, err := th.Run("main", blocking); err != nil {
+				t.Fatal(err)
+			}
+			return th.Stats.HWInterrupts
 		}
-		return th.Stats.HWInterrupts
-	}
-	lib := count(0)
-	sys := count(1)
-	if lib < 4 {
-		t.Errorf("library call should take ~5 mid-call interrupts, got %d", lib)
-	}
-	if sys != 1 {
-		t.Errorf("blocking syscall should coalesce to 1 delivery, got %d", sys)
-	}
+		lib := count(0)
+		sys := count(1)
+		if lib < 4 {
+			t.Errorf("library call should take ~5 mid-call interrupts, got %d", lib)
+		}
+		if sys != 1 {
+			t.Errorf("blocking syscall should coalesce to 1 delivery, got %d", sys)
+		}
+	})
 }
 
 // RearmHW pushes the watchdog deadline: with the handler re-arming on
 // every CI fire, a probe-dense program never takes a hardware
 // interrupt.
 func TestRearmHWWatchdogStaysQuiet(t *testing.T) {
-	m := ir.MustParse(`
+	forEachTier(t, func(t *testing.T, tier Tier) {
+		m := ir.MustParse(`
 func @main(%n) {
 entry:
   %i = mov 0
@@ -791,30 +919,34 @@ exit:
   ret %i
 }
 `)
-	if _, err := instrument.Instrument(m, instrument.Options{
-		Design:   instrument.CI,
-		Analysis: analysis.Options{ProbeInterval: 100},
-	}); err != nil {
-		t.Fatal(err)
-	}
-	v := New(m, nil, 1)
-	var th *Thread
-	v.HW = &HWConfig{IntervalCycles: 10000, Handler: func(t *Thread) { t.RearmHW() }}
-	th = v.NewThread(0)
-	th.RT.RegisterCI(2000, func(uint64) { th.RearmHW() })
-	if _, err := th.Run("main", 500000); err != nil {
-		t.Fatal(err)
-	}
-	if th.Stats.HandlerCalls < 100 {
-		t.Fatalf("CI handler barely fired: %d", th.Stats.HandlerCalls)
-	}
-	if th.Stats.HWInterrupts != 0 {
-		t.Errorf("watchdog fired %d times despite constant re-arming", th.Stats.HWInterrupts)
-	}
+		if _, err := instrument.Instrument(m, instrument.Options{
+			Design:   instrument.CI,
+			Analysis: analysis.Options{ProbeInterval: 100},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		v := newVM(m, nil, 1, tier)
+		var th *Thread
+		v.HW = &HWConfig{IntervalCycles: 10000, Handler: func(t *Thread) { t.RearmHW() }}
+		th = v.NewThread(0)
+		th.RT.RegisterCI(2000, func(uint64) { th.RearmHW() })
+		if _, err := th.Run("main", 500000); err != nil {
+			t.Fatal(err)
+		}
+		if th.Stats.HandlerCalls < 100 {
+			t.Fatalf("CI handler barely fired: %d", th.Stats.HandlerCalls)
+		}
+		if th.Stats.HWInterrupts != 0 {
+			t.Errorf("watchdog fired %d times despite constant re-arming", th.Stats.HWInterrupts)
+		}
+	})
 }
 
 func TestTraceTimeline(t *testing.T) {
-	m := ir.MustParse(`
+	// Attaching a trace deopts the compiled tier to the interpreter;
+	// running both tiers pins that the fallback preserves the timeline.
+	forEachTier(t, func(t *testing.T, tier Tier) {
+		m := ir.MustParse(`
 extern @lib cost 3000
 func @main(%n) {
 entry:
@@ -831,52 +963,53 @@ exit:
   ret %i
 }
 `)
-	if _, err := instrument.Instrument(m, instrument.Options{
-		Design:   instrument.CI,
-		Analysis: analysis.Options{ProbeInterval: 100},
-	}); err != nil {
-		t.Fatal(err)
-	}
-	v := New(m, nil, 1)
-	v.LimitInstrs = 10_000_000
-	th := v.NewThread(0)
-	tr := NewTrace(64)
-	th.AttachTrace(tr)
-	th.RT.RegisterCI(2000, func(uint64) {})
-	if _, err := th.Run("main", 200); err != nil {
-		t.Fatal(err)
-	}
-	var handlers, extcalls int
-	var lastCycle int64 = -1
-	for _, e := range tr.Events() {
-		if e.Cycle < lastCycle {
-			t.Fatalf("trace not time-ordered: %d after %d", e.Cycle, lastCycle)
+		if _, err := instrument.Instrument(m, instrument.Options{
+			Design:   instrument.CI,
+			Analysis: analysis.Options{ProbeInterval: 100},
+		}); err != nil {
+			t.Fatal(err)
 		}
-		lastCycle = e.Cycle
-		switch e.Kind {
-		case TraceHandler:
-			handlers++
-			if e.Detail <= 0 {
-				t.Error("handler event without IR delta")
+		v := newVM(m, nil, 1, tier)
+		v.LimitInstrs = 10_000_000
+		th := v.NewThread(0)
+		tr := NewTrace(64)
+		th.AttachTrace(tr)
+		th.RT.RegisterCI(2000, func(uint64) {})
+		if _, err := th.Run("main", 200); err != nil {
+			t.Fatal(err)
+		}
+		var handlers, extcalls int
+		var lastCycle int64 = -1
+		for _, e := range tr.Events() {
+			if e.Cycle < lastCycle {
+				t.Fatalf("trace not time-ordered: %d after %d", e.Cycle, lastCycle)
 			}
-		case TraceExtCall:
-			extcalls++
-			if e.Name != "lib" || e.Detail != 3000 {
-				t.Errorf("extcall event = %+v", e)
+			lastCycle = e.Cycle
+			switch e.Kind {
+			case TraceHandler:
+				handlers++
+				if e.Detail <= 0 {
+					t.Error("handler event without IR delta")
+				}
+			case TraceExtCall:
+				extcalls++
+				if e.Name != "lib" || e.Detail != 3000 {
+					t.Errorf("extcall event = %+v", e)
+				}
 			}
 		}
-	}
-	if handlers == 0 || extcalls == 0 {
-		t.Fatalf("timeline missing events: handlers=%d extcalls=%d", handlers, extcalls)
-	}
-	// The ring must bound memory: 200 extcalls exceed capacity 64.
-	if len(tr.Events()) > 64 {
-		t.Errorf("ring exceeded capacity: %d", len(tr.Events()))
-	}
-	if tr.Dropped == 0 {
-		t.Error("expected drops with a small ring")
-	}
-	if s := tr.String(); !strings.Contains(s, "extcall") || !strings.Contains(s, "dropped") {
-		t.Errorf("rendering incomplete:\n%s", s)
-	}
+		if handlers == 0 || extcalls == 0 {
+			t.Fatalf("timeline missing events: handlers=%d extcalls=%d", handlers, extcalls)
+		}
+		// The ring must bound memory: 200 extcalls exceed capacity 64.
+		if len(tr.Events()) > 64 {
+			t.Errorf("ring exceeded capacity: %d", len(tr.Events()))
+		}
+		if tr.Dropped == 0 {
+			t.Error("expected drops with a small ring")
+		}
+		if s := tr.String(); !strings.Contains(s, "extcall") || !strings.Contains(s, "dropped") {
+			t.Errorf("rendering incomplete:\n%s", s)
+		}
+	})
 }

@@ -229,3 +229,83 @@ func TestSweepRegressionBaseline(t *testing.T) {
 		}
 	}
 }
+
+// Compiled-tier speed gate: the closure-threaded tier must stay
+// decisively faster than the interpreter on the Table-7 subset, with
+// bit-identical instruction counts (the speedup of a diverging tier
+// would be meaningless). The measured rates live in BENCH_baseline.json
+// under tier/steps for trend review.
+//
+// The floor is a measured, calibrated number, not the ROADMAP's
+// original ≥5x aspiration: the interpreter already retires a simulated
+// instruction in ~9 host cycles, and a dispatch-floor calibration
+// (µop-switch and closure-chain micro-interpreters both bottom out
+// near 2.2–2.6ns/op in Go) bounds any in-process tier to low single
+// digits. See EXPERIMENTS.md for the measurement recipe and DESIGN.md
+// §12 for the superblock design that gets the tier to its current
+// 1.4–1.8x. The gate exists to catch the tier regressing toward
+// interpreter parity (e.g. superblock detection silently breaking),
+// with a band loose enough for shared-runner noise.
+const (
+	tierStepsKey   = "tier/steps"
+	tierStepsScale = 8
+	// Worst observed full-set speedup is ~1.4x on an unloaded host;
+	// 1.15 leaves headroom for noisy runners while still failing hard
+	// if superblocks or fusion stop engaging (which lands at ~1.0x).
+	tierSpeedupFloor = 1.15
+)
+
+func tierStepsHash() string {
+	return fmt.Sprintf("names=%v,scale=%d,pi=250,v1", baselineNames, tierStepsScale)
+}
+
+func TestCompiledTierSpeedup(t *testing.T) {
+	got, err := experiments.MeasureTierSteps(engine.New(0), baselineNames, tierStepsScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("tier steps: %d instrs, interp %.1f M/s, compiled %.1f M/s, speedup %.2fx",
+		got.Instrs, got.InterpStepsPerSec/1e6, got.CompiledStepsPerSec/1e6, got.Speedup)
+
+	if *updateBaseline {
+		store, err := engine.OpenStore(baselinePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Put(tierStepsKey, tierStepsHash(), got); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Save(); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("tier baseline rewritten: %s cell %q", baselinePath, tierStepsKey)
+		return
+	}
+
+	store, err := engine.OpenStore(baselinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, ok := store.Cell(tierStepsKey)
+	if !ok {
+		t.Fatalf("baseline lacks cell %q; regenerate with -update-baseline", tierStepsKey)
+	}
+	var want experiments.TierSteps
+	if err := json.Unmarshal(cell.Data, &want); err != nil {
+		t.Fatalf("baseline cell %q: %v", tierStepsKey, err)
+	}
+	// The VM is deterministic: a changed instruction count means the
+	// measured programs changed and the baseline cell is stale.
+	if got.Instrs != want.Instrs {
+		t.Errorf("measured %d instrs, baseline %d — workload or instrumentation changed, regenerate the baseline",
+			got.Instrs, want.Instrs)
+	}
+	if got.Speedup < tierSpeedupFloor {
+		t.Errorf("compiled tier speedup %.2fx below floor %.2fx (baseline %.2fx) — fast path regressed",
+			got.Speedup, tierSpeedupFloor, want.Speedup)
+	}
+	if got.Speedup > want.Speedup*1.25 {
+		t.Logf("speedup improved well past baseline (%.2fx vs %.2fx); consider -update-baseline",
+			got.Speedup, want.Speedup)
+	}
+}

@@ -42,6 +42,15 @@ echo "== sanitize smoke =="
 # the differential execution oracle over a fuzz corpus + all workloads.
 go run ./cmd/ciexp -quick sanitize
 
+echo "== tier smoke =="
+# Tier differential end-to-end: the same sanitize sweep with the
+# compiled tier selected additionally runs every corpus program under
+# both tiers and cross-checks store streams, returns, final memory,
+# fire counts, and exact Stats parity (the tier oracle). The -race
+# suite above already covers the compiled tier's deopt path via the
+# tier-parameterized VM conformance tests.
+go run ./cmd/ciexp -quick -tier=compiled sanitize
+
 echo "== interleave smoke =="
 # Handler interleaving verifier end-to-end: context-bound-1 exploration
 # over the three app sharing-protocol models and a fuzz corpus with
