@@ -23,6 +23,12 @@
 // RACY), plus any schedule whose outcome diverged from the fire-free
 // baseline. Exits non-zero on an unclassified race or a
 // non-commutative schedule. -bound sets the context bound.
+//
+// With -fleet (no program argument) the seeded fleet fault plan is
+// printed instead: per replica, the exact crash windows `ciexp fleet`'s
+// crash cells will replay at -seed, drawn from the same per-replica
+// injector streams. -replicas sets how many streams to show and
+// -fleet-horizon the window in cycles.
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/experiments"
 	"repro/internal/interleave"
 	"repro/internal/ir"
 	"repro/internal/obs"
@@ -43,13 +50,19 @@ import (
 )
 
 func main() {
-	cf := cliflags.New(flag.CommandLine).AddDesign().AddCompile().AddSanitize().AddTier().AddInterleave()
+	cf := cliflags.New(flag.CommandLine).AddDesign().AddCompile().AddSanitize().AddTier().AddInterleave().AddSeed().AddFleet()
 	spacing := flag.Bool("spacing", false, "also run the probe-spacing checker on instrumented functions")
 	hot := flag.Bool("hot", false, "compile, run once and print the hottest probe sites instead of the analysis dump")
 	hotN := flag.Int("hot-n", 20, "number of probe sites to print with -hot (0 = all)")
 	interval := flag.Int64("interval", 5000, "-hot: CI interval in cycles")
 	entry := flag.String("entry", "main", "-hot: entry function")
+	fleetPlan := flag.Bool("fleet", false, "print the seeded fleet crash-plan schedule instead of an analysis dump")
+	fleetHorizon := flag.Int64("fleet-horizon", 26_000_000, "-fleet: schedule window in cycles")
 	flag.Parse()
+	if *fleetPlan {
+		experiments.PrintFleetPlan(os.Stdout, cf.Seed, cf.Replicas, *fleetHorizon)
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cidump [flags] program.ir")
 		flag.PrintDefaults()

@@ -22,6 +22,13 @@
 //	ciexp soak      scripted load ramp + chaos with the overload plane
 //	                on; every phase judged against the SLO guard (exits
 //	                non-zero on violation)
+//	ciexp fleet     fleet crash-soak: N replicas behind the
+//	                health-checked balancer swept across load factors
+//	                with and without a mid-soak crash plan, judged
+//	                against the resilience guards (goodput floor, retry
+//	                amplification, tenant SLO isolation, worker-count
+//	                byte identity; exits non-zero on violation; -quick
+//	                runs only the 1.2x soak pair)
 //	ciexp sanitize  translation-validation sweep: stage checks plus the
 //	                differential execution oracle over a fuzz corpus and
 //	                all workloads (exits non-zero on any divergence)
@@ -57,7 +64,8 @@
 // (route every cache-miss compile in any sweep through the
 // translation-validation stage checks), -trace FILE, -metrics,
 // -slo-p999us/-max-reject (the overload SLO guard for ramp and soak),
-// -soak-duration N (per-phase cycles).
+// -soak-duration N (per-phase cycles),
+// -replicas/-tenants/-lb/-hedge-ms/-retry-budget (the fleet sweep).
 package main
 
 import (
@@ -71,11 +79,11 @@ import (
 )
 
 func main() {
-	cf := cliflags.New(flag.CommandLine).AddScale().AddSeed().AddEngine().AddObs().AddSLO().AddInterleave()
+	cf := cliflags.New(flag.CommandLine).AddScale().AddSeed().AddEngine().AddObs().AddSLO().AddInterleave().AddFleet()
 	quick := flag.Bool("quick", false, "use a workload subset where supported")
 	all := flag.Bool("all", false, "fig9/fig11: include Naive-Cycles and CnB-Cycles")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ciexp [flags] fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table7|hybrid|allowable|probes|chaos|ramp|soak|sanitize|interleave|all\n")
+		fmt.Fprintf(os.Stderr, "usage: ciexp [flags] fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table7|hybrid|allowable|probes|chaos|ramp|soak|fleet|sanitize|interleave|all\n")
 		fmt.Fprintf(os.Stderr, "       ciexp tracecheck FILE\n")
 		flag.PrintDefaults()
 	}
@@ -143,6 +151,13 @@ func main() {
 		}},
 		{"soak", func() error {
 			return experiments.PrintSoak(os.Stdout, eng, cf.Seed, cf.SoakDuration*int64(scale), cf.SLO(), *quick)
+		}},
+		{"fleet", func() error {
+			cfg, err := cf.FleetConfig(cf.SoakDuration * int64(scale))
+			if err != nil {
+				return err
+			}
+			return experiments.PrintFleet(os.Stdout, eng, cfg, *quick)
 		}},
 		{"sanitize", func() error { return experiments.PrintSanitize(os.Stdout, eng, scale, *quick) }},
 		{"interleave", func() error {

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/ci/instrument"
 	"repro/internal/engine"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/overload"
 	"repro/internal/vm"
@@ -84,6 +85,13 @@ type Flags struct {
 	// AddInterleave
 	Interleave bool
 	Bound      int
+
+	// AddFleet
+	Replicas    int
+	Tenants     int
+	LB          string
+	HedgeMs     float64
+	RetryBudget float64
 
 	scope    *obs.Scope
 	scopeSet bool
@@ -182,6 +190,42 @@ func (f *Flags) AddInterleave() *Flags {
 		"run the handler interleaving verifier (probe-schedule exploration + race table)")
 	f.fs.IntVar(&f.Bound, "bound", 2, "interleave: context bound (max forced handler fires per schedule, 1-3)")
 	return f
+}
+
+// AddFleet registers the fleet-experiment flags -replicas, -tenants,
+// -lb, -hedge-ms and -retry-budget.
+func (f *Flags) AddFleet() *Flags {
+	f.fs.IntVar(&f.Replicas, "replicas", 8, "fleet: cluster size (CI-polled server replicas)")
+	f.fs.IntVar(&f.Tenants, "tenants", 4, "fleet: client tenant count (tenant 0 misbehaves at 4x its fair share)")
+	f.fs.StringVar(&f.LB, "lb", "p2c", "fleet: balancer policy: rr, least, p2c")
+	f.fs.Float64Var(&f.HedgeMs, "hedge-ms", 0.1, "fleet: hedge trigger floor in ms (0 disables hedging)")
+	f.fs.Float64Var(&f.RetryBudget, "retry-budget", 0.1, "fleet: retry-budget deposit per injected request (0 disables retries)")
+	return f
+}
+
+// FleetConfig builds the fleet configuration from the registered
+// -replicas/-tenants/-lb/-hedge-ms/-retry-budget and -seed values.
+// Tenant 0 is the misbehaving tenant of the acceptance experiment; the
+// load factor is set per sweep cell by the experiment.
+func (f *Flags) FleetConfig(horizonCycles int64) (fleet.Config, error) {
+	pol, err := fleet.ParsePolicy(f.LB)
+	if err != nil {
+		return fleet.Config{}, err
+	}
+	cfg := fleet.Config{
+		Replicas:          f.Replicas,
+		Tenants:           f.Tenants,
+		Policy:            pol,
+		Seed:              f.Seed,
+		HorizonCycles:     horizonCycles,
+		RetryBudgetFrac:   f.RetryBudget,
+		HedgeDelayCycles:  int64(f.HedgeMs * 2.6e6),
+		MisbehavingTenant: 0,
+	}
+	if f.RetryBudget <= 0 {
+		cfg.RetryBudgetFrac = -1 // the config treats negative as "retries off"
+	}
+	return cfg, nil
 }
 
 // SLO builds the overload guard from the registered -slo-p999us and

@@ -1,0 +1,109 @@
+package engine
+
+import "sync"
+
+// ShardRunner executes repeated barrier-synchronized steps over n
+// disjoint shards on a persistent set of workers. It exists for
+// bulk-synchronous simulations (internal/fleet) that step the same
+// shard set thousands of times: Pool.Map spawns its workers per call,
+// which is fine for sweep cells but wasteful at epoch granularity.
+//
+// Determinism contract: each shard index is statically owned by one
+// worker (a fixed contiguous range), every Step call is a full barrier,
+// and step functions may touch only their shard's state. Under that
+// discipline a run's outcome is a pure function of the per-shard
+// inputs, so results are byte-identical at any worker count, and with
+// one worker Step degenerates to the plain serial loop (shard order
+// 0..n-1) — the same workers=1 == serial discipline as Pool.Map.
+type ShardRunner struct {
+	n       int
+	workers int
+
+	step func(shard int)
+	wg   sync.WaitGroup
+
+	start []chan struct{} // one per worker; closed runner signals via stop
+	stop  bool
+	mu    sync.Mutex
+}
+
+// NewShardRunner builds a runner for n shards on the pool's worker
+// count (capped at n). With one worker (or one shard) no goroutines are
+// spawned and Step runs serially on the caller.
+func NewShardRunner(p *Pool, n int) *ShardRunner {
+	workers := 1
+	if p != nil {
+		workers = p.Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	r := &ShardRunner{n: n, workers: workers}
+	if workers <= 1 {
+		return r
+	}
+	r.start = make([]chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		r.start[w] = make(chan struct{}, 1)
+		lo, hi := w*n/workers, (w+1)*n/workers
+		go func(ch chan struct{}, lo, hi int) {
+			for range ch {
+				for i := lo; i < hi; i++ {
+					r.step(i)
+				}
+				r.wg.Done()
+			}
+		}(r.start[w], lo, hi)
+	}
+	return r
+}
+
+// Workers reports the runner's effective concurrency.
+func (r *ShardRunner) Workers() int { return r.workers }
+
+// Step runs f(0..n-1), one call per shard, and returns after every
+// shard completed (a full barrier). Calls must not overlap; f must only
+// touch state owned by its shard.
+func (r *ShardRunner) Step(f func(shard int)) {
+	if r.workers <= 1 {
+		for i := 0; i < r.n; i++ {
+			f(i)
+		}
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stop {
+		for i := 0; i < r.n; i++ {
+			f(i)
+		}
+		return
+	}
+	r.step = f
+	r.wg.Add(r.workers)
+	for _, ch := range r.start {
+		ch <- struct{}{}
+	}
+	r.wg.Wait()
+	r.step = nil
+}
+
+// Close releases the runner's workers. Further Step calls run serially;
+// Close is idempotent.
+func (r *ShardRunner) Close() {
+	if r.workers <= 1 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stop {
+		return
+	}
+	r.stop = true
+	for _, ch := range r.start {
+		close(ch)
+	}
+}

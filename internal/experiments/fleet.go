@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/fleet"
+)
+
+// This file is the fleet crash-soak experiment: N CI-polled replicas
+// behind the health-checked balancer, swept across offered-load
+// factors with and without a mid-soak crash plan on replica 0. The
+// headline row is the overloaded soak point (1.2x capacity) with one
+// replica crashing repeatedly and tenant 0 misbehaving: the resilience
+// guards assert that goodput degrades gracefully (>= 80% of the
+// no-crash run), retry amplification stays inside the budget bound
+// (<= 1.15x), well-behaved tenants keep their p99.9 SLO, and the
+// conservation oracle balances exactly — byte-identical at any
+// -workers count.
+
+// FleetLoadFactors is the standard sweep, in multiples of the
+// cluster's analytic capacity.
+var FleetLoadFactors = []float64{0.6, 0.9, 1.2}
+
+// FleetSoakLoad is the overloaded soak point whose crash/no-crash pair
+// the resilience guards are checked against.
+const FleetSoakLoad = 1.2
+
+// Fleet resilience guards (the acceptance bar of the crash-soak
+// headline).
+const (
+	// FleetGoodputFloor is the minimum crash-run goodput as a fraction
+	// of the no-crash run at the same load.
+	FleetGoodputFloor = 0.80
+	// FleetAmpCeiling bounds retry amplification (attempts/injected);
+	// the retry + hedge budgets guarantee it by construction.
+	FleetAmpCeiling = 1.15
+)
+
+// FleetCrashPlan is the standard mid-soak crash plan: exponentially
+// spaced whole-replica crashes (mean gap ~2.3 ms) with a 1 ms cold
+// restart, applied to replica 0 only.
+func FleetCrashPlan(seed uint64) *faults.Plan {
+	return &faults.Plan{
+		Seed:               seed,
+		CrashMeanGapCycles: 6_000_000,
+		CrashDownCycles:    2_600_000,
+	}
+}
+
+// FleetRow is one (load factor, crash plan) cell of the sweep.
+type FleetRow struct {
+	// Load is the offered load in multiples of cluster capacity.
+	Load float64
+	// Crash reports whether the crash plan was applied to replica 0.
+	Crash bool
+	// Res is the full fleet accounting.
+	Res *fleet.Result
+}
+
+// MeasureFleetRamp sweeps the fleet across loads × {no-crash, crash}.
+// One run is one engine cell; every cell's conservation oracle is
+// checked before the row is returned. Rows come back ordered by
+// (load, no-crash-first).
+func MeasureFleetRamp(eng *engine.Engine, base fleet.Config, loads []float64) ([]FleetRow, []CellError) {
+	if len(loads) == 0 {
+		loads = FleetLoadFactors
+	}
+	n := 2 * len(loads)
+	cells, errs := engine.Map(eng.Pool, n, func(i int) (FleetRow, error) {
+		cfg := base
+		cfg.LoadFactor = loads[i/2]
+		crash := i%2 == 1
+		if crash {
+			cfg.Faults = FleetCrashPlan(base.Seed)
+			cfg.CrashReplicas = 1
+		}
+		res := fleet.Run(cfg, nil)
+		if err := res.Conservation(); err != nil {
+			return FleetRow{}, err
+		}
+		return FleetRow{Load: loads[i/2], Crash: crash, Res: res}, nil
+	})
+	cellErrs := cellErrors(errs, func(i int) string {
+		return fmt.Sprintf("fleet/%.1fx/crash=%t", loads[i/2], i%2 == 1)
+	})
+	rows := make([]FleetRow, 0, n)
+	for i, row := range cells {
+		if errs[i] == nil {
+			rows = append(rows, row)
+		}
+	}
+	return rows, cellErrs
+}
+
+// CheckFleetSoak judges the crash/no-crash pair at the soak load
+// against the resilience guards, returning one string per violation.
+// deadlineUs is the per-request deadline (the well-behaved tenants'
+// p99.9 SLO bound).
+func CheckFleetSoak(noCrash, crash *fleet.Result, deadlineUs float64) []string {
+	var v []string
+	if noCrash == nil || crash == nil {
+		return []string{"soak pair incomplete (a cell failed)"}
+	}
+	if crash.Crashes == 0 {
+		v = append(v, "crash plan injected no crashes")
+	}
+	if crash.Ejections == 0 {
+		v = append(v, "balancer never ejected the crashing replica")
+	}
+	if crash.Readmissions == 0 {
+		v = append(v, "balancer never re-admitted the recovered replica")
+	}
+	if ratio := crash.GoodputRPS / noCrash.GoodputRPS; ratio < FleetGoodputFloor {
+		v = append(v, fmt.Sprintf("crash goodput %.1f%% of no-crash run (floor %.0f%%)",
+			100*ratio, 100*FleetGoodputFloor))
+	}
+	for _, r := range []*fleet.Result{noCrash, crash} {
+		if amp := r.Amplification(); amp > FleetAmpCeiling+1e-9 {
+			v = append(v, fmt.Sprintf("retry amplification %.3f exceeds %.2f (crash=%t)",
+				amp, FleetAmpCeiling, r.Crashes > 0))
+		}
+	}
+	for i, ts := range crash.PerTenant {
+		if ts.Misbehaving {
+			continue
+		}
+		if ts.P999Us > deadlineUs {
+			v = append(v, fmt.Sprintf("well-behaved tenant %d p99.9 %.0fµs exceeds the %.0fµs deadline SLO",
+				i, ts.P999Us, deadlineUs))
+		}
+	}
+	return v
+}
+
+// fleetDeadlineUs resolves the per-request deadline of a config in µs.
+func fleetDeadlineUs(base fleet.Config) float64 {
+	d := base.DeadlineCycles
+	if d <= 0 {
+		d = fleet.DefaultDeadlineCycles
+	}
+	return float64(d) / fleet.CyclesPerUs
+}
+
+// PrintFleet runs the sweep and renders the figure table, then judges
+// the soak-load crash/no-crash pair against the resilience guards and
+// re-runs the crash soak on the engine's own worker pool to prove the
+// report is byte-identical at -workers 1 vs N. Violations and failed
+// cells return an error so `ciexp fleet` exits non-zero. With quick,
+// only the soak load runs (the verify.sh smoke).
+func PrintFleet(w io.Writer, eng *engine.Engine, base fleet.Config, quick bool) error {
+	loads := FleetLoadFactors
+	if quick {
+		loads = []float64{FleetSoakLoad}
+	}
+	fmt.Fprintf(w, "Fleet soak (seed %d): %d replicas (%s), %d tenants, capacity %.2f M req/s\n",
+		base.Seed, base.Replicas, base.Policy, base.Tenants, fleet.CapacityRPS(base.Replicas)/1e6)
+	fmt.Fprintf(w, "%-6s %-6s %9s %8s %9s %10s %8s %8s %6s %6s %7s\n",
+		"load", "crash", "goodput", "p50(µs)", "p99.9(µs)", "max(µs)", "retries", "hedges", "amp", "eject", "failed")
+	rows, cellErrs := MeasureFleetRamp(eng, base, loads)
+	var noCrash, crash *fleet.Result
+	for _, r := range rows {
+		res := r.Res
+		fmt.Fprintf(w, "%-6.1f %-6t %8.2fM %8.1f %9.1f %10.1f %8d %8d %6.3f %6d %7d\n",
+			r.Load, r.Crash, res.GoodputRPS/1e6, res.P50Us, res.P999Us, res.MaxUs,
+			res.Retries, res.Hedges, res.Amplification(), res.Ejections, res.AttemptFailed)
+		if r.Load == FleetSoakLoad {
+			if r.Crash {
+				crash = res
+			} else {
+				noCrash = res
+			}
+		}
+	}
+	violations := CheckFleetSoak(noCrash, crash, fleetDeadlineUs(base))
+	if crash != nil {
+		// Worker-count byte identity: the sweep cells above ran under
+		// the serial discipline; the same soak on the pool's workers
+		// must produce the identical report.
+		cfg := base
+		cfg.LoadFactor = FleetSoakLoad
+		cfg.Faults = FleetCrashPlan(base.Seed)
+		cfg.CrashReplicas = 1
+		if again := fleet.Run(cfg, eng.Pool); again.Fingerprint() != crash.Fingerprint() {
+			violations = append(violations, fmt.Sprintf(
+				"crash soak diverges across worker counts: fingerprint %x != serial %x",
+				again.Fingerprint(), crash.Fingerprint()))
+		}
+	}
+	for _, v := range violations {
+		fmt.Fprintf(w, "resilience violation: %s\n", v)
+	}
+	if err := renderCellErrors(w, cellErrs); err != nil {
+		return err
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("fleet: %d resilience violation(s)", len(violations))
+	}
+	return nil
+}
+
+// PrintFleetPlan renders the seeded fault schedule `ciexp fleet`'s
+// crash cells will experience: per replica, every crash window
+// (onset, recovery) inside the horizon, drawn exactly as the replicas
+// draw them (next onset is spaced from recovery, not from the previous
+// onset). The crash cells apply the plan to replica 0 only; the other
+// replicas' streams are shown for exploration with -replicas > 1
+// sweeps. The debugging window into the fleet fault plan (cidump
+// -fleet).
+func PrintFleetPlan(w io.Writer, seed uint64, replicas int, horizonCycles int64) {
+	plan := FleetCrashPlan(seed)
+	fmt.Fprintf(w, "fleet crash plan (seed %d, horizon %.1f ms): mean gap %.1f ms, down %.1f ms\n",
+		seed, float64(horizonCycles)/2.6e6,
+		float64(plan.CrashMeanGapCycles)/2.6e6, float64(plan.CrashDownCycles)/2.6e6)
+	for i := 0; i < replicas; i++ {
+		inj := faults.New(plan, fmt.Sprintf("fleet/replica%d", i))
+		fmt.Fprintf(w, "replica %d:", i)
+		t, n := int64(0), 0
+		for {
+			gap, down, ok := inj.NextCrash()
+			if !ok || t+gap >= horizonCycles {
+				break
+			}
+			t += gap
+			fmt.Fprintf(w, " [%.2f–%.2f ms]", float64(t)/2.6e6, float64(t+down)/2.6e6)
+			t += down
+			n++
+		}
+		if n == 0 {
+			fmt.Fprintf(w, " (no crashes inside the horizon)")
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -52,6 +52,20 @@ type Plan struct {
 	// Handler-overrun spikes, applied per handler invocation.
 	OverrunProb   float64
 	OverrunCycles int64 // mean spike length (exponential; default 30_000)
+
+	// Whole-replica crash/restart: the server process dies, losing all
+	// queued and in-flight work, and restarts cold after the down time.
+	// Onsets are exponentially spaced with the given mean gap; zero gap
+	// disables crashes.
+	CrashMeanGapCycles int64
+	CrashDownCycles    int64 // down time per crash (default 2_600_000 ≈ 1 ms)
+
+	// Gray failure: the replica stays up and answers health probes, but
+	// serves at 1/GraySlowFactor of its normal rate for GraySlowCycles.
+	// Onsets are exponentially spaced; zero gap disables gray failures.
+	GraySlowMeanGapCycles int64
+	GraySlowCycles        int64   // slow-window length (default 13_000_000 ≈ 5 ms)
+	GraySlowFactor        float64 // service slowdown multiple (default 8)
 }
 
 // Enabled reports whether the plan can inject any fault at all.
@@ -60,7 +74,8 @@ func (p *Plan) Enabled() bool {
 		return false
 	}
 	return p.DropProb > 0 || p.CorruptProb > 0 || p.ReorderProb > 0 ||
-		p.StallProb > 0 || p.ServerStallMeanGapCycles > 0 || p.OverrunProb > 0
+		p.StallProb > 0 || p.ServerStallMeanGapCycles > 0 || p.OverrunProb > 0 ||
+		p.CrashMeanGapCycles > 0 || p.GraySlowMeanGapCycles > 0
 }
 
 // Uniform returns a plan that applies rate to every Bernoulli fault
@@ -93,6 +108,10 @@ type Counters struct {
 	ServerStalls int64
 	Overruns     int64
 	OverrunCyc   int64
+	Crashes      int64
+	CrashDownCyc int64
+	GraySlows    int64
+	GraySlowCyc  int64
 }
 
 // Injector draws faults from one subsystem's deterministic stream.
@@ -216,6 +235,43 @@ func (in *Injector) NextServerStall() (gap, duration int64, ok bool) {
 		duration = 100_000
 	}
 	return gap, duration, true
+}
+
+// NextCrash returns the gap until the next whole-replica crash onset
+// and the crash's down time. ok is false when the plan has no crashes.
+func (in *Injector) NextCrash() (gap, down int64, ok bool) {
+	if in == nil || in.plan.CrashMeanGapCycles <= 0 {
+		return 0, 0, false
+	}
+	in.Crashes++
+	gap = in.rng.Exp(float64(in.plan.CrashMeanGapCycles))
+	down = in.plan.CrashDownCycles
+	if down <= 0 {
+		down = 2_600_000
+	}
+	in.CrashDownCyc += down
+	return gap, down, true
+}
+
+// NextGraySlow returns the gap until the next gray-failure onset, its
+// duration, and the service slowdown factor. ok is false when the plan
+// has no gray failures.
+func (in *Injector) NextGraySlow() (gap, duration int64, factor float64, ok bool) {
+	if in == nil || in.plan.GraySlowMeanGapCycles <= 0 {
+		return 0, 0, 1, false
+	}
+	in.GraySlows++
+	gap = in.rng.Exp(float64(in.plan.GraySlowMeanGapCycles))
+	duration = in.plan.GraySlowCycles
+	if duration <= 0 {
+		duration = 13_000_000
+	}
+	factor = in.plan.GraySlowFactor
+	if factor <= 1 {
+		factor = 8
+	}
+	in.GraySlowCyc += duration
+	return gap, duration, factor, true
 }
 
 // ServerStallFrac is the long-run fraction of time a server spends

@@ -77,6 +77,126 @@ func TestServerStallFrac(t *testing.T) {
 	}
 }
 
+// crashSchedule walks the injector's crash stream over horizon cycles
+// and returns the absolute onset times and total counters.
+func crashSchedule(p *Plan, subsystem string, horizon int64) ([]int64, Counters) {
+	in := New(p, subsystem)
+	var onsets []int64
+	var at int64
+	for {
+		gap, down, ok := in.NextCrash()
+		if !ok {
+			break
+		}
+		at += gap
+		if at > horizon {
+			break
+		}
+		onsets = append(onsets, at)
+		at += down
+	}
+	if in == nil {
+		return onsets, Counters{}
+	}
+	return onsets, in.Counters
+}
+
+func TestCrashAndGraySlowStreams(t *testing.T) {
+	p := &Plan{Seed: 9, CrashMeanGapCycles: 1_000_000, GraySlowMeanGapCycles: 2_000_000}
+	if !p.Enabled() {
+		t.Fatal("crash/gray plan reports disabled")
+	}
+	in := New(p, "fleet/replica0")
+	gap, down, ok := in.NextCrash()
+	if !ok || gap <= 0 || down != 2_600_000 {
+		t.Errorf("NextCrash = %d,%d,%v (want defaulted 1 ms down time)", gap, down, ok)
+	}
+	ggap, gdur, factor, ok := in.NextGraySlow()
+	if !ok || ggap <= 0 || gdur != 13_000_000 || factor != 8 {
+		t.Errorf("NextGraySlow = %d,%d,%v,%v (want defaults)", ggap, gdur, factor, ok)
+	}
+	if in.Crashes != 1 || in.GraySlows != 1 || in.CrashDownCyc != 2_600_000 {
+		t.Errorf("counters = %+v", in.Counters)
+	}
+	var nilIn *Injector
+	if _, _, ok := nilIn.NextCrash(); ok {
+		t.Error("nil injector produced a crash")
+	}
+	if _, _, _, ok := nilIn.NextGraySlow(); ok {
+		t.Error("nil injector produced a gray failure")
+	}
+}
+
+// TestPlanCompositionCommutes pins the stream-separation guarantee the
+// fleet layer builds on: composing fault classes into one plan must not
+// perturb any other class's stream, so per-class accounting totals are
+// identical whether a class runs solo or composed with others — plan
+// composition commutes in accounting totals, and is deterministic on
+// the same seed.
+func TestPlanCompositionCommutes(t *testing.T) {
+	const seed, horizon = 77, 50_000_000
+	crashOnly := &Plan{Seed: seed, CrashMeanGapCycles: 3_000_000, CrashDownCycles: 1_000_000}
+	stallOnly := &Plan{Seed: seed, StallProb: 0.02}
+	lossOnly := &Plan{Seed: seed, DropProb: 0.01}
+	composed := &Plan{
+		Seed:               seed,
+		CrashMeanGapCycles: 3_000_000, CrashDownCycles: 1_000_000,
+		StallProb: 0.02,
+		DropProb:  0.01,
+	}
+
+	// Crash class: identical onset schedule and counters, solo vs composed.
+	soloOnsets, soloC := crashSchedule(crashOnly, "fleet/replica0", horizon)
+	compOnsets, compC := crashSchedule(composed, "fleet/replica0", horizon)
+	if len(soloOnsets) == 0 {
+		t.Fatal("crash plan produced no onsets over the horizon")
+	}
+	if len(soloOnsets) != len(compOnsets) {
+		t.Fatalf("crash schedule length differs: solo %d vs composed %d", len(soloOnsets), len(compOnsets))
+	}
+	for i := range soloOnsets {
+		if soloOnsets[i] != compOnsets[i] {
+			t.Fatalf("crash onset %d differs: solo %d vs composed %d", i, soloOnsets[i], compOnsets[i])
+		}
+	}
+	if soloC.Crashes != compC.Crashes || soloC.CrashDownCyc != compC.CrashDownCyc {
+		t.Errorf("crash counters differ: solo %+v vs composed %+v", soloC, compC)
+	}
+
+	// Stall class: same per-call decisions and totals on the app stream.
+	sIn, cIn := New(stallOnly, "fleet/app"), New(composed, "fleet/app")
+	for i := 0; i < 20_000; i++ {
+		if sIn.Stall() != cIn.Stall() {
+			t.Fatalf("stall decision %d differs solo vs composed", i)
+		}
+	}
+	if sIn.Stalls != cIn.Stalls || sIn.StallCycles != cIn.StallCycles {
+		t.Errorf("stall totals differ: solo %+v vs composed %+v", sIn.Counters, cIn.Counters)
+	}
+
+	// Loss class: same per-packet decisions and totals on the net stream.
+	lIn, clIn := New(lossOnly, "fleet/net"), New(composed, "fleet/net")
+	for i := 0; i < 20_000; i++ {
+		if lIn.Drop() != clIn.Drop() {
+			t.Fatalf("drop decision %d differs solo vs composed", i)
+		}
+	}
+	if lIn.Drops != clIn.Drops {
+		t.Errorf("drop totals differ: solo %d vs composed %d", lIn.Drops, clIn.Drops)
+	}
+
+	// Determinism: the composed plan reproduces itself exactly.
+	again, againC := crashSchedule(composed, "fleet/replica0", horizon)
+	if len(again) != len(compOnsets) || againC != compC {
+		t.Errorf("composed crash schedule not deterministic across runs")
+	}
+	for i := range again {
+		if again[i] != compOnsets[i] {
+			t.Errorf("composed crash onset %d moved between runs", i)
+		}
+	}
+}
+
 func TestSpikesPositiveAndCounted(t *testing.T) {
 	in := New(&Plan{Seed: 3, StallProb: 1, OverrunProb: 1}, "vm")
 	for i := 0; i < 50; i++ {

@@ -1,0 +1,240 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/overload"
+	"repro/internal/sim"
+)
+
+// HealthIntervalCycles is the balancer's probe cadence: 130_000
+// cycles = 50 µs, five epochs.
+const HealthIntervalCycles = 130_000
+
+// backend is the balancer's view of one replica: a health breaker
+// (an overload.Controller used breaker-only) plus an outstanding
+// counter for load estimates.
+type backend struct {
+	hc          *overload.Controller
+	outstanding int64
+	ejections   int64
+	readmits    int64
+}
+
+// balancer routes attempts to replicas: per-tenant rate gates first
+// (isolating a misbehaving tenant to its own share), then a policy
+// pick over healthy backends. Health is judged from synthetic probes:
+// a probe fails while the replica is down and carries the replica's
+// queue-delay signal, so crashed replicas trip the breaker on
+// failures and gray-slow replicas trip it on latency outliers. An
+// ejected (Open) backend receives no traffic until the cooldown
+// half-opens it; half-open backends re-admit a bounded number of real
+// requests as probes before closing.
+type balancer struct {
+	cfg Config
+	bk  []backend
+	rng *sim.RNG // p2c sampling; consumed serially only
+
+	tenants       []*overload.Controller
+	tenantRejects []int64
+
+	rrNext     int
+	nextHealth int64
+
+	probes, probeFailures    int64
+	tenantRejected, unrouted int64
+}
+
+func newBalancer(c Config) *balancer {
+	b := &balancer{
+		cfg: c,
+		rng: sim.NewRNG(c.Seed ^ 0x6c62), // "lb"
+	}
+	b.bk = make([]backend, c.Replicas)
+	for i := range b.bk {
+		i := i
+		b.bk[i].hc = overload.New(&overload.Config{
+			Name:         fmt.Sprintf("fleet/lb%d", i),
+			WindowCycles: 5 * HealthIntervalCycles,
+			Breaker: overload.BreakerConfig{
+				// 5 probes per window; a down replica fails them all,
+				// a gray replica pushes the probe latency signal past
+				// the deadline.
+				ErrFracTrip:      0.4,
+				MinSamples:       3,
+				LatencyP99Cycles: c.DeadlineCycles,
+				CooldownCycles:   2 * c.DeadlineCycles,
+				HalfOpenProbes:   4,
+			},
+			OnStateChange: func(from, to overload.State, now int64) {
+				if to == overload.Open {
+					b.bk[i].ejections++
+				}
+				if from == overload.HalfOpen && to == overload.Closed {
+					b.bk[i].readmits++
+				}
+			},
+		})
+	}
+	// Per-tenant rate gates: each tenant gets its fair share of the
+	// cluster's analytic capacity plus 25% headroom, so well-behaved
+	// tenants never hit their gate while a misbehaving tenant's excess
+	// is shed at the door instead of inside the replicas.
+	perCycle := float64(c.Replicas) / meanDemandCycles
+	share := 1.25 * perCycle / float64(c.Tenants)
+	b.tenants = make([]*overload.Controller, c.Tenants)
+	b.tenantRejects = make([]int64, c.Tenants)
+	for i := range b.tenants {
+		b.tenants[i] = overload.New(&overload.Config{
+			Name:         fmt.Sprintf("fleet/tenant%d", i),
+			RatePerCycle: share,
+			Burst:        256,
+			Breaker:      overload.BreakerConfig{Disabled: true},
+		})
+	}
+	return b
+}
+
+// tenantAdmit runs one attempt through its tenant's rate gate.
+func (b *balancer) tenantAdmit(a *attempt) bool {
+	v := b.tenants[a.tenant].Admit(a.arrival, overload.Request{Arrival: a.arrival})
+	if !v.Admitted() {
+		b.tenantRejects[a.tenant]++
+		return false
+	}
+	return true
+}
+
+// healthTick probes every backend at the probe cadence: failure while
+// the replica is down, latency from its queue-delay signal; the poll
+// drives the breaker's cooldown and window rotation.
+func (b *balancer) healthTick(f *fleetState, t int64) {
+	if t < b.nextHealth {
+		return
+	}
+	b.nextHealth = t + HealthIntervalCycles
+	for i := range b.bk {
+		down := f.replicas[i].isDown(t)
+		lat := f.replicas[i].oldestSojourn(t)
+		b.probes++
+		if down {
+			b.probeFailures++
+		}
+		b.bk[i].hc.Observe(t, lat, down)
+		b.bk[i].hc.Poll(t, lat)
+	}
+}
+
+// estDelay is the balancer-side queue estimate for one backend.
+func (b *balancer) estDelay(i int) int64 {
+	return int64(float64(b.bk[i].outstanding) * meanDemandCycles)
+}
+
+// usable reports whether backend i may receive the attempt now:
+// Closed always, HalfOpen only by consuming one of its bounded
+// real-request probe slots, Open never.
+func (b *balancer) usable(i int, now int64) bool {
+	switch b.bk[i].hc.BreakerState() {
+	case overload.Open:
+		return false
+	case overload.HalfOpen:
+		return b.bk[i].hc.Admit(now, overload.Request{Arrival: now}).Admitted()
+	}
+	return true
+}
+
+// pick chooses a replica for one attempt under the configured policy.
+// The policy ranks candidates; the first usable one (healthy, or
+// half-open with a probe slot left) wins. Returns false when no
+// backend can take the attempt.
+func (b *balancer) pick(f *fleetState, a *attempt) (int, bool) {
+	n := len(b.bk)
+	order := make([]int, 0, n)
+	switch b.cfg.Policy {
+	case RoundRobin:
+		for k := 0; k < n; k++ {
+			order = append(order, (b.rrNext+k)%n)
+		}
+		b.rrNext = (b.rrNext + 1) % n
+	case LeastLoaded:
+		for k := 0; k < n; k++ {
+			order = append(order, k)
+		}
+		// stable selection sort by outstanding (n is small)
+		for i := 0; i < len(order); i++ {
+			best := i
+			for j := i + 1; j < len(order); j++ {
+				if b.bk[order[j]].outstanding < b.bk[order[best]].outstanding {
+					best = j
+				}
+			}
+			order[i], order[best] = order[best], order[i]
+		}
+	case P2CDeadline:
+		i := int(b.rng.Intn(int64(n)))
+		j := int(b.rng.Intn(int64(n)))
+		if n > 1 {
+			for j == i {
+				j = int(b.rng.Intn(int64(n)))
+			}
+		}
+		remaining := a.reqArrival + b.cfg.DeadlineCycles - a.arrival
+		di, dj := b.estDelay(i), b.estDelay(j)
+		first, second := i, j
+		if dj < di {
+			first, second = j, i
+			di, dj = dj, di
+		}
+		// Deadline awareness: if the lighter pick cannot fit the
+		// remaining budget but the heavier one can (it is half-open
+		// fresh, say), prefer the one that fits.
+		if di > remaining && dj <= remaining {
+			first, second = second, first
+		}
+		order = append(order, first, second)
+		for k := 0; k < n; k++ {
+			if k != i && k != j {
+				order = append(order, k)
+			}
+		}
+	}
+	for _, i := range order {
+		if i == a.exclude && len(order) > 1 {
+			continue
+		}
+		if b.usable(i, a.arrival) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// noteRouted records one attempt handed to backend i.
+func (b *balancer) noteRouted(i int) { b.bk[i].outstanding++ }
+
+// noteOutcome returns one attempt's slot and, while the backend is
+// half-open, feeds the real outcome to the health breaker (the
+// bounded re-admission probes).
+func (b *balancer) noteOutcome(o *outcome, now int64) {
+	i := o.att.replica
+	b.bk[i].outstanding--
+	if b.bk[i].hc.BreakerState() == overload.HalfOpen {
+		b.bk[i].hc.Observe(now, o.at-o.att.arrival, o.status == stFailed)
+	}
+}
+
+func (b *balancer) fill(res *Result) {
+	res.Probes = b.probes
+	res.ProbeFailures = b.probeFailures
+	res.TenantRejected = b.tenantRejected
+	res.LBUnrouted = b.unrouted
+	for i := range b.bk {
+		res.PerReplica[i].Ejections = b.bk[i].ejections
+		res.PerReplica[i].Readmissions = b.bk[i].readmits
+		res.Ejections += b.bk[i].ejections
+		res.Readmissions += b.bk[i].readmits
+	}
+	for i, n := range b.tenantRejects {
+		res.PerTenant[i].Rejected = n
+	}
+}

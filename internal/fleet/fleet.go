@@ -1,0 +1,453 @@
+// Package fleet is the multi-server resilience layer: N CI-polled
+// server replicas behind a health-checked load balancer, driven by an
+// open-loop multi-tenant client population with heavy-tailed service
+// demands. It composes the repo's existing planes — internal/overload
+// controllers guard each replica's admission and the balancer's
+// per-backend health breakers and per-tenant rate isolation;
+// internal/faults seeds whole-replica crash/restart and gray-failure
+// (slow-replica) windows — into one deterministic cluster simulation.
+//
+// Resilience machinery on top of plain load balancing:
+//
+//   - health checks with outlier ejection and half-open re-admission
+//     (the overload package's breaker, one Controller per backend);
+//   - per-tenant retries with exponential backoff, bounded by a
+//     cluster-wide retry budget so retries can never storm: at deposit
+//     fraction f per first attempt, retry amplification is bounded by
+//     1 + f (+ the hedge fraction) by construction;
+//   - hedged requests after a p99-derived delay with first-wins
+//     cancellation; a hedge whose twin also completes is accounted as
+//     a hedge-duplicate, never double-counted as a served request;
+//   - a conservation oracle proving every injected request and every
+//     attempt is accounted exactly once.
+//
+// Execution is bulk-synchronous: virtual time advances in fixed
+// epochs; serial barrier phases (arrival generation, routing, health
+// checks, outcome delivery) alternate with parallel per-replica steps
+// that touch only replica-owned state, sharded across an
+// engine.ShardRunner. Replica state is statically owned and every
+// random stream is consumed either serially or by its owning replica,
+// so reports are byte-identical at any worker count and workers=1
+// degenerates to the plain serial loop.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/stats"
+)
+
+// CyclesPerUs converts model cycles to microseconds (2.6 GHz clock).
+const CyclesPerUs = 2600.0
+
+// EpochCycles is the BSP step length: 26_000 cycles = 10 µs, ten CI
+// polling intervals at the paper's 2500-cycle default.
+const EpochCycles = 26_000
+
+// PollIntervalCycles is the replica-local control-loop cadence inside
+// an epoch, matching the CI probe discipline (~2500 cycles; 2600 here
+// so an epoch holds a whole number of polls).
+const PollIntervalCycles = 2600
+
+// meanDemandCycles is the analytic mean of the bounded-Pareto service
+// demand (xm=2500, H=250_000, alpha=1.5): ~6756 cycles per request.
+const meanDemandCycles = 6756.0
+
+// DefaultDeadlineCycles is the per-request deadline a zero
+// Config.DeadlineCycles takes (~1 ms at the 2.6 GHz model clock).
+const DefaultDeadlineCycles = 2_600_000
+
+// Policy selects the balancer's routing discipline.
+type Policy int
+
+const (
+	// RoundRobin cycles over healthy replicas.
+	RoundRobin Policy = iota
+	// LeastLoaded picks the healthy replica with the fewest
+	// outstanding attempts.
+	LeastLoaded
+	// P2CDeadline samples two healthy replicas and keeps the one with
+	// the lower estimated queue delay, preferring a candidate whose
+	// estimate still fits the attempt's remaining deadline budget.
+	P2CDeadline
+)
+
+var policyNames = [...]string{RoundRobin: "rr", LeastLoaded: "least", P2CDeadline: "p2c"}
+
+// String names the policy (the -lb flag vocabulary).
+func (p Policy) String() string { return policyNames[p] }
+
+// ParsePolicy maps a -lb flag value to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	for i, n := range policyNames {
+		if s == n {
+			return Policy(i), nil
+		}
+	}
+	return 0, fmt.Errorf("fleet: unknown balancer policy %q (want rr, least, or p2c)", s)
+}
+
+// Config tunes one fleet run. Zero fields take the documented
+// defaults.
+type Config struct {
+	// Replicas is the cluster size (default 8).
+	Replicas int
+	// Tenants is the client population size (default 4).
+	Tenants int
+	// Policy is the balancer's routing discipline (default P2CDeadline).
+	Policy Policy
+	// Seed roots every random stream of the run.
+	Seed uint64
+
+	// HorizonCycles is the injection horizon (default 130_000_000 ≈
+	// 50 ms); the run then drains until all work resolves (bounded by
+	// DrainCycles, default 4 × DeadlineCycles... see run loop).
+	HorizonCycles int64
+	// LoadFactor scales offered load against the cluster's analytic
+	// capacity (default 0.8; 1.2 is the overloaded soak point).
+	LoadFactor float64
+
+	// DeadlineCycles is the per-request deadline from first injection
+	// (default 2_600_000 ≈ 1 ms), propagated to replica admission.
+	DeadlineCycles int64
+
+	// MaxRetries bounds retries per request (default 2; 0 disables,
+	// -1 forces 0).
+	MaxRetries int
+	// RetryBudgetFrac is the cluster retry-budget deposit per injected
+	// request (default 0.1; negative disables retries entirely).
+	RetryBudgetFrac float64
+
+	// HedgeDelayCycles enables hedged requests: a second attempt is
+	// sent when the first has been outstanding for
+	// max(HedgeDelayCycles, observed p99 latency). 0 disables hedging.
+	HedgeDelayCycles int64
+	// HedgeBudgetFrac is the hedge-budget deposit per injected request
+	// (default 0.05).
+	HedgeBudgetFrac float64
+
+	// Faults seeds crash and gray-failure windows. CrashReplicas
+	// limits how many replicas (0..CrashReplicas-1) are subject to the
+	// plan (default: all when a plan is set).
+	Faults        *faults.Plan
+	CrashReplicas int
+
+	// MisbehavingTenant, when >= 0, marks one tenant that offers
+	// MisbehaveFactor (default 4) times its fair share and retries
+	// without backoff. Per-tenant rate isolation at the balancer keeps
+	// it from consuming the other tenants' capacity. Default -1 (none);
+	// the zero value of the struct therefore needs NewConfig or
+	// withDefaults to see "none".
+	MisbehavingTenant int
+	MisbehaveFactor   float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 8
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 4
+	}
+	if c.HorizonCycles <= 0 {
+		c.HorizonCycles = 130_000_000
+	}
+	if c.LoadFactor <= 0 {
+		c.LoadFactor = 0.8
+	}
+	if c.DeadlineCycles <= 0 {
+		c.DeadlineCycles = DefaultDeadlineCycles
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBudgetFrac == 0 {
+		c.RetryBudgetFrac = 0.1
+	}
+	if c.RetryBudgetFrac < 0 {
+		c.RetryBudgetFrac = 0
+	}
+	if c.HedgeBudgetFrac <= 0 {
+		c.HedgeBudgetFrac = 0.05
+	}
+	if c.Faults.Enabled() && c.CrashReplicas <= 0 {
+		c.CrashReplicas = c.Replicas
+	}
+	if c.MisbehaveFactor <= 1 {
+		c.MisbehaveFactor = 4
+	}
+	return c
+}
+
+// CapacityRPS is the cluster's analytic service capacity in requests
+// per second: one serving core per replica at the mean demand.
+func CapacityRPS(replicas int) float64 {
+	return float64(replicas) * 2.6e9 / meanDemandCycles
+}
+
+// TenantStats is one tenant's view of the run.
+type TenantStats struct {
+	Injected, Served, ServedLate, Failed int64
+	Rejected                             int64 // attempts refused by the tenant's rate gate
+	P99Us, P999Us                        float64
+	Misbehaving                          bool
+}
+
+// ReplicaStats is one replica's view of the run.
+type ReplicaStats struct {
+	Admitted, Served, Expired, Rejected int64
+	Refused                             int64 // attempts that arrived while the replica was down
+	Crashes                             int64
+	CrashKilled                         int64 // admitted attempts killed by a crash
+	GraySlows                           int64
+	Ejections, Readmissions             int64
+}
+
+// Result is one fleet run's complete accounting. All fields are
+// values (slices of value structs), so two Results from equal
+// configurations compare equal with reflect.DeepEqual and hash to the
+// same Fingerprint at any worker count.
+type Result struct {
+	Cfg struct {
+		Replicas, Tenants int
+		Policy            Policy
+		Seed              uint64
+		LoadFactor        float64
+	}
+
+	// Request-level conservation: Injected = Served + ServedLate +
+	// FailedPerm + InFlightEnd.
+	Injected, Served, ServedLate, FailedPerm, InFlightEnd int64
+
+	// Attempt-level conservation: Attempts = Injected + Retries +
+	// Hedges, and Attempts = AttemptServed + AttemptRejected +
+	// AttemptExpired + AttemptFailed + AttemptCancelled +
+	// AttemptInFlight.
+	Attempts, Retries, Hedges                     int64
+	AttemptServed, AttemptRejected, AttemptFailed int64
+	AttemptExpired, AttemptCancelled              int64
+	AttemptInFlight                               int64
+
+	// HedgeDuplicates counts served attempts whose request had already
+	// completed (folded inside AttemptServed); HedgeWins counts
+	// requests completed by their hedge.
+	HedgeDuplicates, HedgeWins int64
+	// RetryDenied / HedgeDenied count budget refusals.
+	RetryDenied, HedgeDenied int64
+
+	// Balancer accounting.
+	Probes, ProbeFailures, Ejections, Readmissions int64
+	TenantRejected                                 int64 // attempts shed by per-tenant rate gates
+	LBUnrouted                                     int64 // attempts with no admitting replica
+
+	// Fault accounting.
+	Crashes, GraySlows int64
+
+	// Latency of completed requests (injection → first completion).
+	P50Us, P99Us, P999Us, MaxUs float64
+	// GoodputRPS is in-deadline completions per second of injection
+	// horizon.
+	GoodputRPS float64
+
+	PerTenant  []TenantStats
+	PerReplica []ReplicaStats
+
+	// InvariantErrs carries any per-replica overload-plane accounting
+	// violations (empty on a healthy run; deterministic, so it is part
+	// of the fingerprint).
+	InvariantErrs []string
+}
+
+// Amplification is Attempts/Injected — the retry-storm metric the
+// budget bounds at 1 + RetryBudgetFrac + HedgeBudgetFrac.
+func (r *Result) Amplification() float64 {
+	if r.Injected == 0 {
+		return 0
+	}
+	return float64(r.Attempts) / float64(r.Injected)
+}
+
+// Fingerprint hashes the full accounting for byte-identity checks
+// across worker counts.
+func (r *Result) Fingerprint() uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	mix(fmt.Sprintf("%+v", *r))
+	return h
+}
+
+// Run executes one fleet soak on the pool's workers. A nil pool runs
+// serially.
+func Run(cfg Config, pool *engine.Pool) *Result {
+	c := cfg.withDefaults()
+	f := newFleetState(c)
+	runner := engine.NewShardRunner(pool, c.Replicas)
+	defer runner.Close()
+
+	// Drain for up to 16 deadlines past the horizon so every attempt
+	// reaches a terminal state; whatever is left is InFlightEnd.
+	drainEnd := c.HorizonCycles + 16*c.DeadlineCycles
+	for t := int64(0); t < drainEnd; t += EpochCycles {
+		f.serialPhase(t)
+		runner.Step(func(i int) { f.replicas[i].step(t, t+EpochCycles) })
+		f.collect(t + EpochCycles)
+		if t >= c.HorizonCycles && f.outstanding == 0 {
+			break
+		}
+	}
+	return f.result(c)
+}
+
+// fleetState is the serial-phase view of the whole cluster.
+type fleetState struct {
+	cfg      Config
+	replicas []*replica
+	lb       *balancer
+	cl       *clients
+
+	outstanding int64 // requests injected but not yet terminal
+	latHist     stats.LogHist
+	reqLat      []int64 // completed-request latencies for exact tails
+}
+
+func newFleetState(c Config) *fleetState {
+	f := &fleetState{cfg: c}
+	f.replicas = make([]*replica, c.Replicas)
+	for i := range f.replicas {
+		var inj *faults.Injector
+		if i < c.CrashReplicas {
+			inj = faults.New(c.Faults, fmt.Sprintf("fleet/replica%d", i))
+		}
+		f.replicas[i] = newReplica(i, c, inj)
+	}
+	f.lb = newBalancer(c)
+	f.cl = newClients(c)
+	return f
+}
+
+// serialPhase runs one epoch's barrier work at epoch start t: deliver
+// due retries/hedges, generate fresh arrivals, run health checks, and
+// route every attempt due this epoch into replica inboxes.
+func (f *fleetState) serialPhase(t int64) {
+	f.lb.healthTick(f, t)
+	var due []attempt
+	if t < f.cfg.HorizonCycles {
+		due = f.cl.arrivals(t, t+EpochCycles)
+		f.outstanding += int64(len(due))
+	}
+	due = append(due, f.cl.dueRetries(t+EpochCycles)...)
+	due = append(due, f.cl.dueHedges(t, f.hedgeDelay())...)
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].arrival != due[j].arrival {
+			return due[i].arrival < due[j].arrival
+		}
+		return due[i].id < due[j].id
+	})
+	for i := range due {
+		f.route(&due[i])
+	}
+	f.cl.flushCancels(f.replicas)
+}
+
+// route sends one attempt through the tenant rate gate and the
+// balancer into a replica inbox; refusals become immediate outcomes.
+func (f *fleetState) route(a *attempt) {
+	f.cl.noteAttempt(a)
+	if !f.lb.tenantAdmit(a) {
+		f.deliver(outcome{att: *a, at: a.arrival, status: stRejected})
+		f.lb.tenantRejected++
+		return
+	}
+	r, ok := f.lb.pick(f, a)
+	if !ok {
+		f.lb.unrouted++
+		f.deliver(outcome{att: *a, at: a.arrival, status: stRejected})
+		return
+	}
+	a.replica = r
+	f.lb.noteRouted(r)
+	f.cl.bindReplica(a.reqID, a.id, r)
+	f.replicas[r].inbox = append(f.replicas[r].inbox, *a)
+}
+
+// collect drains every replica outbox at the epoch barrier and feeds
+// the outcomes to the balancer and the client population.
+func (f *fleetState) collect(now int64) {
+	for _, r := range f.replicas {
+		for _, o := range r.outbox {
+			f.lb.noteOutcome(&o, now)
+			f.deliver(o)
+		}
+		r.outbox = r.outbox[:0]
+	}
+}
+
+// deliver hands one terminal attempt outcome to the client layer,
+// which settles the request (completion, retry, hedge bookkeeping).
+func (f *fleetState) deliver(o outcome) {
+	done, lat := f.cl.settle(o)
+	if done {
+		f.outstanding--
+		if lat >= 0 {
+			f.latHist.Add(lat)
+			f.reqLat = append(f.reqLat, lat)
+		}
+	}
+}
+
+// hedgeDelay is the current hedge trigger: the configured floor or
+// the observed p99 request latency, whichever is larger.
+func (f *fleetState) hedgeDelay() int64 {
+	d := f.cfg.HedgeDelayCycles
+	if d <= 0 {
+		return 0
+	}
+	if p99 := f.latHist.Quantile(99); p99 > d {
+		d = p99
+	}
+	return d
+}
+
+func (f *fleetState) result(c Config) *Result {
+	res := &Result{}
+	res.Cfg.Replicas = c.Replicas
+	res.Cfg.Tenants = c.Tenants
+	res.Cfg.Policy = c.Policy
+	res.Cfg.Seed = c.Seed
+	res.Cfg.LoadFactor = c.LoadFactor
+
+	for _, r := range f.replicas {
+		st := r.stats()
+		res.PerReplica = append(res.PerReplica, st)
+		res.Crashes += st.Crashes
+		res.GraySlows += st.GraySlows
+		res.AttemptInFlight += r.inFlight()
+		if err := r.checkInvariants(); err != nil {
+			res.InvariantErrs = append(res.InvariantErrs, err.Error())
+		}
+	}
+	f.cl.fill(res)
+	f.lb.fill(res)
+	res.InFlightEnd = f.outstanding
+
+	if len(f.reqLat) > 0 {
+		s := stats.Summarize(f.reqLat)
+		res.P50Us = float64(s.P50) / CyclesPerUs
+		res.P99Us = float64(s.P99) / CyclesPerUs
+		res.P999Us = float64(s.P999) / CyclesPerUs
+		res.MaxUs = float64(s.Max) / CyclesPerUs
+	}
+	res.GoodputRPS = float64(res.Served) / (float64(c.HorizonCycles) / 2.6e9)
+	return res
+}

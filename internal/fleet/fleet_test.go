@@ -1,0 +1,270 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/faults"
+)
+
+// testConfig is a moderately loaded cluster with every resilience
+// mechanism exercised: crashes and gray failures on the first two
+// replicas, hedging, and a misbehaving tenant.
+func testConfig() Config {
+	return Config{
+		Replicas:      4,
+		Tenants:       4,
+		Policy:        P2CDeadline,
+		Seed:          42,
+		HorizonCycles: 26_000_000, // 10 ms
+		LoadFactor:    0.8,
+		Faults: &faults.Plan{
+			Seed:                  42,
+			CrashMeanGapCycles:    8_000_000,
+			CrashDownCycles:       1_300_000,
+			GraySlowMeanGapCycles: 10_000_000,
+			GraySlowCycles:        2_600_000,
+			GraySlowFactor:        8,
+		},
+		CrashReplicas:     2,
+		HedgeDelayCycles:  260_000,
+		MisbehavingTenant: 1,
+	}
+}
+
+func TestFleetConservation(t *testing.T) {
+	res := Run(testConfig(), engine.NewPool(1))
+	if err := res.Conservation(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected < 5_000 {
+		t.Fatalf("only %d requests injected; workload generator broken", res.Injected)
+	}
+	if res.Served == 0 {
+		t.Fatal("no requests served")
+	}
+	if res.Crashes == 0 {
+		t.Fatal("crash plan injected no crashes")
+	}
+	if res.AttemptFailed == 0 {
+		t.Fatal("crashes killed no attempts; crash accounting is not being exercised")
+	}
+	if res.Hedges == 0 {
+		t.Fatal("no hedges sent")
+	}
+	if res.Retries == 0 {
+		t.Fatal("no retries sent")
+	}
+	if amp := res.Amplification(); amp > 1.15+1e-9 {
+		t.Fatalf("retry amplification %.3f exceeds the 1.15 budget bound", amp)
+	}
+}
+
+func TestFleetWorkerCountByteIdentity(t *testing.T) {
+	cfg := testConfig()
+	base := Run(cfg, engine.NewPool(1))
+	for _, workers := range []int{2, 4, 8} {
+		got := Run(cfg, engine.NewPool(workers))
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d result diverges from serial:\nserial: %+v\ngot:    %+v", workers, base, got)
+		}
+		if base.Fingerprint() != got.Fingerprint() {
+			t.Fatalf("workers=%d fingerprint %x != serial %x", workers, got.Fingerprint(), base.Fingerprint())
+		}
+	}
+	if nilPool := Run(cfg, nil); !reflect.DeepEqual(base, nilPool) {
+		t.Fatal("nil-pool run diverges from serial")
+	}
+}
+
+func TestFleetDeterministicAcrossRuns(t *testing.T) {
+	cfg := testConfig()
+	a := Run(cfg, engine.NewPool(4))
+	b := Run(cfg, engine.NewPool(4))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identically-seeded runs diverge")
+	}
+	cfg.Seed = 43
+	if c := Run(cfg, engine.NewPool(4)); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+// Crashing one replica mid-soak must degrade goodput gracefully: the
+// balancer ejects the dead replica, retries absorb the killed
+// attempts, and cluster goodput stays within 80% of the no-crash run
+// while retry amplification stays inside the budget bound.
+func TestFleetCrashFailoverGoodput(t *testing.T) {
+	base := Config{
+		Replicas:      4,
+		Tenants:       4,
+		Policy:        P2CDeadline,
+		Seed:          7,
+		HorizonCycles: 26_000_000,
+		LoadFactor:    1.2,
+	}
+	noCrash := Run(base, engine.NewPool(2))
+	if err := noCrash.Conservation(); err != nil {
+		t.Fatal(err)
+	}
+
+	crashed := base
+	crashed.Faults = &faults.Plan{
+		Seed:               7,
+		CrashMeanGapCycles: 6_000_000,
+		CrashDownCycles:    2_600_000,
+	}
+	crashed.CrashReplicas = 1
+	res := Run(crashed, engine.NewPool(2))
+	if err := res.Conservation(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes == 0 {
+		t.Fatal("no crashes occurred")
+	}
+	if res.Ejections == 0 {
+		t.Fatal("balancer never ejected the crashing replica")
+	}
+	if res.Readmissions == 0 {
+		t.Fatal("balancer never re-admitted the recovered replica")
+	}
+	if ratio := res.GoodputRPS / noCrash.GoodputRPS; ratio < 0.80 {
+		t.Fatalf("crash-soak goodput is %.1f%% of the no-crash run (want >= 80%%): %f vs %f rps",
+			100*ratio, res.GoodputRPS, noCrash.GoodputRPS)
+	}
+	if amp := res.Amplification(); amp > 1.15+1e-9 {
+		t.Fatalf("retry amplification %.3f exceeds 1.15", amp)
+	}
+}
+
+// One tenant offering 4x its fair share must not wreck the others:
+// the per-tenant rate gates shed its excess at the door, so
+// well-behaved tenants keep their served fraction and tail latency.
+func TestFleetTenantIsolation(t *testing.T) {
+	cfg := Config{
+		Replicas:          4,
+		Tenants:           4,
+		Policy:            P2CDeadline,
+		Seed:              11,
+		HorizonCycles:     26_000_000,
+		LoadFactor:        0.9,
+		MisbehavingTenant: 0,
+	}
+	res := Run(cfg, engine.NewPool(2))
+	if err := res.Conservation(); err != nil {
+		t.Fatal(err)
+	}
+	bad := res.PerTenant[0]
+	if !bad.Misbehaving {
+		t.Fatal("tenant 0 not marked misbehaving")
+	}
+	if bad.Rejected == 0 {
+		t.Fatal("misbehaving tenant's excess was never shed at its rate gate")
+	}
+	deadlineUs := float64(withDefaultDeadline(cfg)) / CyclesPerUs
+	for i := 1; i < cfg.Tenants; i++ {
+		ts := res.PerTenant[i]
+		if ts.Injected == 0 {
+			t.Fatalf("tenant %d injected nothing", i)
+		}
+		servedFrac := float64(ts.Served) / float64(ts.Injected)
+		if servedFrac < 0.95 {
+			t.Errorf("well-behaved tenant %d served only %.1f%% of its requests", i, 100*servedFrac)
+		}
+		if ts.P999Us > deadlineUs {
+			t.Errorf("well-behaved tenant %d p99.9 %.0fµs exceeds the %0.fµs deadline", i, ts.P999Us, deadlineUs)
+		}
+	}
+}
+
+func withDefaultDeadline(c Config) int64 { return c.withDefaults().DeadlineCycles }
+
+// A gray-slow replica must be caught by the latency outlier detector
+// even though it keeps answering probes.
+func TestFleetGrayFailureEjection(t *testing.T) {
+	cfg := Config{
+		Replicas:      4,
+		Tenants:       2,
+		Policy:        LeastLoaded,
+		Seed:          5,
+		HorizonCycles: 26_000_000,
+		LoadFactor:    0.9,
+		Faults: &faults.Plan{
+			Seed:                  5,
+			GraySlowMeanGapCycles: 5_000_000,
+			GraySlowCycles:        5_200_000,
+			GraySlowFactor:        16,
+		},
+		CrashReplicas: 1,
+	}
+	res := Run(cfg, engine.NewPool(2))
+	if err := res.Conservation(); err != nil {
+		t.Fatal(err)
+	}
+	if res.GraySlows == 0 {
+		t.Fatal("no gray-failure windows occurred")
+	}
+	if res.Ejections == 0 {
+		t.Fatal("gray-slow replica was never ejected despite latency outliers")
+	}
+}
+
+// Hedges are bounded by the hedge budget, cancel their twin on first
+// completion, and duplicates are accounted exactly once.
+func TestFleetHedgingAccounting(t *testing.T) {
+	cfg := testConfig()
+	res := Run(cfg, engine.NewPool(2))
+	if res.Hedges == 0 {
+		t.Fatal("no hedges under a heavy-tailed workload with hedging enabled")
+	}
+	maxHedges := int64(float64(res.Injected)*cfg.withDefaults().HedgeBudgetFrac) + budgetCap
+	if res.Hedges > maxHedges {
+		t.Fatalf("%d hedges exceed the budget bound %d", res.Hedges, maxHedges)
+	}
+	if res.HedgeDuplicates > res.Hedges+res.Retries {
+		t.Fatalf("%d duplicates exceed %d hedges + %d retries", res.HedgeDuplicates, res.Hedges, res.Retries)
+	}
+	if res.AttemptCancelled == 0 {
+		t.Fatal("first-wins cancellation never removed a queued twin")
+	}
+}
+
+// Every routing policy must satisfy the oracle and spread load over
+// all replicas.
+func TestFleetPolicies(t *testing.T) {
+	for _, pol := range []Policy{RoundRobin, LeastLoaded, P2CDeadline} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			cfg := Config{
+				Replicas:      4,
+				Tenants:       2,
+				Policy:        pol,
+				Seed:          9,
+				HorizonCycles: 13_000_000,
+				LoadFactor:    0.7,
+			}
+			res := Run(cfg, engine.NewPool(2))
+			if err := res.Conservation(); err != nil {
+				t.Fatal(err)
+			}
+			for i, st := range res.PerReplica {
+				if st.Admitted == 0 {
+					t.Errorf("policy %v starved replica %d", pol, i)
+				}
+			}
+		})
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, pol := range []Policy{RoundRobin, LeastLoaded, P2CDeadline} {
+		got, err := ParsePolicy(pol.String())
+		if err != nil || got != pol {
+			t.Errorf("ParsePolicy(%q) = %v, %v", pol.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("ParsePolicy accepted a bogus policy")
+	}
+}

@@ -1,0 +1,70 @@
+package fleet
+
+import "fmt"
+
+// Conservation is the run's accounting oracle: every injected request
+// and every attempt must be accounted exactly once. It cross-checks
+// the client-side tallies against the independent per-replica
+// controller snapshots, so a lost or double-counted attempt anywhere
+// in the pipeline breaks an identity. Returns nil when every identity
+// balances.
+func (r *Result) Conservation() error {
+	// Request level: injected = completed (in or past deadline) +
+	// permanently failed + still in flight at run end.
+	if got := r.Served + r.ServedLate + r.FailedPerm + r.InFlightEnd; got != r.Injected {
+		return fmt.Errorf("fleet: request conservation broken: served=%d + late=%d + failed=%d + inflight=%d != injected=%d",
+			r.Served, r.ServedLate, r.FailedPerm, r.InFlightEnd, r.Injected)
+	}
+
+	// Attempt provenance: every attempt is a first send, a retry, or a
+	// hedge.
+	if got := r.Injected + r.Retries + r.Hedges; got != r.Attempts {
+		return fmt.Errorf("fleet: attempt provenance broken: injected=%d + retries=%d + hedges=%d != attempts=%d",
+			r.Injected, r.Retries, r.Hedges, r.Attempts)
+	}
+
+	// Attempt disposition: every attempt reaches exactly one terminal
+	// state (hedge duplicates are served attempts of already-completed
+	// requests, folded inside AttemptServed).
+	if got := r.AttemptServed + r.AttemptRejected + r.AttemptExpired +
+		r.AttemptFailed + r.AttemptCancelled + r.AttemptInFlight; got != r.Attempts {
+		return fmt.Errorf("fleet: attempt disposition broken: served=%d + rejected=%d + expired=%d + failed=%d + cancelled=%d + inflight=%d != attempts=%d",
+			r.AttemptServed, r.AttemptRejected, r.AttemptExpired,
+			r.AttemptFailed, r.AttemptCancelled, r.AttemptInFlight, r.Attempts)
+	}
+
+	// Cross-checks against the replicas' own overload controllers.
+	var served, expired, rejected, refused, killed int64
+	for _, st := range r.PerReplica {
+		served += st.Served
+		expired += st.Expired
+		rejected += st.Rejected
+		refused += st.Refused
+		killed += st.CrashKilled
+	}
+	if served != r.AttemptServed {
+		return fmt.Errorf("fleet: served cross-check broken: replicas completed %d, clients settled %d",
+			served, r.AttemptServed)
+	}
+	if expired != r.AttemptExpired {
+		return fmt.Errorf("fleet: expired cross-check broken: replicas expired %d, clients settled %d",
+			expired, r.AttemptExpired)
+	}
+	if got := rejected + r.TenantRejected + r.LBUnrouted; got != r.AttemptRejected {
+		return fmt.Errorf("fleet: rejected cross-check broken: replica=%d + tenant=%d + unrouted=%d != settled %d",
+			rejected, r.TenantRejected, r.LBUnrouted, r.AttemptRejected)
+	}
+	if got := refused + killed; got != r.AttemptFailed {
+		return fmt.Errorf("fleet: failed cross-check broken: refused=%d + crash-killed=%d != settled %d",
+			refused, killed, r.AttemptFailed)
+	}
+
+	if r.HedgeDuplicates > r.Hedges+r.Retries {
+		return fmt.Errorf("fleet: %d hedge duplicates exceed %d hedges + %d retries",
+			r.HedgeDuplicates, r.Hedges, r.Retries)
+	}
+	for _, e := range r.InvariantErrs {
+		return fmt.Errorf("fleet: replica overload invariant: %s", e)
+	}
+	return nil
+}

@@ -154,10 +154,16 @@ func (b *breaker) resetWindow(now int64) {
 }
 
 // allow is the breaker's admission gate: Closed admits, Open rejects,
-// HalfOpen admits while probe slots remain.
-func (b *breaker) allow(c *Controller, now int64) bool {
+// HalfOpen admits while probe slots remain. probe reports that the
+// admitted request is a half-open probe: probes are the breaker's own
+// measurement traffic, so the controller must not additionally charge
+// them to the token bucket (double-charging a probe both skews the
+// reject fraction near the brownout boundary and can starve the probe
+// set entirely when the bucket is empty — which is exactly when the
+// breaker is trying to find out whether the backend recovered).
+func (b *breaker) allow(c *Controller, now int64) (ok, probe bool) {
 	if b.cfg.Disabled {
-		return true
+		return true, false
 	}
 	switch b.state {
 	case Open:
@@ -167,15 +173,15 @@ func (b *breaker) allow(c *Controller, now int64) bool {
 			b.transition(c, HalfOpen, now)
 			return b.allow(c, now)
 		}
-		return false
+		return false, false
 	case HalfOpen:
 		if b.probesLeft <= 0 {
-			return false
+			return false, false
 		}
 		b.probesLeft--
-		return true
+		return true, true
 	default:
-		return true
+		return true, false
 	}
 }
 

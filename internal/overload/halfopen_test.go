@@ -1,0 +1,78 @@
+package overload
+
+import "testing"
+
+// Half-open probes are the breaker's own measurement traffic, bounded
+// by HalfOpenProbes; charging them to the token bucket as well
+// double-charges the plane (skewing reject fractions near the brownout
+// boundary) and can starve the probe set when the bucket is empty —
+// exactly when the breaker needs to learn whether the backend
+// recovered. The table pins both directions: probes never consume
+// tokens, normal closed-state admissions always do.
+func TestHalfOpenProbeDoesNotConsumeToken(t *testing.T) {
+	cases := []struct {
+		name       string
+		state      State
+		tokens     float64
+		probesLeft int64
+		want       Verdict
+		wantTokens float64
+	}{
+		{name: "closed admission charges the bucket", state: Closed,
+			tokens: 2, want: Admit, wantTokens: 1},
+		{name: "closed admission with empty bucket rejects", state: Closed,
+			tokens: 0.5, want: RejectRate, wantTokens: 0.5},
+		{name: "half-open probe leaves the bucket untouched", state: HalfOpen,
+			tokens: 2, probesLeft: 4, want: Admit, wantTokens: 2},
+		{name: "half-open probe admits even with an empty bucket", state: HalfOpen,
+			tokens: 0, probesLeft: 4, want: Admit, wantTokens: 0},
+		{name: "exhausted probe set still rejects", state: HalfOpen,
+			tokens: 2, probesLeft: 0, want: RejectBreaker, wantTokens: 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New(&Config{RatePerCycle: 1e-9, Burst: 8})
+			c.breaker.state = tc.state
+			c.breaker.probesLeft = tc.probesLeft
+			c.tokens = tc.tokens
+			c.lastRefill = 1000 // refill window of 0 cycles: no new tokens
+			if got := c.Admit(1000, Request{Arrival: 1000}); got != tc.want {
+				t.Fatalf("verdict = %v, want %v", got, tc.want)
+			}
+			if c.tokens != tc.wantTokens {
+				t.Errorf("tokens after admission = %v, want %v", c.tokens, tc.wantTokens)
+			}
+		})
+	}
+}
+
+// A full half-open probe cycle against an empty, never-refilling token
+// bucket must close the breaker: every probe is admitted (none are
+// token-charged) and the successes close the loop. Before the fix the
+// first probe consumed the last fraction of a token and the rest were
+// rejected as RejectRate, so the breaker could never close under
+// sustained rate pressure.
+func TestHalfOpenRecoveryWithEmptyBucket(t *testing.T) {
+	c := New(&Config{
+		RatePerCycle: 1e-12, // effectively no refill over the test horizon
+		Burst:        1,
+		Breaker:      BreakerConfig{HalfOpenProbes: 3, MinSamples: 1},
+	})
+	c.tokens = 0 // bucket already drained by prior overload
+	c.breaker.state = HalfOpen
+	c.breaker.probesLeft = 3
+	now := int64(1_000_000)
+	for i := 0; i < 3; i++ {
+		if v := c.Admit(now, Request{Arrival: now}); v != Admit {
+			t.Fatalf("probe %d verdict = %v, want admit", i, v)
+		}
+		c.Observe(now+100, 100, false)
+		now += 1000
+	}
+	if got := c.BreakerState(); got != Closed {
+		t.Fatalf("breaker state after successful probe set = %v, want closed", got)
+	}
+	if s := c.Snapshot(); s.RejectedRate != 0 {
+		t.Errorf("probes were rate-rejected %d times; probes must bypass the bucket", s.RejectedRate)
+	}
+}

@@ -352,7 +352,8 @@ func (c *Controller) Admit(now int64, rq Request) Verdict {
 }
 
 func (c *Controller) admit(now int64, rq Request) Verdict {
-	if !c.breaker.allow(c, now) {
+	ok, probe := c.breaker.allow(c, now)
+	if !ok {
 		return RejectBreaker
 	}
 	if d := c.cfg.DeadlineCycles; d > 0 && now+rq.EstDelayCycles > rq.Arrival+d {
@@ -361,7 +362,10 @@ func (c *Controller) admit(now int64, rq Request) Verdict {
 	if c.codelDrop(now, rq.EstDelayCycles) {
 		return RejectCoDel
 	}
-	if r := c.cfg.RatePerCycle; r > 0 {
+	// Half-open probes are the breaker's measurement traffic: they are
+	// already bounded by HalfOpenProbes, so they bypass the token bucket
+	// instead of double-charging it (see breaker.allow).
+	if r := c.cfg.RatePerCycle; r > 0 && !probe {
 		if dt := now - c.lastRefill; dt > 0 {
 			c.tokens += float64(dt) * r
 			if c.tokens > c.cfg.Burst {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/ci/instrument"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 )
 
 var updateBaseline = flag.Bool("update-baseline", false, "rewrite BENCH_baseline.json from current measurements")
@@ -149,6 +150,141 @@ func TestOverloadRegressionBaseline(t *testing.T) {
 		}
 		if g.MaxBrownout != w.MaxBrownout {
 			t.Errorf("%.1fx: max brownout %d vs baseline %d", g.Mult, g.MaxBrownout, w.MaxBrownout)
+		}
+	}
+}
+
+// Fleet-resilience gate: the crash-soak sweep's accounting at the
+// standard seed, stored in the same BENCH_baseline.json. The fleet is
+// deterministic, so unchanged code reproduces the baseline exactly;
+// the bands absorb intentional balancer/retry tuning. Retry
+// amplification is gated hard at the budget ceiling in every cell —
+// that bound holds by construction, so exceeding it means the budget
+// accounting broke, never the workload shifting.
+const (
+	fleetBaselineKey  = "fleet/ramp"
+	fleetBaselineHash = "seed=1,replicas=8,tenants=4,lb=p2c,dur=26000000,v1"
+	fleetRampCycles   = 26_000_000
+)
+
+// fleetBaselineConfig mirrors `ciexp fleet`'s defaults: 8 replicas
+// under p2c, 4 tenants with tenant 0 misbehaving, hedging at a 0.1 ms
+// floor, the standard retry budget.
+func fleetBaselineConfig() fleet.Config {
+	return fleet.Config{
+		Replicas:          8,
+		Tenants:           4,
+		Policy:            fleet.P2CDeadline,
+		Seed:              1,
+		HorizonCycles:     fleetRampCycles,
+		RetryBudgetFrac:   0.1,
+		HedgeDelayCycles:  260_000,
+		MisbehavingTenant: 0,
+	}
+}
+
+type fleetBaselineRow struct {
+	Load       float64
+	Crash      bool
+	Injected   int64
+	Served     int64
+	Retries    int64
+	Hedges     int64
+	Crashes    int64
+	Ejections  int64
+	FailedPerm int64
+}
+
+func measureFleetBaseline(t *testing.T) []fleetBaselineRow {
+	t.Helper()
+	rows, errs := experiments.MeasureFleetRamp(engine.New(0), fleetBaselineConfig(), nil)
+	if len(errs) > 0 {
+		t.Fatalf("fleet cells failed: %v", errs)
+	}
+	var out []fleetBaselineRow
+	for _, r := range rows {
+		if amp := r.Res.Amplification(); amp > experiments.FleetAmpCeiling+1e-9 {
+			t.Errorf("%.1fx crash=%t: retry amplification %.3f exceeds the %.2f budget bound",
+				r.Load, r.Crash, amp, experiments.FleetAmpCeiling)
+		}
+		out = append(out, fleetBaselineRow{
+			Load: r.Load, Crash: r.Crash,
+			Injected: r.Res.Injected, Served: r.Res.Served,
+			Retries: r.Res.Retries, Hedges: r.Res.Hedges,
+			Crashes: r.Res.Crashes, Ejections: r.Res.Ejections,
+			FailedPerm: r.Res.FailedPerm,
+		})
+	}
+	return out
+}
+
+func TestFleetRegressionBaseline(t *testing.T) {
+	got := measureFleetBaseline(t)
+	if len(got) == 0 {
+		t.Fatal("no fleet rows measured")
+	}
+
+	if *updateBaseline {
+		store, err := engine.OpenStore(baselinePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Put(fleetBaselineKey, fleetBaselineHash, got); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Save(); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("fleet baseline rewritten: %s cell %q", baselinePath, fleetBaselineKey)
+		return
+	}
+
+	store, err := engine.OpenStore(baselinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, ok := store.Cell(fleetBaselineKey)
+	if !ok {
+		t.Fatalf("baseline lacks cell %q; regenerate with -update-baseline", fleetBaselineKey)
+	}
+	var want []fleetBaselineRow
+	if err := json.Unmarshal(cell.Data, &want); err != nil {
+		t.Fatalf("baseline cell %q: %v", fleetBaselineKey, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fresh sweep has %d rows, baseline %d — regenerate it", len(got), len(want))
+	}
+	for i, g := range got {
+		w := want[i]
+		if g.Load != w.Load || g.Crash != w.Crash {
+			t.Errorf("row %d: (%.1fx, crash=%t) vs baseline (%.1fx, crash=%t) — baseline is stale",
+				i, g.Load, g.Crash, w.Load, w.Crash)
+			continue
+		}
+		tag := fmt.Sprintf("%.1fx crash=%t", g.Load, g.Crash)
+		// The arrival process is untouched by serving-side changes, so
+		// injected counts must reproduce exactly.
+		if g.Injected != w.Injected {
+			t.Errorf("%s: injected %d vs baseline %d — workload generator changed, regenerate the baseline",
+				tag, g.Injected, w.Injected)
+		}
+		if !countInBand(g.Served, w.Served, 64, 0.10) {
+			t.Errorf("%s: served %d vs baseline %d (band ±10%%)", tag, g.Served, w.Served)
+		}
+		if !countInBand(g.Retries, w.Retries, 64, 0.25) {
+			t.Errorf("%s: retries %d vs baseline %d (band ±25%%)", tag, g.Retries, w.Retries)
+		}
+		if !countInBand(g.Hedges, w.Hedges, 64, 0.25) {
+			t.Errorf("%s: hedges %d vs baseline %d (band ±25%%)", tag, g.Hedges, w.Hedges)
+		}
+		if !countInBand(g.FailedPerm, w.FailedPerm, 64, 0.25) {
+			t.Errorf("%s: failed-perm %d vs baseline %d (band ±25%%)", tag, g.FailedPerm, w.FailedPerm)
+		}
+		if !countInBand(g.Crashes, w.Crashes, 2, 0.25) {
+			t.Errorf("%s: crashes %d vs baseline %d (band ±25%%)", tag, g.Crashes, w.Crashes)
+		}
+		if !countInBand(g.Ejections, w.Ejections, 2, 0.25) {
+			t.Errorf("%s: ejections %d vs baseline %d (band ±25%%)", tag, g.Ejections, w.Ejections)
 		}
 	}
 }

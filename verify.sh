@@ -37,6 +37,14 @@ echo "== soak smoke =="
 # defaults); ciexp exits non-zero on any violated phase.
 go run ./cmd/ciexp -quick soak
 
+echo "== fleet smoke =="
+# Fleet resilience end-to-end: a small cluster at the 1.2x soak load
+# with replica 0 crashing mid-run; the conservation oracle, the
+# resilience guards (goodput floor, retry amplification, tenant SLO)
+# and the serial-vs-workers byte-identity check all run inside; ciexp
+# exits non-zero on any violation.
+go run ./cmd/ciexp -quick -replicas 4 fleet
+
 echo "== sanitize smoke =="
 # Translation validation end-to-end: stage-by-stage semantic checks and
 # the differential execution oracle over a fuzz corpus + all workloads.
