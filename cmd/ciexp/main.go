@@ -29,6 +29,14 @@
 //	                amplification, tenant SLO isolation, worker-count
 //	                byte identity; exits non-zero on violation; -quick
 //	                runs only the 1.2x soak pair)
+//	ciexp quantum   quantum adaptivity: handler-gap tail error vs
+//	                interval-control policy (fixed, AIMD, feedback) at
+//	                2x load with mixed request classes, across the CI,
+//	                Naive, hardware-interrupt and user-interrupt
+//	                designs; gated on the feedback controller beating
+//	                the fixed quantum on p99.9 gap error inside the
+//	                CI overhead budget (exits non-zero on violation;
+//	                -quick uses a workload subset)
 //	ciexp sanitize  translation-validation sweep: stage checks plus the
 //	                differential execution oracle over a fuzz corpus and
 //	                all workloads (exits non-zero on any divergence)
@@ -83,7 +91,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use a workload subset where supported")
 	all := flag.Bool("all", false, "fig9/fig11: include Naive-Cycles and CnB-Cycles")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ciexp [flags] fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table7|hybrid|allowable|probes|chaos|ramp|soak|fleet|sanitize|interleave|all\n")
+		fmt.Fprintf(os.Stderr, "usage: ciexp [flags] fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table7|hybrid|allowable|probes|chaos|ramp|soak|fleet|quantum|sanitize|interleave|all\n")
 		fmt.Fprintf(os.Stderr, "       ciexp tracecheck FILE\n")
 		flag.PrintDefaults()
 	}
@@ -159,6 +167,7 @@ func main() {
 			}
 			return experiments.PrintFleet(os.Stdout, eng, cfg, *quick)
 		}},
+		{"quantum", func() error { return experiments.PrintQuantum(os.Stdout, eng, scale, *quick) }},
 		{"sanitize", func() error { return experiments.PrintSanitize(os.Stdout, eng, scale, *quick) }},
 		{"interleave", func() error {
 			bound := cf.Bound

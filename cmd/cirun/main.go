@@ -6,7 +6,8 @@
 //	cirun [flags] program.ir
 //
 // Flags select the probe design, probe interval, CI interval, entry
-// function and arguments. Use -print to dump the instrumented IR
+// function and arguments. -quantum-policy picks the handler interval
+// controller (fixed, aimd, feedback). Use -print to dump the instrumented IR
 // instead of running, -trace FILE to write a Chrome trace_event JSON
 // of the run (probe fires, handler windows, external calls), -metrics
 // to print interval-error quantiles, and -timeline N for the legacy
@@ -38,7 +39,7 @@ import (
 )
 
 func main() {
-	cf := cliflags.New(flag.CommandLine).AddDesign().AddCompile().AddSanitize().AddTier().AddObs().AddSLO().AddInterleave()
+	cf := cliflags.New(flag.CommandLine).AddDesign().AddCompile().AddQuantum().AddSanitize().AddTier().AddObs().AddSLO().AddInterleave()
 	interval := flag.Int64("interval", 5000, "CI interval in cycles (0 disables the handler)")
 	entry := flag.String("entry", "main", "entry function")
 	argsFlag := flag.String("args", "", "comma-separated int64 arguments for the entry function")
@@ -153,10 +154,15 @@ func main() {
 		finish(cf)
 		return
 	}
+	quantum, err := cf.ParseQuantum()
+	if err != nil {
+		fail("%v", err)
+	}
 	res, err := prog.Run(*entry,
 		core.WithThreads(*threads),
 		core.WithArgv(args...),
 		core.WithInterval(*interval),
+		core.WithQuantumPolicy(quantum),
 		core.WithRecordIntervals(*interval > 0),
 		core.WithLimit(*limit))
 	if err != nil {

@@ -83,10 +83,10 @@ exit:
 `
 
 func main() {
-	cfg := core.Config{Design: instrument.CI, ProbeIntervalIR: 250}
-
 	// Build unit 1: the library, exporting its cost file.
-	lib, err := core.CompileText(libSrc, core.WithConfig(cfg))
+	lib, err := core.CompileText(libSrc,
+		core.WithDesign(instrument.CI),
+		core.WithProbeInterval(250))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -101,9 +101,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	appCfg := cfg
-	appCfg.ImportedCosts = imported
-	app, err := core.CompileText(appSrc, core.WithConfig(appCfg))
+	app, err := core.CompileText(appSrc,
+		core.WithDesign(instrument.CI),
+		core.WithProbeInterval(250),
+		core.WithImportedCosts(imported))
 	if err != nil {
 		log.Fatal(err)
 	}

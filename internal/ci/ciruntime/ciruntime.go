@@ -38,12 +38,10 @@ type handlerState struct {
 	// gone marks a handler deregistered while a probe sweep may still
 	// hold a reference to it; fire paths skip it.
 	gone bool
-	// adaptive AIMD state (see SetAdaptive).
-	adaptive     bool
-	adaptCfg     AdaptiveConfig
+	// quantum-policy state (see SetPolicy).
+	policy       QuantumPolicy
 	baseInterval int64
 	overruns     int64
-	onTimeStreak int64
 }
 
 // Runtime holds the per-thread Compiler Interrupt state.
@@ -202,6 +200,31 @@ func (c *AdaptiveConfig) withDefaults() AdaptiveConfig {
 	return out
 }
 
+// SetPolicy installs a quantum policy for ciid: from the next fire
+// on, every observed inter-fire gap is reported to the policy and the
+// interval it returns becomes the handler's target. The interval in
+// force at installation time becomes the policy's base (the value
+// ResetQuantum snaps back to). A nil policy removes adaptation,
+// leaving the current interval in place.
+func (rt *Runtime) SetPolicy(ciid int, p QuantumPolicy) {
+	if h := rt.find(ciid); h != nil {
+		h.policy = p
+		h.baseInterval = h.intervalCycles
+		if p != nil {
+			p.Reset(h.baseInterval)
+		}
+	}
+}
+
+// Policy returns the quantum policy installed for ciid (nil when the
+// handler is fixed-interval or unknown).
+func (rt *Runtime) Policy(ciid int) QuantumPolicy {
+	if h := rt.find(ciid); h != nil {
+		return h.policy
+	}
+	return nil
+}
+
 // SetAdaptive enables AIMD interval adaptation for ciid: every
 // overrun (a fire arriving past OverrunFactor × the current interval)
 // doubles the interval up to the cap — backing the polling rate off a
@@ -210,16 +233,22 @@ func (c *AdaptiveConfig) withDefaults() AdaptiveConfig {
 // This is the graceful-degradation path for handler overruns: the
 // system trades polling frequency for forward progress instead of
 // letting the handler consume the whole thread.
+//
+// Deprecated: SetAdaptive is the pre-QuantumPolicy surface, kept as a
+// thin wrapper over SetPolicy(ciid, &AIMD{...}) with bit-identical
+// interval trajectories. New code should install an AIMD policy (or
+// any other QuantumPolicy) directly.
 func (rt *Runtime) SetAdaptive(ciid int, cfg AdaptiveConfig) {
-	if h := rt.find(ciid); h != nil {
-		h.adaptive = true
-		h.adaptCfg = cfg.withDefaults()
-		h.baseInterval = h.intervalCycles
-	}
+	cfg = cfg.withDefaults()
+	rt.SetPolicy(ciid, &AIMD{
+		OverrunFactor:  cfg.OverrunFactor,
+		MaxBackoffMult: cfg.MaxBackoffMult,
+		TightenAfter:   cfg.TightenAfter,
+	})
 }
 
 // Overruns returns how many fires of ciid were classified as handler
-// overruns (0 unless SetAdaptive was enabled).
+// overruns (0 unless a quantum policy is installed).
 func (rt *Runtime) Overruns(ciid int) int64 {
 	if h := rt.find(ciid); h != nil {
 		return h.overruns
@@ -228,7 +257,7 @@ func (rt *Runtime) Overruns(ciid int) int64 {
 }
 
 // CurrentInterval returns the handler's present target interval in
-// cycles — the registered value unless AIMD adaptation has moved it.
+// cycles — the registered value unless a quantum policy has moved it.
 func (rt *Runtime) CurrentInterval(ciid int) int64 {
 	if h := rt.find(ciid); h != nil {
 		return h.intervalCycles
@@ -236,43 +265,39 @@ func (rt *Runtime) CurrentInterval(ciid int) int64 {
 	return 0
 }
 
-// ResetAdaptive snaps ciid's AIMD state back to the registered base
-// interval and clears its on-time streak. Overload breakers call this
-// when they trip: the backoff the controller learned while the handler
-// was drowning describes the broken regime, and carrying it into
-// recovery would leave the thread polling too slowly exactly when the
-// half-open probes need a fresh view. A no-op for non-adaptive ciids.
-func (rt *Runtime) ResetAdaptive(ciid int) {
-	if h := rt.find(ciid); h != nil && h.adaptive {
-		h.onTimeStreak = 0
+// ResetQuantum snaps ciid back to the base interval the policy was
+// installed over and resets the policy's internal state. Overload
+// breakers call this when they trip: the backoff the controller
+// learned while the handler was drowning describes the broken regime,
+// and carrying it into recovery would leave the thread polling too
+// slowly exactly when the half-open probes need a fresh view. A no-op
+// for handlers without a policy.
+func (rt *Runtime) ResetQuantum(ciid int) {
+	if h := rt.find(ciid); h != nil && h.policy != nil {
+		h.policy.Reset(h.baseInterval)
 		h.setInterval(h.baseInterval, rt.IRPerCycle)
 		rt.refresh()
 	}
 }
 
-// adapt applies the AIMD controller to one observed inter-fire gap.
+// ResetAdaptive snaps ciid's adaptive state back to the registered
+// base interval.
+//
+// Deprecated: ResetAdaptive is the pre-QuantumPolicy name for
+// ResetQuantum and behaves identically.
+func (rt *Runtime) ResetAdaptive(ciid int) { rt.ResetQuantum(ciid) }
+
+// adapt feeds one observed inter-fire gap to the installed policy and
+// applies the interval it answers with.
 func (h *handlerState) adapt(gap int64, irPerCycle float64) {
-	if !h.adaptive || h.fires <= 1 { // first fire has no meaningful gap
+	if h.policy == nil || h.fires <= 1 { // first fire has no meaningful gap
 		return
 	}
-	cfg := h.adaptCfg
-	if float64(gap) > cfg.OverrunFactor*float64(h.intervalCycles) {
+	next, overrun := h.policy.Observe(gap, h.intervalCycles)
+	if overrun {
 		h.overruns++
-		h.onTimeStreak = 0
-		next := h.intervalCycles * 2
-		if cap := h.baseInterval * cfg.MaxBackoffMult; next > cap {
-			next = cap
-		}
-		h.setInterval(next, irPerCycle)
-		return
 	}
-	h.onTimeStreak++
-	if h.onTimeStreak >= cfg.TightenAfter && h.intervalCycles > h.baseInterval {
-		h.onTimeStreak = 0
-		next := h.intervalCycles - h.baseInterval/8
-		if next < h.baseInterval {
-			next = h.baseInterval
-		}
+	if next != h.intervalCycles {
 		h.setInterval(next, irPerCycle)
 	}
 }

@@ -11,6 +11,8 @@
 //	CD           Naive plus CoreDet-style balance optimizations
 //	CnB          probes at all calls and back-edges (yield-point style)
 //	CnBCycles    CnB with a cycle-counter read at every event
+//	UserInterrupt  hardware user-level interrupts: no probes at all;
+//	             the VM delivers asynchronously on a cycle cadence
 package instrument
 
 import (
@@ -33,12 +35,19 @@ const (
 	CD
 	CnB
 	CnBCycles
+	// UserInterrupt models hardware user-level interrupts (uintr): the
+	// code carries no probe instructions; delivery is asynchronous on a
+	// cycle cadence with a fixed latency cost, modeled by the VM
+	// (vm.HWConfig with User set, costed by CostModel.UIntrCost /
+	// UIntrLatency). It must stay last-declared so earlier design
+	// values — which key compile caches and baseline cells — are stable.
+	UserInterrupt
 )
 
 var designNames = [...]string{
 	CI: "CI", CICycles: "CI-Cycles", Naive: "Naive",
 	NaiveCycles: "Naive-Cycles", CD: "CD", CnB: "CnB",
-	CnBCycles: "CnB-Cycles",
+	CnBCycles: "CnB-Cycles", UserInterrupt: "UIntr",
 }
 
 // String returns the paper's name for the design.
@@ -49,8 +58,10 @@ func (d Design) String() string {
 	return fmt.Sprintf("design(%d)", uint8(d))
 }
 
-// Designs lists all designs in the order the paper's plots use.
-var Designs = []Design{CI, CICycles, CnB, CD, Naive, NaiveCycles, CnBCycles}
+// Designs lists all designs in the order the paper's plots use, with
+// the post-paper uintr axis appended. Tables that iterate this list
+// render new designs without per-command edits.
+var Designs = []Design{CI, CICycles, CnB, CD, Naive, NaiveCycles, CnBCycles, UserInterrupt}
 
 // Options configures instrumentation.
 type Options struct {
@@ -133,6 +144,10 @@ func Instrument(m *ir.Module, opts Options) (*Result, error) {
 		res.Probes = instrumentEveryBlock(m, opts, false, true)
 	case CnB, CnBCycles:
 		res.Probes = instrumentCallsAndBackedges(m, opts.Design == CnBCycles)
+	case UserInterrupt:
+		// Hardware user-level interrupts need no probe instructions: the
+		// module passes through untouched and the VM delivers on a cycle
+		// cadence instead.
 	default:
 		return nil, fmt.Errorf("instrument: unknown design %d", opts.Design)
 	}

@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/ci/ciruntime"
 	"repro/internal/ci/instrument"
 	"repro/internal/engine"
 	"repro/internal/fleet"
@@ -30,6 +31,7 @@ var DesignByName = map[string]instrument.Design{
 	"ci": instrument.CI, "ci-cycles": instrument.CICycles,
 	"naive": instrument.Naive, "naive-cycles": instrument.NaiveCycles,
 	"cd": instrument.CD, "cnb": instrument.CnB, "cnb-cycles": instrument.CnBCycles,
+	"uintr": instrument.UserInterrupt,
 }
 
 // DesignNames returns the accepted -design spellings, sorted.
@@ -61,6 +63,9 @@ type Flags struct {
 	Design         string
 	ProbeInterval  int64
 	AllowableError int64
+
+	// AddQuantum
+	QuantumPolicy string
 
 	// AddEngine / AddTier
 	Workers   int
@@ -119,6 +124,34 @@ func (f *Flags) AddCompile() *Flags {
 	f.fs.Int64Var(&f.ProbeInterval, "probe-interval", 250, "compile-time probe interval (IR instructions)")
 	f.fs.Int64Var(&f.AllowableError, "allowable-error", 0, "allowable error (0 = same as probe interval)")
 	return f
+}
+
+// AddQuantum registers -quantum-policy.
+func (f *Flags) AddQuantum() *Flags {
+	f.fs.StringVar(&f.QuantumPolicy, "quantum-policy", "fixed",
+		"handler interval control: fixed, aimd, feedback")
+	return f
+}
+
+// ParseQuantum resolves the registered -quantum-policy value into a
+// policy factory for core.WithQuantumPolicy. "fixed" returns nil (no
+// policy installed; the interval never moves), so callers can pass the
+// result straight through.
+func (f *Flags) ParseQuantum() (func() ciruntime.QuantumPolicy, error) {
+	return ParseQuantum(f.QuantumPolicy)
+}
+
+// ParseQuantum resolves a -quantum-policy value (case-insensitive).
+func ParseQuantum(name string) (func() ciruntime.QuantumPolicy, error) {
+	switch strings.ToLower(name) {
+	case "", "fixed":
+		return nil, nil
+	case "aimd":
+		return func() ciruntime.QuantumPolicy { return &ciruntime.AIMD{} }, nil
+	case "feedback":
+		return func() ciruntime.QuantumPolicy { return &ciruntime.FeedbackPID{} }, nil
+	}
+	return nil, fmt.Errorf("unknown quantum policy %q (want fixed, aimd or feedback)", name)
 }
 
 // AddEngine registers the experiment-engine flags -workers, -store,

@@ -12,14 +12,15 @@
 //	    core.WithInterval(5000),
 //	    core.WithHandler(func(irDelta uint64) { ... }))
 //
-// The Config and RunConfig structs remain for programmatic
-// construction and reach the same paths via WithConfig/WithRunConfig.
+// The Config struct remains for programmatic construction and reaches
+// the same path via CompileConfig.
 package core
 
 import (
 	"fmt"
 
 	"repro/internal/ci/analysis"
+	"repro/internal/ci/ciruntime"
 	"repro/internal/ci/instrument"
 	"repro/internal/ir"
 	"repro/internal/obs"
@@ -131,6 +132,15 @@ func Compile(src *ir.Module, opts ...Option) (*Program, error) {
 	return &Program{Mod: m, Source: src, Instr: res, cfg: st.cfg, obs: st.obs}, nil
 }
 
+// CompileConfig compiles src from a programmatically built Config —
+// the struct entry point for callers (like the sanitize interceptor)
+// that assemble configurations as values rather than option lists.
+// Equivalent to Compile with the matching fine-grained options.
+func CompileConfig(src *ir.Module, cfg Config, opts ...Option) (*Program, error) {
+	withCfg := func(s *settings) { s.cfg = cfg }
+	return Compile(src, append([]Option{withCfg}, opts...)...)
+}
+
 // CompileText parses textual IR and compiles it.
 func CompileText(src string, opts ...Option) (*Program, error) {
 	m, err := ir.Parse(src)
@@ -156,9 +166,14 @@ type RunConfig struct {
 	Threads int
 	Args    func(id int) []int64
 	// IntervalCycles registers Handler with this CI interval on every
-	// thread. Zero skips registration.
+	// thread. Zero skips registration. Under the UserInterrupt design
+	// the same value is the hardware timer cadence instead.
 	IntervalCycles int64
 	Handler        func(irSinceLast uint64)
+	// Quantum, when non-nil, makes one fresh interval-control policy
+	// per thread and installs it on the run handler (see
+	// ciruntime.QuantumPolicy and WithQuantumPolicy).
+	Quantum func() ciruntime.QuantumPolicy
 	// IRPerCycle tunes the runtime's IR-to-cycle ratio; zero keeps the
 	// paper's default of 4. Use Profile to measure it.
 	IRPerCycle float64
@@ -218,16 +233,55 @@ func (p *Program) Run(fn string, opts ...Option) (*RunResult, error) {
 		Intervals: make([][]int64, threads),
 		Returns:   make([]int64, threads),
 	}
+	// Under the UserInterrupt design the run handler is delivered by
+	// the VM's user-level interrupt timer instead of probe-driven CI
+	// registration: the code carries no probes, so the cadence, gap
+	// recording and interval-error metrics all come from the hardware
+	// delivery path.
+	uintr := p.cfg.Design == instrument.UserInterrupt && rc.IntervalCycles > 0
 	// Sequential execution keeps interval recording and return values
 	// simple and deterministic; the contention model already accounts
 	// for the thread count. Threads are virtual-time independent.
 	for id := 0; id < threads; id++ {
+		var uintrGaps []int64
+		if uintr {
+			h := rc.Handler
+			target := rc.IntervalCycles
+			record := rc.RecordIntervals
+			var lastFire, lastInstrs int64
+			first := true
+			machine.HW = &vm.HWConfig{
+				IntervalCycles: rc.IntervalCycles,
+				User:           true,
+				Handler: func(t *vm.Thread) {
+					now := t.Now()
+					gap := now - lastFire
+					lastFire = now
+					irDelta := uint64(t.Stats.Instrs - lastInstrs)
+					lastInstrs = t.Stats.Instrs
+					if record {
+						uintrGaps = append(uintrGaps, gap)
+					}
+					if first {
+						// The first delivery's gap spans thread start to
+						// first interrupt, not a steady-state interval.
+						first = false
+					} else if scope.Enabled() {
+						scope.Observe("run/handler_gap_cycles", gap)
+						scope.Observe("run/interval_error_cycles", gap-target)
+					}
+					if h != nil {
+						h(irDelta)
+					}
+				},
+			}
+		}
 		th := machine.NewThread(id)
 		if rc.IRPerCycle > 0 {
 			th.RT.IRPerCycle = rc.IRPerCycle
 		}
 		th.RT.RecordIntervals = rc.RecordIntervals
-		if scope.Enabled() && rc.IntervalCycles > 0 {
+		if scope.Enabled() && rc.IntervalCycles > 0 && !uintr {
 			target := rc.IntervalCycles
 			first := true
 			th.RT.OnFire = func(hid int, irDelta uint64, gap int64) {
@@ -242,12 +296,15 @@ func (p *Program) Run(fn string, opts ...Option) (*RunResult, error) {
 			}
 		}
 		hid := 0
-		if rc.IntervalCycles > 0 {
+		if rc.IntervalCycles > 0 && !uintr {
 			h := rc.Handler
 			if h == nil {
 				h = func(uint64) {}
 			}
 			hid = th.RT.RegisterCI(rc.IntervalCycles, h)
+			if rc.Quantum != nil {
+				th.RT.SetPolicy(hid, rc.Quantum())
+			}
 		}
 		rv, err := th.Run(fn, args(id)...)
 		if err != nil {
@@ -257,6 +314,9 @@ func (p *Program) Run(fn string, opts ...Option) (*RunResult, error) {
 		res.Stats[id] = th.Stats
 		if hid != 0 {
 			res.Intervals[id] = th.RT.Intervals(hid)
+		}
+		if uintr {
+			res.Intervals[id] = uintrGaps
 		}
 		if scope.Enabled() {
 			scope.Span("core", "run/"+fn, int32(id), 0, th.Stats.Cycles,

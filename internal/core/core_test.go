@@ -248,8 +248,9 @@ entry:
   ret %b
 }
 `
-	cfg := Config{Design: instrument.CI, ProbeIntervalIR: 150}
-	lib, err := CompileText(libSrc, WithConfig(cfg))
+	lib, err := CompileText(libSrc,
+		WithDesign(instrument.CI),
+		WithProbeInterval(150))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,9 +271,10 @@ entry:
 	if !imported["heavy"].Instrumented {
 		t.Errorf("heavy export = %+v, want instrumented", imported["heavy"])
 	}
-	appCfg := cfg
-	appCfg.ImportedCosts = imported
-	app, err := CompileText(appSrc, WithConfig(appCfg))
+	app, err := CompileText(appSrc,
+		WithDesign(instrument.CI),
+		WithProbeInterval(150),
+		WithImportedCosts(imported))
 	if err != nil {
 		t.Fatal(err)
 	}

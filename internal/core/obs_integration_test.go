@@ -97,12 +97,11 @@ func TestRunScopeFallback(t *testing.T) {
 }
 
 // ConfigOf resolves options into the Config an engine cache key is
-// built from; later options must override earlier ones and the
-// deprecated WithConfig wrapper must compose with refinements.
+// built from; later options must override earlier ones.
 func TestConfigOfResolution(t *testing.T) {
 	cfg := ConfigOf(
-		WithConfig(Config{Design: instrument.Naive, ProbeIntervalIR: 100}),
 		WithDesign(instrument.CI),
+		WithProbeInterval(100),
 		WithProbeInterval(250),
 		WithAllowableError(80))
 	if cfg.Design != instrument.CI || cfg.ProbeIntervalIR != 250 || cfg.AllowableErrorIR != 80 {

@@ -1,7 +1,6 @@
-// Functional-options surface for Compile/Run. Config and RunConfig
-// remain as plain structs for callers that build configurations
-// programmatically (and as deprecated wrappers via WithConfig /
-// WithRunConfig), but the canonical API is now
+// Functional-options surface for Compile/Run. Config remains a plain
+// struct for callers that build configurations programmatically (via
+// the CompileConfig entry point), but the canonical API is
 //
 //	prog, err := core.Compile(src,
 //	    core.WithDesign(instrument.CI),
@@ -16,6 +15,7 @@ package core
 
 import (
 	"repro/internal/ci/analysis"
+	"repro/internal/ci/ciruntime"
 	"repro/internal/ci/instrument"
 	"repro/internal/ir"
 	"repro/internal/obs"
@@ -62,18 +62,6 @@ func ConfigOf(opts ...Option) Config { return resolve(opts).cfg }
 
 // RunConfigOf resolves opts to the run-side RunConfig.
 func RunConfigOf(opts ...Option) RunConfig { return resolve(opts).rc }
-
-// WithConfig replaces the whole compile-side Config.
-//
-// Deprecated: bridge for pre-options callers; prefer the fine-grained
-// With* options.
-func WithConfig(cfg Config) Option { return func(s *settings) { s.cfg = cfg } }
-
-// WithRunConfig replaces the whole run-side RunConfig.
-//
-// Deprecated: bridge for pre-options callers; prefer the fine-grained
-// With* options.
-func WithRunConfig(rc RunConfig) Option { return func(s *settings) { s.rc = rc } }
 
 // WithDesign selects the probe design.
 func WithDesign(d instrument.Design) Option {
@@ -193,6 +181,16 @@ func WithHandler(h func(irSinceLast uint64)) Option {
 // WithIRPerCycle tunes the runtime's IR-to-cycle ratio.
 func WithIRPerCycle(f float64) Option {
 	return func(s *settings) { s.rc.IRPerCycle = f }
+}
+
+// WithQuantumPolicy installs an interval-control policy on the run
+// handler registered by WithInterval: each thread gets a fresh policy
+// from make, observing every inter-fire gap and steering the next
+// interval (see ciruntime.QuantumPolicy). Nil (the default) keeps the
+// interval fixed. Ignored by the UserInterrupt design, whose cadence
+// is a hardware timer rather than a probe-driven runtime.
+func WithQuantumPolicy(make func() ciruntime.QuantumPolicy) Option {
+	return func(s *settings) { s.rc.Quantum = make }
 }
 
 // WithRecordIntervals records inter-fire gaps on handler id 1.

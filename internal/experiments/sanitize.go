@@ -19,11 +19,15 @@ import (
 // stage-checked compile of every paper workload. It is the sweep behind
 // `ciexp sanitize` and the smoke gate in verify.sh.
 
-// sanitizeDesigns is the oracle design set: the two CI variants plus
-// the CoreDet-style and naive-balance baselines. The remaining designs
-// are covered by the fuzz package's differential tests.
-var sanitizeDesigns = []instrument.Design{
+// sanitizeDesigns is the oracle design set: the two CI variants, the
+// CoreDet-style and naive-balance baselines, and the probe-free
+// user-interrupt design (whose oracle run proves the uninstrumented
+// module is untouched). The remaining designs are covered by the fuzz
+// package's differential tests. An array (not a slice) so the per-cell
+// verdict arrays below can be sized from it at compile time.
+var sanitizeDesigns = [...]instrument.Design{
 	instrument.CI, instrument.CICycles, instrument.CD, instrument.CnB,
+	instrument.UserInterrupt,
 }
 
 // SanitizeRow aggregates one design's verdicts over the fuzz sweep.
@@ -60,12 +64,12 @@ const (
 )
 
 type sanitizeCell struct {
-	Verdicts [4]sanitizeVerdict
-	Failures [4]string
+	Verdicts [len(sanitizeDesigns)]sanitizeVerdict
+	Failures [len(sanitizeDesigns)]string
 	// TierChecked / TierDiverged mark per-design tier-differential
 	// verdicts (engine on the compiled tier only).
-	TierChecked  [4]bool
-	TierDiverged [4]bool
+	TierChecked  [len(sanitizeDesigns)]bool
+	TierDiverged [len(sanitizeDesigns)]bool
 }
 
 // RunSanitizeSweep fuzzes `seeds` programs and pushes each through

@@ -21,6 +21,7 @@ package ffwd
 import (
 	"fmt"
 
+	"repro/internal/ci/ciruntime"
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/overload"
@@ -109,6 +110,18 @@ type Config struct {
 	// comparable; only its presence matters here (the closed-form model
 	// has no poll loop for the full controller to actuate).
 	Overload *overload.Config
+	// ServerIntervalCycles is the designated-server polling period for
+	// DelegationCI (default 250 — the paper finds 250-1000 IR works
+	// well).
+	ServerIntervalCycles int64
+	// Quantum, when non-nil, constructs an interval-control policy for
+	// the designated server (see ciruntime.QuantumPolicy). The
+	// closed-form model has no poll loop, so the policy is settled
+	// analytically: it repeatedly observes the expected per-batch
+	// handler cost at the current interval and the fixed point it
+	// converges to becomes the effective polling period. Nil keeps the
+	// configured interval (bit-identical runs).
+	Quantum func() ciruntime.QuantumPolicy
 }
 
 func (c *Config) withDefaults() Config {
@@ -121,6 +134,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.Seed == 0 {
 		out.Seed = 11
+	}
+	if out.ServerIntervalCycles <= 0 {
+		out.ServerIntervalCycles = ciServerInterval
 	}
 	return out
 }
@@ -149,6 +165,10 @@ type Result struct {
 	// that path. Both are zero unless Config.Overload is set.
 	SatFallbackFrac float64
 	SatFallbackOps  int64
+	// ServerIntervalCycles is the effective designated-server polling
+	// period (DelegationCI only): the configured interval, or the fixed
+	// point the quantum policy settled to.
+	ServerIntervalCycles int64
 }
 
 // Run evaluates one configuration.
@@ -162,6 +182,9 @@ func Run(cfg Config) Result {
 	// capacity (ops/cycle) so the overload plane below can see by how
 	// much the server is saturated; zero for the locking designs.
 	var delegDemand, delegCap float64
+	// serverInterval is the effective DelegationCI polling period; zero
+	// for every other design (and for the T==1 direct-access bypass).
+	var serverInterval int64
 
 	// MCS cost model, shared by the MCS design and the delegation
 	// designs' stalled-server fallback path.
@@ -203,18 +226,20 @@ func Run(cfg Config) Result {
 			sample = func() int64 { return localOp + cs }
 			break
 		}
+		interval := settleInterval(cfg, T)
+		serverInterval = interval
 		// All T threads run client code; one also hosts the server
 		// loop in its CI handler. Requests wait for the next handler
 		// firing (interval/2 on average) plus batch processing.
-		lat := delegationLatency(T) + ciServerInterval/2
+		lat := delegationLatency(T) + interval/2
 		perClient := (1.0 - ciClientOverheadPct/100.0) / float64(clientIssue+lat)
 		// The designated thread spends its handler time serving.
-		serverShare := 1.0 - float64(ciHandlerInvoke)/float64(ciServerInterval)
+		serverShare := 1.0 - float64(ciHandlerInvoke)/float64(interval)
 		serverCap := serverShare / float64(serverPerReq)
 		delegDemand, delegCap = float64(T)*perClient, serverCap
 		throughput = minF(delegDemand, serverCap)
 		sample = func() int64 {
-			return delegationLatency(T) + rng.Intn(2*scanPerLine*int64(T)+1) + rng.Intn(ciServerInterval)
+			return delegationLatency(T) + rng.Intn(2*scanPerLine*int64(T)+1) + rng.Intn(interval)
 		}
 	case Spinlock:
 		// Line ping-pong: every acquisition pays a transfer that grows
@@ -313,11 +338,12 @@ func Run(cfg Config) Result {
 	}
 
 	res := Result{
-		Design:          cfg.Design,
-		Threads:         T,
-		ThroughputMops:  throughput * 2.6e9 / 1e6,
-		FallbackFrac:    fallbackFrac,
-		SatFallbackFrac: satFrac,
+		Design:               cfg.Design,
+		Threads:              T,
+		ThroughputMops:       throughput * 2.6e9 / 1e6,
+		FallbackFrac:         fallbackFrac,
+		SatFallbackFrac:      satFrac,
+		ServerIntervalCycles: serverInterval,
 	}
 	n := cfg.OpsPerThread
 	if !cfg.RecordLatencies {
@@ -352,6 +378,35 @@ func Run(cfg Config) Result {
 			obs.I("fallback_ops", fallbackOps))
 	}
 	return res
+}
+
+// settleInterval resolves the effective DelegationCI polling period.
+// The closed-form model has no poll loop to adapt in, so the quantum
+// policy is settled analytically: each step feeds the policy the
+// expected per-batch handler cost at the current interval (requests
+// accumulated over one period plus the invoke overhead) and adopts
+// the interval it returns; the fixed point this converges to is the
+// steady-state period an online run would settle at. A nil policy
+// keeps the configured interval, bit-identical to prior behavior.
+func settleInterval(cfg Config, T int) int64 {
+	interval := cfg.ServerIntervalCycles
+	if cfg.Quantum == nil {
+		return interval
+	}
+	p := cfg.Quantum()
+	p.Reset(interval)
+	for i := 0; i < 64; i++ {
+		lat := delegationLatency(T) + interval/2
+		perClient := (1.0 - ciClientOverheadPct/100.0) / float64(clientIssue+lat)
+		demand := float64(T) * perClient // offered ops/cycle at this interval
+		batch := int64(demand*float64(interval))*serverPerReq + ciHandlerInvoke
+		next, _ := p.Observe(batch, interval)
+		if next < 1 {
+			next = 1
+		}
+		interval = next
+	}
+	return interval
 }
 
 // delegationLatency is the request round trip seen by a client with

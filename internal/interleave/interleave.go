@@ -217,10 +217,9 @@ func VerifyHandlers(src *ir.Module, eng *engine.Engine, opts Options) (*Report, 
 	if src.FuncByName(opts.Entry) == nil {
 		return nil, fmt.Errorf("interleave: no entry function %q", opts.Entry)
 	}
-	prog, err := core.Compile(src, core.WithConfig(core.Config{
-		Design:          opts.Design,
-		ProbeIntervalIR: opts.ProbeIntervalIR,
-	}))
+	prog, err := core.Compile(src,
+		core.WithDesign(opts.Design),
+		core.WithProbeInterval(opts.ProbeIntervalIR))
 	if err != nil {
 		return nil, fmt.Errorf("interleave: compile: %w", err)
 	}

@@ -65,7 +65,7 @@ func TestInterleaveHandlerOverrunSurfaces(t *testing.T) {
 
 func TestInterleaveHandlerReentrancySurfaces(t *testing.T) {
 	m, _ := InterleaveSpec()
-	prog, err := core.Compile(m, core.WithConfig(core.Config{ProbeIntervalIR: 100}))
+	prog, err := core.Compile(m, core.WithProbeInterval(100))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,6 +34,7 @@ package mtcp
 import (
 	"fmt"
 
+	"repro/internal/ci/ciruntime"
 	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/obs"
@@ -87,10 +88,6 @@ const (
 	rtoMax     = 104_000_000 // 40 ms backoff cap
 	maxRetries = 6
 
-	// AIMD bounds for the adaptive CI polling interval.
-	maxBackoffMult = 8 // interval cap = 8x the configured interval
-	tightenAfter   = 4 // on-budget polls before re-tightening
-
 	// Overload-plane constants (CI mode with Config.Overload): a
 	// rejected request is answered with a tiny NACK instead of a full
 	// response; its client backs off before reissuing. Brownout defers
@@ -129,9 +126,17 @@ type Config struct {
 	Obs *obs.Scope
 	// Adaptive enables AIMD adaptation of the CI polling interval
 	// under handler overruns (CI mode only): overruns double the
-	// interval up to maxBackoffMult x the configured value; sustained
-	// on-budget polls re-tighten it additively.
+	// interval up to 8x the configured value; sustained on-budget
+	// polls re-tighten it additively. Shorthand for the classic AIMD
+	// quantum policy (strict 1x overrun classification).
 	Adaptive bool
+	// Quantum, when non-nil, constructs the interval-control policy
+	// for the CI polling loop (see ciruntime.QuantumPolicy): every
+	// poll's handler cost is observed as the gap and the interval the
+	// policy returns becomes the next polling period. Overrides
+	// Adaptive. Brownout and breaker events still override/reset the
+	// policy's interval exactly as they did the private AIMD.
+	Quantum func() ciruntime.QuantumPolicy
 	// Overload optionally enables the overload-control plane (CI mode
 	// only), actuated from the CI poll: admission with deadline
 	// propagation over the app-work backlog, NACKed rejections the
@@ -263,10 +268,11 @@ type server struct {
 	dupDisc      int64
 	warmup       int64
 
-	// CI-mode adaptive polling state.
-	curInterval  int64
-	overruns     int64
-	onTimeStreak int
+	// CI-mode adaptive polling state: the installed quantum policy
+	// (nil = fixed interval) and the interval currently in force.
+	quantum     ciruntime.QuantumPolicy
+	curInterval int64
+	overruns    int64
 
 	// CI-mode overload-plane state.
 	ctl        *overload.Controller // nil = plane disabled
@@ -313,6 +319,18 @@ func RunChecked(cfg Config) (Result, error) {
 	}
 	s.nic.Faults = faults.New(cfg.FaultPlan, "mtcp/net")
 	s.curInterval = cfg.IntervalCycles
+	switch {
+	case cfg.Quantum != nil:
+		s.quantum = cfg.Quantum()
+	case cfg.Adaptive:
+		// The classic mtcp AIMD: strict 1x overrun classification
+		// ("the handler cost exceeded its interval"), 8x cap, tighten
+		// after 4 on-budget polls.
+		s.quantum = &ciruntime.AIMD{OverrunFactor: 1}
+	}
+	if s.quantum != nil {
+		s.quantum.Reset(cfg.IntervalCycles)
+	}
 	s.serverIdle = true
 	if cfg.Mode == CI {
 		s.crashInj = faults.New(cfg.FaultPlan, "mtcp/crash")
@@ -328,13 +346,14 @@ func RunChecked(cfg Config) (Result, error) {
 		if oc.Obs == nil {
 			oc.Obs = cfg.Obs
 		}
-		// A breaker trip means the regime changed: the AIMD backoff
-		// learned under the old regime must not persist into recovery.
+		// A breaker trip means the regime changed: the backoff the
+		// quantum policy learned under the old regime must not persist
+		// into recovery.
 		userHook := oc.OnStateChange
 		oc.OnStateChange = func(from, to overload.State, now int64) {
-			if to == overload.Open && cfg.Adaptive {
+			if to == overload.Open && s.quantum != nil {
 				s.curInterval = cfg.IntervalCycles
-				s.onTimeStreak = 0
+				s.quantum.Reset(cfg.IntervalCycles)
 			}
 			if userHook != nil {
 				userHook(from, to, now)
@@ -452,7 +471,9 @@ func (s *server) crashNow(downCycles int64) {
 func (s *server) restart() {
 	s.down = false
 	s.curInterval = s.cfg.IntervalCycles
-	s.onTimeStreak = 0
+	if s.quantum != nil {
+		s.quantum.Reset(s.cfg.IntervalCycles)
+	}
 	s.eng.At(s.eng.Now()+s.curInterval, func() { s.ciPoll() })
 }
 
@@ -629,7 +650,7 @@ func (s *server) ciPoll() {
 	// Application budget until the next interrupt.
 	budget := s.curInterval
 	s.runApp(&budget, tEnd)
-	if s.cfg.Adaptive {
+	if s.quantum != nil {
 		s.adaptInterval(cost)
 	}
 	s.brownoutInterval()
@@ -645,12 +666,14 @@ func (s *server) ciPoll() {
 	s.eng.At(tEnd+s.curInterval, func() { s.ciPoll() })
 }
 
-// brownoutInterval overrides the AIMD interval under brownout:
+// brownoutInterval overrides the policy interval under brownout:
 // pressure means polling *more* often, not less — level 1 cancels any
 // learned backoff, level 2 halves the base interval so the stack
-// drains queues at twice the cadence while the plane sheds load.
+// drains queues at twice the cadence while the plane sheds load. The
+// policy is reset alongside so it relearns from the new regime
+// instead of carrying a stale streak.
 func (s *server) brownoutInterval() {
-	if !s.ctl.Enabled() || !s.cfg.Adaptive {
+	if !s.ctl.Enabled() || s.quantum == nil {
 		return
 	}
 	base := s.cfg.IntervalCycles
@@ -658,34 +681,29 @@ func (s *server) brownoutInterval() {
 	case lvl >= 2:
 		if s.curInterval != base/2 {
 			s.curInterval = base / 2
-			s.onTimeStreak = 0
+			s.quantum.Reset(base)
 		}
 	case lvl == 1:
 		if s.curInterval > base {
 			s.curInterval = base
-			s.onTimeStreak = 0
+			s.quantum.Reset(base)
 		}
 	}
 }
 
-// adaptInterval applies AIMD to the CI polling interval: a handler
-// that overran its interval doubles it (up to maxBackoffMult x the
-// configured target); tightenAfter consecutive on-budget polls shrink
-// it additively back toward the target.
+// adaptInterval feeds one poll's handler cost to the quantum policy
+// as the observed gap and applies the interval it answers with. With
+// the classic AIMD policy this reproduces the old private controller
+// exactly: an overrunning handler doubles the interval (up to the 8x
+// cap); consecutive on-budget polls shrink it additively back toward
+// the target.
 func (s *server) adaptInterval(handlerCost int64) {
-	base := s.cfg.IntervalCycles
 	prev := s.curInterval
-	if handlerCost > s.curInterval {
+	next, overrun := s.quantum.Observe(handlerCost, s.curInterval)
+	if overrun {
 		s.overruns++
-		s.onTimeStreak = 0
-		s.curInterval = min(s.curInterval*2, base*maxBackoffMult)
-	} else {
-		s.onTimeStreak++
-		if s.onTimeStreak >= tightenAfter && s.curInterval > base {
-			s.onTimeStreak = 0
-			s.curInterval = max(base, s.curInterval-base/8)
-		}
 	}
+	s.curInterval = next
 	if sc := s.cfg.Obs; sc != nil && s.curInterval != prev {
 		sc.Instant("mtcp", "adapt-interval", 0, s.eng.Now(),
 			obs.I("from", prev), obs.I("to", s.curInterval))

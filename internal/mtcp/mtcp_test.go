@@ -258,7 +258,7 @@ func TestAdaptiveIntervalBacksOffUnderOverruns(t *testing.T) {
 	if adaptive.FinalIntervalCycles <= 2500 {
 		t.Errorf("interval did not back off: %d", adaptive.FinalIntervalCycles)
 	}
-	if max := int64(2500 * maxBackoffMult); adaptive.FinalIntervalCycles > max {
+	if max := int64(2500 * 8); adaptive.FinalIntervalCycles > max {
 		t.Errorf("interval %d exceeds cap %d", adaptive.FinalIntervalCycles, max)
 	}
 	// With a base interval comfortably above the per-poll handler cost

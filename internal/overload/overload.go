@@ -126,9 +126,9 @@ type Config struct {
 	ShedLowPrioLevel int
 	// Breaker tunes the circuit breaker.
 	Breaker BreakerConfig
-	// OnStateChange observes breaker transitions; apps use it to reset
-	// AIMD interval state when the breaker trips (see
-	// ciruntime.ResetAdaptive).
+	// OnStateChange observes breaker transitions; apps use it to snap
+	// an adaptive polling interval back to base when the breaker trips
+	// (see ciruntime.ResetQuantum).
 	OnStateChange func(from, to State, now int64)
 	// Obs receives admitted/rejected/shed counters, the queue-delay
 	// histogram and breaker state spans (nil = silent).

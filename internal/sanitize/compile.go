@@ -42,7 +42,7 @@ func CompileChecked(src *ir.Module, cfg core.Config, opts Options) (*core.Progra
 		}
 		ck.CheckModule(stage, m)
 	}
-	prog, err := core.Compile(src, core.WithConfig(cfg))
+	prog, err := core.CompileConfig(src, cfg)
 	// Stage findings take precedence: they name the exact stage, where
 	// the final-verify error from the pipeline only says "broken".
 	if serr := ck.Err(); serr != nil {

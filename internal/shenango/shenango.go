@@ -14,6 +14,7 @@ package shenango
 import (
 	"fmt"
 
+	"repro/internal/ci/ciruntime"
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/overload"
@@ -100,6 +101,13 @@ type Config struct {
 	// twice as often) before shedding low-priority requests. Nil keeps
 	// the run bit-identical to the pre-overload model.
 	Overload *overload.Config
+	// Quantum, when non-nil, constructs the interval-control policy
+	// for the hosted IOKernel poll (CIHosted only; see
+	// ciruntime.QuantumPolicy): each poll's loop-body cost is observed
+	// as the gap and the interval the policy returns becomes the next
+	// polling period. Brownout halving applies on top of the policy
+	// interval. Nil keeps the fixed interval (bit-identical runs).
+	Quantum func() ciruntime.QuantumPolicy
 }
 
 func (c *Config) withDefaults() Config {
@@ -143,6 +151,11 @@ type Result struct {
 	// packets the IOKernel steered away from a stalled worker it would
 	// otherwise have picked.
 	Stalls, ReSteers int64
+	// Overruns counts polls the quantum policy classified as overruns;
+	// FinalIntervalCycles is the policy interval at run end (the
+	// configured interval when no policy is installed; CIHosted only).
+	Overruns            int64
+	FinalIntervalCycles int64
 	// Overload is the admission plane's accounting (zero when the plane
 	// is disabled).
 	Overload overload.Snapshot
@@ -195,6 +208,12 @@ type state struct {
 	seq       int64                // arrival counter for priority tagging
 	minerShed int64                // cycles brownout kept the miner parked
 	admitBuf  []request            // scratch for the per-poll admission pass
+
+	// CIHosted adaptive polling state: the installed quantum policy
+	// (nil = fixed interval) and the interval currently in force.
+	quantum     ciruntime.QuantumPolicy
+	curInterval int64
+	overruns    int64
 }
 
 // Run simulates one configuration.
@@ -216,6 +235,11 @@ func RunChecked(cfg Config) (Result, error) {
 		stalledUntil: make([]int64, cfg.Workers),
 		stallInj:     faults.New(cfg.FaultPlan, "shenango/worker"),
 		warmup:       cfg.DurationCycles / 5,
+	}
+	s.curInterval = cfg.IntervalCycles
+	if cfg.Quantum != nil && cfg.Kind == CIHosted {
+		s.quantum = cfg.Quantum()
+		s.quantum.Reset(cfg.IntervalCycles)
 	}
 	if cfg.Overload != nil {
 		oc := *cfg.Overload
@@ -293,7 +317,7 @@ func (s *state) scheduleStall() {
 func (s *state) schedulePoll() {
 	gap := int64(dedicatedPollGap)
 	if s.cfg.Kind == CIHosted {
-		gap = s.cfg.IntervalCycles
+		gap = s.curInterval
 		if s.ctl.BrownoutLevel() >= 1 {
 			gap /= 2
 			s.minerShed += gap
@@ -351,6 +375,22 @@ func (s *state) schedulePoll() {
 		cost := fixed + int64(len(admitted)+len(s.egress))*perPacket + nRejected*rejectPerPacket
 		tEnd := t + cost
 		s.iokBusy += cost
+		// The quantum policy observes the loop-body cost as the gap and
+		// steers the next polling period; a fixed-interval run (nil
+		// policy) never enters this branch.
+		if s.quantum != nil && s.cfg.Kind == CIHosted {
+			prev := s.curInterval
+			next, overrun := s.quantum.Observe(cost, s.curInterval)
+			if overrun {
+				s.overruns++
+			}
+			s.curInterval = next
+			if sc := s.cfg.Obs; sc != nil && next != prev {
+				sc.Instant("shenango", "adapt-interval", 0, t,
+					obs.I("from", prev), obs.I("to", next))
+				sc.Count("shenango/interval_adaptations", 1)
+			}
+		}
 		if sc := s.cfg.Obs; sc != nil {
 			sc.Span("shenango", "iok-poll", 0, t, tEnd,
 				obs.I("ingress", int64(len(s.ingress))),
@@ -514,6 +554,10 @@ func (s *state) result() Result {
 	res.Stalls = s.stalls
 	res.ReSteers = s.reSteers
 	res.Overload = s.ctl.Snapshot()
+	if cfg.Kind == CIHosted {
+		res.Overruns = s.overruns
+		res.FinalIntervalCycles = s.curInterval
+	}
 	if cfg.Kind == CIHosted {
 		busyFrac := float64(s.iokBusy) / float64(cfg.DurationCycles)
 		if busyFrac > 1 {

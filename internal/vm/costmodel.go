@@ -51,6 +51,19 @@ type CostModel struct {
 	// paid on the way out (sigreturn). Delivery latency experiments see
 	// only the pre-handler part.
 	HWTrapCost int64
+
+	// UIntrCost is the total per-delivery cost of a hardware user-level
+	// interrupt (uintr): user-mode vector delivery plus uiret, no
+	// kernel transition and no probe instructions anywhere in the code.
+	// Two orders of magnitude cheaper than a perf-counter interrupt,
+	// but still well above a probe.
+	UIntrCost int64
+	// UIntrLatency is the fixed delivery latency paid before the
+	// handler runs (the interrupt message crossing the uncore and the
+	// vector dispatch); the rest of UIntrCost is the return path. This
+	// is the deterministic worst-case-response knob of the uintr
+	// design.
+	UIntrLatency int64
 }
 
 // Default returns the calibrated default cost model. The absolute
@@ -87,5 +100,7 @@ func Default() *CostModel {
 	m.CycleRead = 9
 	m.HWInterruptCost = 40000
 	m.HWTrapCost = 6000
+	m.UIntrCost = 300
+	m.UIntrLatency = 100
 	return m
 }

@@ -13,12 +13,44 @@ import (
 // HWConfig enables hardware (performance-counter) interrupts: every
 // IntervalCycles of a thread's virtual time, the machine charges the
 // model's HWInterruptCost and invokes Handler. This is the baseline CIs
-// are compared against in Figure 12.
+// are compared against in Figure 12. With User set the same machinery
+// models user-level interrupts (uintr): delivery skips the kernel, the
+// per-delivery cost drops to the model's UIntrCost (split at
+// UIntrLatency), and deliveries count as UIntrs instead of
+// HWInterrupts.
 type HWConfig struct {
 	IntervalCycles int64
 	// Handler runs in interrupt context; it may call Thread.Charge to
 	// bill its own work.
 	Handler func(t *Thread)
+	// User marks the interrupt source as a hardware user-level
+	// interrupt: cost defaults switch to UIntrCost/UIntrLatency and
+	// Stats.UIntrs counts the deliveries.
+	User bool
+	// Cost and TrapCost, when positive, override the cost model's
+	// per-delivery total and pre-handler split for this config — the
+	// delivery-latency knob of the uintr design axis.
+	Cost     int64
+	TrapCost int64
+}
+
+// costs resolves the per-delivery total and pre-handler split for this
+// config against the model's defaults.
+func (hw *HWConfig) costs(m *CostModel) (total, pre int64) {
+	total, pre = m.HWInterruptCost, m.HWTrapCost
+	if hw.User {
+		total, pre = m.UIntrCost, m.UIntrLatency
+	}
+	if hw.Cost > 0 {
+		total = hw.Cost
+	}
+	if hw.TrapCost > 0 {
+		pre = hw.TrapCost
+	}
+	if pre <= 0 || pre > total {
+		pre = total
+	}
+	return total, pre
 }
 
 // VM is a virtual machine instance: a module, a cost model, flat shared
@@ -92,6 +124,8 @@ type Stats struct {
 	ExtCalls int64
 	// HWInterrupts counts hardware interrupts delivered.
 	HWInterrupts int64
+	// UIntrs counts user-level interrupts delivered (HWConfig.User).
+	UIntrs int64
 }
 
 // Thread executes IR on the VM. Each thread has its own virtual clock,
@@ -275,21 +309,26 @@ func (t *Thread) checkHW() error {
 		return nil
 	}
 	for t.Stats.Cycles-t.hwOverhead >= t.nextHW {
-		pre := t.model.HWTrapCost
-		if pre <= 0 || pre > t.model.HWInterruptCost {
-			pre = t.model.HWInterruptCost
-		}
-		post := t.model.HWInterruptCost - pre
+		total, pre := hw.costs(t.model)
+		post := total - pre
 		t.Stats.Cycles += pre
 		t.hwOverhead += pre
-		t.Stats.HWInterrupts++
+		if hw.User {
+			t.Stats.UIntrs++
+		} else {
+			t.Stats.HWInterrupts++
+		}
 		t.Stats.HandlerCalls++
 		if t.trace != nil {
-			t.trace.add(TraceEvent{Kind: TraceHW, Cycle: t.Stats.Cycles, Detail: t.model.HWInterruptCost})
+			t.trace.add(TraceEvent{Kind: TraceHW, Cycle: t.Stats.Cycles, Detail: total})
 		}
 		if t.obs != nil {
-			t.obs.Instant("vm", "hw-interrupt", int32(t.ID), t.Stats.Cycles,
-				obs.I("cost", t.model.HWInterruptCost))
+			name := "hw-interrupt"
+			if hw.User {
+				name = "uintr"
+			}
+			t.obs.Instant("vm", name, int32(t.ID), t.Stats.Cycles,
+				obs.I("cost", total))
 		}
 		// Default periodic schedule first, so a handler calling RearmHW
 		// (watchdog mode) can override it.

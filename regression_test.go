@@ -289,6 +289,95 @@ func TestFleetRegressionBaseline(t *testing.T) {
 	}
 }
 
+// Quantum-adaptivity gate: the aggregate (design, policy) rows of the
+// `ciexp quantum` figure over the baseline workload subset, stored in
+// the same BENCH_baseline.json. The sweep is deterministic (every
+// variant re-seeds the request-class stream), so unchanged code
+// reproduces the baseline exactly; the bands absorb intentional
+// policy-tuning. CheckQuantum's acceptance gates — FeedbackPID beating
+// the fixed quantum on p99.9 gap error within the CI overhead budget —
+// are enforced unconditionally, baseline or not.
+const (
+	quantumBaselineKey  = "quantum/ramp"
+	quantumBaselineHash = "names=radix,histogram,volrend,kmeans,scale=1,v1"
+)
+
+func measureQuantumBaseline(t *testing.T) *experiments.QuantumFigure {
+	t.Helper()
+	fig, err := experiments.MeasureQuantum(engine.New(0), 1, baselineNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Errs) > 0 {
+		t.Fatalf("quantum cells failed: %v", fig.Errs)
+	}
+	for _, v := range fig.CheckQuantum() {
+		t.Errorf("quantum gate violation: %s", v)
+	}
+	return fig
+}
+
+func TestQuantumRegressionBaseline(t *testing.T) {
+	fig := measureQuantumBaseline(t)
+	got := fig.Agg
+	if len(got) == 0 {
+		t.Fatal("no quantum aggregate rows measured")
+	}
+
+	if *updateBaseline {
+		store, err := engine.OpenStore(baselinePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Put(quantumBaselineKey, quantumBaselineHash, got); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Save(); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("quantum baseline rewritten: %s cell %q", baselinePath, quantumBaselineKey)
+		return
+	}
+
+	store, err := engine.OpenStore(baselinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, ok := store.Cell(quantumBaselineKey)
+	if !ok {
+		t.Fatalf("baseline lacks cell %q; regenerate with -update-baseline", quantumBaselineKey)
+	}
+	var want []experiments.QuantumRow
+	if err := json.Unmarshal(cell.Data, &want); err != nil {
+		t.Fatalf("baseline cell %q: %v", quantumBaselineKey, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fresh sweep has %d variant rows, baseline %d — regenerate it", len(got), len(want))
+	}
+	for i, g := range got {
+		w := want[i]
+		if g.Design != w.Design || g.Policy != w.Policy {
+			t.Errorf("row %d: %s/%s vs baseline %s/%s — baseline is stale, regenerate it",
+				i, g.Design, g.Policy, w.Design, w.Policy)
+			continue
+		}
+		tag := g.Design + "/" + g.Policy
+		if !countInBand(g.P999Err, w.P999Err, 256, 0.25) {
+			t.Errorf("%s: p99.9 gap error %d vs baseline %d (band ±25%%)", tag, g.P999Err, w.P999Err)
+		}
+		if !countInBand(g.Fires, w.Fires, 64, 0.25) {
+			t.Errorf("%s: fires %d vs baseline %d (band ±25%%)", tag, g.Fires, w.Fires)
+		}
+		if !countInBand(g.Overruns, w.Overruns, 64, 0.25) {
+			t.Errorf("%s: overruns %d vs baseline %d (band ±25%%)", tag, g.Overruns, w.Overruns)
+		}
+		// Overhead regression = the delivery mechanism got pricier.
+		if d := g.Overhead - w.Overhead; d > 0.02 {
+			t.Errorf("%s: overhead %.4f vs baseline %.4f (band +2 points)", tag, g.Overhead, w.Overhead)
+		}
+	}
+}
+
 func TestSweepRegressionBaseline(t *testing.T) {
 	sel, err := experiments.WorkloadsByName(baselineNames)
 	if err != nil {

@@ -59,6 +59,14 @@ echo "== tier smoke =="
 # tier-parameterized VM conformance tests.
 go run ./cmd/ciexp -quick -tier=compiled sanitize
 
+echo "== quantum smoke =="
+# Quantum adaptivity end-to-end: the handler-gap figure across interval
+# policies (fixed/AIMD/feedback) and all four designs on the quick
+# workload subset; ciexp exits non-zero when the feedback controller
+# stops beating the fixed quantum or the CI rows leave the overhead
+# budget.
+go run ./cmd/ciexp -quick quantum
+
 echo "== interleave smoke =="
 # Handler interleaving verifier end-to-end: context-bound-1 exploration
 # over the three app sharing-protocol models and a fuzz corpus with
