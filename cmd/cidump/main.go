@@ -25,10 +25,13 @@
 // non-commutative schedule. -bound sets the context bound.
 //
 // With -fleet (no program argument) the seeded fleet fault plan is
-// printed instead: per replica, the exact crash windows `ciexp fleet`'s
-// crash cells will replay at -seed, drawn from the same per-replica
-// injector streams. -replicas sets how many streams to show and
-// -fleet-horizon the window in cycles.
+// printed instead: per replica (labelled with its failure-domain zone),
+// the exact crash windows `ciexp fleet`'s crash cells will replay at
+// -seed, drawn from the same per-replica injector streams, plus — when
+// -zones > 1 — the zone-0 correlated outage schedule with its member
+// replicas. -replicas sets how many streams to show, -zones the
+// failure-domain count, -migrate whether the plan header notes
+// drain/re-route, and -fleet-horizon the window in cycles.
 package main
 
 import (
@@ -60,7 +63,7 @@ func main() {
 	fleetHorizon := flag.Int64("fleet-horizon", 26_000_000, "-fleet: schedule window in cycles")
 	flag.Parse()
 	if *fleetPlan {
-		experiments.PrintFleetPlan(os.Stdout, cf.Seed, cf.Replicas, *fleetHorizon)
+		experiments.PrintFleetPlan(os.Stdout, cf.Seed, cf.Replicas, cf.Zones, *fleetHorizon, cf.Migrate)
 		return
 	}
 	if flag.NArg() != 1 {

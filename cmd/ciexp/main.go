@@ -28,7 +28,14 @@
 //	                against the resilience guards (goodput floor, retry
 //	                amplification, tenant SLO isolation, worker-count
 //	                byte identity; exits non-zero on violation; -quick
-//	                runs only the 1.2x soak pair)
+//	                runs only the 1.2x soak pair), then the zone-outage
+//	                headline: 1-of-4 zones crash-looping at 1.2x load
+//	                with migration on, gated on zero stranded attempts,
+//	                the extended conservation oracle, a 90% goodput
+//	                floor vs the no-outage twin and retry amplification
+//	                ≤ 1.15; -scale N > 1 appends a 64-replica / 4-zone
+//	                scale soak (scale 42 ≈ 10M requests) proving
+//	                serial-vs-parallel byte identity at that size
 //	ciexp quantum   quantum adaptivity: handler-gap tail error vs
 //	                interval-control policy (fixed, AIMD, feedback) at
 //	                2x load with mixed request classes, across the CI,
@@ -73,7 +80,11 @@
 // translation-validation stage checks), -trace FILE, -metrics,
 // -slo-p999us/-max-reject (the overload SLO guard for ramp and soak),
 // -soak-duration N (per-phase cycles),
-// -replicas/-tenants/-lb/-hedge-ms/-retry-budget (the fleet sweep).
+// -quantum-policy fixed|aimd|feedback (the handler-interval policy for
+// ramp and soak),
+// -replicas/-tenants/-lb/-hedge-ms/-retry-budget/-zones/-migrate (the
+// fleet sweep; -zones spreads replicas across failure domains and
+// -migrate drains queued work off crashed or ejected replicas).
 package main
 
 import (
@@ -87,7 +98,7 @@ import (
 )
 
 func main() {
-	cf := cliflags.New(flag.CommandLine).AddScale().AddSeed().AddEngine().AddObs().AddSLO().AddInterleave().AddFleet()
+	cf := cliflags.New(flag.CommandLine).AddScale().AddSeed().AddEngine().AddObs().AddSLO().AddInterleave().AddFleet().AddQuantum()
 	quick := flag.Bool("quick", false, "use a workload subset where supported")
 	all := flag.Bool("all", false, "fig9/fig11: include Naive-Cycles and CnB-Cycles")
 	flag.Usage = func() {
@@ -155,17 +166,25 @@ func main() {
 			return experiments.PrintChaos(os.Stdout, cf.Seed, rates)
 		}},
 		{"ramp", func() error {
-			return experiments.PrintRamp(os.Stdout, eng, cf.Seed, cf.SoakDuration*int64(scale), cf.SLO())
-		}},
-		{"soak", func() error {
-			return experiments.PrintSoak(os.Stdout, eng, cf.Seed, cf.SoakDuration*int64(scale), cf.SLO(), *quick)
-		}},
-		{"fleet", func() error {
-			cfg, err := cf.FleetConfig(cf.SoakDuration * int64(scale))
+			qp, err := cf.ParseQuantum()
 			if err != nil {
 				return err
 			}
-			return experiments.PrintFleet(os.Stdout, eng, cfg, *quick)
+			return experiments.PrintRamp(os.Stdout, eng, cf.Seed, cf.SoakDuration*int64(scale), cf.SLO(), qp)
+		}},
+		{"soak", func() error {
+			qp, err := cf.ParseQuantum()
+			if err != nil {
+				return err
+			}
+			return experiments.PrintSoak(os.Stdout, eng, cf.Seed, cf.SoakDuration*int64(scale), cf.SLO(), *quick, qp)
+		}},
+		{"fleet", func() error {
+			cfg, err := cf.FleetConfig(cf.SoakDuration)
+			if err != nil {
+				return err
+			}
+			return experiments.PrintFleet(os.Stdout, eng, cfg, *quick, int64(scale))
 		}},
 		{"quantum", func() error { return experiments.PrintQuantum(os.Stdout, eng, scale, *quick) }},
 		{"sanitize", func() error { return experiments.PrintSanitize(os.Stdout, eng, scale, *quick) }},

@@ -97,6 +97,8 @@ type Flags struct {
 	LB          string
 	HedgeMs     float64
 	RetryBudget float64
+	Zones       int
+	Migrate     bool
 
 	scope    *obs.Scope
 	scopeSet bool
@@ -226,20 +228,22 @@ func (f *Flags) AddInterleave() *Flags {
 }
 
 // AddFleet registers the fleet-experiment flags -replicas, -tenants,
-// -lb, -hedge-ms and -retry-budget.
+// -lb, -hedge-ms, -retry-budget, -zones and -migrate.
 func (f *Flags) AddFleet() *Flags {
 	f.fs.IntVar(&f.Replicas, "replicas", 8, "fleet: cluster size (CI-polled server replicas)")
 	f.fs.IntVar(&f.Tenants, "tenants", 4, "fleet: client tenant count (tenant 0 misbehaves at 4x its fair share)")
 	f.fs.StringVar(&f.LB, "lb", "p2c", "fleet: balancer policy: rr, least, p2c")
 	f.fs.Float64Var(&f.HedgeMs, "hedge-ms", 0.1, "fleet: hedge trigger floor in ms (0 disables hedging)")
 	f.fs.Float64Var(&f.RetryBudget, "retry-budget", 0.1, "fleet: retry-budget deposit per injected request (0 disables retries)")
+	f.fs.IntVar(&f.Zones, "zones", 1, "fleet: failure-domain count (replica i lives in zone i mod zones)")
+	f.fs.BoolVar(&f.Migrate, "migrate", false, "fleet: drain queued work off crashed/ejected replicas and re-route it")
 	return f
 }
 
 // FleetConfig builds the fleet configuration from the registered
-// -replicas/-tenants/-lb/-hedge-ms/-retry-budget and -seed values.
-// Tenant 0 is the misbehaving tenant of the acceptance experiment; the
-// load factor is set per sweep cell by the experiment.
+// -replicas/-tenants/-lb/-hedge-ms/-retry-budget/-zones/-migrate and
+// -seed values. Tenant 0 is the misbehaving tenant of the acceptance
+// experiment; the load factor is set per sweep cell by the experiment.
 func (f *Flags) FleetConfig(horizonCycles int64) (fleet.Config, error) {
 	pol, err := fleet.ParsePolicy(f.LB)
 	if err != nil {
@@ -254,6 +258,8 @@ func (f *Flags) FleetConfig(horizonCycles int64) (fleet.Config, error) {
 		RetryBudgetFrac:   f.RetryBudget,
 		HedgeDelayCycles:  int64(f.HedgeMs * 2.6e6),
 		MisbehavingTenant: 0,
+		Zones:             f.Zones,
+		Migrate:           f.Migrate,
 	}
 	if f.RetryBudget <= 0 {
 		cfg.RetryBudgetFrac = -1 // the config treats negative as "retries off"

@@ -143,6 +143,48 @@ func TestSLOFlags(t *testing.T) {
 	}
 }
 
+func TestFleetZoneFlags(t *testing.T) {
+	f := newFlags(t, func(f *Flags) *Flags { return f.AddFleet() })
+	if f.Zones != 1 || f.Migrate {
+		t.Errorf("fleet defaults: zones=%d migrate=%t, want 1/false", f.Zones, f.Migrate)
+	}
+	cfg, err := f.FleetConfig(26_000_000)
+	if err != nil || cfg.Zones != 1 || cfg.Migrate {
+		t.Errorf("default FleetConfig: %+v, %v", cfg, err)
+	}
+
+	f = newFlags(t, func(f *Flags) *Flags { return f.AddFleet() },
+		"-zones", "4", "-migrate", "-replicas", "16")
+	cfg, err = f.FleetConfig(26_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Zones != 4 || !cfg.Migrate || cfg.Replicas != 16 {
+		t.Errorf("FleetConfig = %+v, want zones=4 migrate=true replicas=16", cfg)
+	}
+}
+
+func TestQuantumFlag(t *testing.T) {
+	f := newFlags(t, func(f *Flags) *Flags { return f.AddQuantum() })
+	if qp, err := f.ParseQuantum(); err != nil || qp != nil {
+		t.Errorf("default -quantum-policy should resolve to a nil factory (err %v, nil=%t)", err, qp == nil)
+	}
+	for _, name := range []string{"aimd", "feedback", "AIMD"} {
+		f := newFlags(t, func(f *Flags) *Flags { return f.AddQuantum() }, "-quantum-policy", name)
+		qp, err := f.ParseQuantum()
+		if err != nil || qp == nil {
+			t.Errorf("-quantum-policy %s: nil=%t, err=%v", name, qp == nil, err)
+			continue
+		}
+		if qp() == nil {
+			t.Errorf("-quantum-policy %s: factory returned nil policy", name)
+		}
+	}
+	if _, err := ParseQuantum("bogus"); err == nil {
+		t.Error("ParseQuantum accepted an unknown policy")
+	}
+}
+
 func TestParseArgs(t *testing.T) {
 	got, err := ParseArgs("1, -2,3")
 	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != -2 || got[2] != 3 {

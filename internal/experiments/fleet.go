@@ -37,6 +37,12 @@ const (
 	// FleetAmpCeiling bounds retry amplification (attempts/injected);
 	// the retry + hedge budgets guarantee it by construction.
 	FleetAmpCeiling = 1.15
+	// FleetZoneGoodputFloor is the zone-outage bar: with one of four
+	// zones crash-looping and migration draining its queues, goodput
+	// must stay within 90% of the no-outage run.
+	FleetZoneGoodputFloor = 0.90
+	// FleetZoneCount is the standard failure-domain count.
+	FleetZoneCount = 4
 )
 
 // FleetCrashPlan is the standard mid-soak crash plan: exponentially
@@ -48,6 +54,40 @@ func FleetCrashPlan(seed uint64) *faults.Plan {
 		CrashMeanGapCycles: 6_000_000,
 		CrashDownCycles:    2_600_000,
 	}
+}
+
+// FleetZonePlan is the standard correlated-outage plan: one zone
+// (zone 0) crash-loops with exponentially spaced whole-zone outages
+// (mean gap ~5 ms) and a 0.5 ms correlated restart — roughly a 20%
+// outage duty cycle on a quarter of the cluster at the standard seed
+// (the breaker's recovery lag stretches each window's effective
+// downtime past the raw schedule).
+func FleetZonePlan(seed uint64) *faults.Plan {
+	return &faults.Plan{
+		Seed:                   seed,
+		ZoneCrashMeanGapCycles: 13_000_000,
+		ZoneCrashDownCycles:    1_300_000,
+	}
+}
+
+// FleetZoneConfig derives the zone-outage soak from a base config: the
+// canonical cluster shape (two replicas per zone across four zones —
+// the headline is a fixed experiment, so it does not inherit
+// -replicas) at the overloaded soak point with migration on; the
+// outage cell applies FleetZonePlan to zone 0 only.
+func FleetZoneConfig(base fleet.Config, outage bool) fleet.Config {
+	cfg := base
+	cfg.Replicas = 2 * FleetZoneCount
+	cfg.LoadFactor = FleetSoakLoad
+	cfg.Zones = FleetZoneCount
+	cfg.Migrate = true
+	cfg.Faults = nil
+	cfg.CrashReplicas = 0
+	if outage {
+		cfg.Faults = FleetZonePlan(base.Seed)
+		cfg.OutageZones = 1
+	}
+	return cfg
 }
 
 // FleetRow is one (load factor, crash plan) cell of the sweep.
@@ -93,6 +133,115 @@ func MeasureFleetRamp(eng *engine.Engine, base fleet.Config, loads []float64) ([
 		}
 	}
 	return rows, cellErrs
+}
+
+// MeasureFleetZone runs the zone-outage pair: the no-outage and
+// zone-0-crash-looping soaks at the overloaded load point, both with
+// 4 zones and migration on. Each cell's conservation oracle (which
+// includes the migration identities) is checked before returning.
+func MeasureFleetZone(eng *engine.Engine, base fleet.Config) (noOutage, outage *fleet.Result, cellErrs []CellError) {
+	cells, errs := engine.Map(eng.Pool, 2, func(i int) (*fleet.Result, error) {
+		res := fleet.Run(FleetZoneConfig(base, i == 1), nil)
+		if err := res.Conservation(); err != nil {
+			return nil, err
+		}
+		return res, nil
+	})
+	cellErrs = cellErrors(errs, func(i int) string {
+		return fmt.Sprintf("fleet/zone/outage=%t", i == 1)
+	})
+	return cells[0], cells[1], cellErrs
+}
+
+// CheckFleetZone judges the zone-outage pair: the outage must have
+// happened and been drained by migration with nothing stranded, and
+// the cluster must ride through it — goodput within the zone floor of
+// the no-outage run, amplification inside the budget bound.
+func CheckFleetZone(noOutage, outage *fleet.Result) []string {
+	var v []string
+	if noOutage == nil || outage == nil {
+		return []string{"zone pair incomplete (a cell failed)"}
+	}
+	if outage.ZoneCrashes == 0 {
+		v = append(v, "zone plan injected no zone outages")
+	}
+	if outage.Migrated == 0 {
+		v = append(v, "zone outages migrated no queued work")
+	}
+	var stranded int64
+	for _, st := range outage.PerReplica {
+		stranded += st.StrandedQueued
+	}
+	if stranded != 0 {
+		v = append(v, fmt.Sprintf("migration stranded %d queued attempts", stranded))
+	}
+	if ratio := outage.GoodputRPS / noOutage.GoodputRPS; ratio < FleetZoneGoodputFloor {
+		v = append(v, fmt.Sprintf("zone-outage goodput %.1f%% of no-outage run (floor %.0f%%)",
+			100*ratio, 100*FleetZoneGoodputFloor))
+	}
+	if amp := outage.Amplification(); amp > FleetAmpCeiling+1e-9 {
+		v = append(v, fmt.Sprintf("retry amplification %.3f exceeds %.2f under zone outage",
+			amp, FleetAmpCeiling))
+	}
+	return v
+}
+
+// FleetScaleConfig is the `-scale`-keyed large-cluster soak: 64
+// replicas in 4 zones at capacity load with migration on and zone 0
+// crash-looping. Scale multiplies the 26M-cycle (10 ms) base horizon;
+// the canonical scale 42 injects ~10.3M requests over ~420 ms of
+// virtual time.
+func FleetScaleConfig(seed uint64, scale int64) fleet.Config {
+	return fleet.Config{
+		Replicas:      64,
+		Tenants:       8,
+		Zones:         FleetZoneCount,
+		Policy:        fleet.P2CDeadline,
+		Seed:          seed,
+		HorizonCycles: scale * 26_000_000,
+		LoadFactor:    1.0,
+		Migrate:       true,
+		Faults:        FleetZonePlan(seed),
+		OutageZones:   1,
+	}
+}
+
+// FleetScaleTarget is the canonical -scale for the 10M-request soak.
+const FleetScaleTarget = 42
+
+// PrintFleetScale runs the scale soak twice — serially and on the
+// engine's worker pool — and proves the two reports byte-identical,
+// the conservation identities intact, and the injection volume at the
+// advertised scale. The scale proof of the migration + zone layer.
+func PrintFleetScale(w io.Writer, eng *engine.Engine, seed uint64, scale int64) error {
+	cfg := FleetScaleConfig(seed, scale)
+	fmt.Fprintf(w, "fleet scale soak (seed %d, scale %d): %d replicas / %d zones, %.0f ms horizon\n",
+		seed, scale, cfg.Replicas, cfg.Zones, float64(cfg.HorizonCycles)/2.6e6)
+	serial := fleet.Run(cfg, nil)
+	if err := serial.Conservation(); err != nil {
+		return fmt.Errorf("fleet scale: %w", err)
+	}
+	// The identity is about shard count, not physical cores: on a
+	// single-core host the engine pool degenerates to one worker, so
+	// force a multi-worker pool to keep the sharded replica phase
+	// genuinely different from the serial discipline.
+	pool := eng.Pool
+	if pool == nil || pool.Workers() <= 1 {
+		pool = engine.NewPool(4)
+	}
+	parallel := fleet.Run(cfg, pool)
+	if serial.Fingerprint() != parallel.Fingerprint() {
+		return fmt.Errorf("fleet scale: report diverges across worker counts: %x (workers) != %x (serial)",
+			parallel.Fingerprint(), serial.Fingerprint())
+	}
+	fmt.Fprintf(w, "  injected %.2fM requests, goodput %.2fM rps, migrated %d (failed %d), zone outages %d\n",
+		float64(serial.Injected)/1e6, serial.GoodputRPS/1e6,
+		serial.Migrated, serial.MigrationFailed, serial.ZoneCrashes)
+	fmt.Fprintf(w, "  byte-identical at -workers 1 vs %d: fingerprint %x\n", pool.Workers(), serial.Fingerprint())
+	if serial.Injected < 10_000_000 && scale >= FleetScaleTarget {
+		return fmt.Errorf("fleet scale: only %d requests injected at scale %d (want >= 10M)", serial.Injected, scale)
+	}
+	return nil
 }
 
 // CheckFleetSoak judges the crash/no-crash pair at the soak load
@@ -147,10 +296,13 @@ func fleetDeadlineUs(base fleet.Config) float64 {
 // PrintFleet runs the sweep and renders the figure table, then judges
 // the soak-load crash/no-crash pair against the resilience guards and
 // re-runs the crash soak on the engine's own worker pool to prove the
-// report is byte-identical at -workers 1 vs N. Violations and failed
-// cells return an error so `ciexp fleet` exits non-zero. With quick,
-// only the soak load runs (the verify.sh smoke).
-func PrintFleet(w io.Writer, eng *engine.Engine, base fleet.Config, quick bool) error {
+// report is byte-identical at -workers 1 vs N. It then runs the
+// zone-outage pair (1-of-4 zones crash-looping with migration on)
+// against the zone guards, and — when scale > 1 — the `-scale`-keyed
+// 64-replica soak. Violations and failed cells return an error so
+// `ciexp fleet` exits non-zero. With quick, only the soak load runs
+// (the verify.sh smoke).
+func PrintFleet(w io.Writer, eng *engine.Engine, base fleet.Config, quick bool, scale int64) error {
 	loads := FleetLoadFactors
 	if quick {
 		loads = []float64{FleetSoakLoad}
@@ -189,6 +341,25 @@ func PrintFleet(w io.Writer, eng *engine.Engine, base fleet.Config, quick bool) 
 				again.Fingerprint(), crash.Fingerprint()))
 		}
 	}
+	// Zone-outage headline: 1-of-4 zones crash-looping at the soak
+	// load with migration draining its queues.
+	noOutage, outage, zoneErrs := MeasureFleetZone(eng, base)
+	cellErrs = append(cellErrs, zoneErrs...)
+	if noOutage != nil && outage != nil {
+		fmt.Fprintf(w, "zone outage (%d zones, zone 0 crash-looping, migration on):\n", FleetZoneCount)
+		for _, p := range []struct {
+			name string
+			res  *fleet.Result
+		}{{"no-outage", noOutage}, {"outage", outage}} {
+			fmt.Fprintf(w, "  %-10s goodput %.2fM rps, p99.9 %.1fµs, zone crashes %d, migrated %d (failed %d), amp %.3f\n",
+				p.name, p.res.GoodputRPS/1e6, p.res.P999Us, p.res.ZoneCrashes,
+				p.res.Migrated, p.res.MigrationFailed, p.res.Amplification())
+		}
+		fmt.Fprintf(w, "  goodput under outage: %.1f%% of no-outage (floor %.0f%%)\n",
+			100*outage.GoodputRPS/noOutage.GoodputRPS, 100*FleetZoneGoodputFloor)
+	}
+	violations = append(violations, CheckFleetZone(noOutage, outage)...)
+
 	for _, v := range violations {
 		fmt.Fprintf(w, "resilience violation: %s\n", v)
 	}
@@ -198,6 +369,9 @@ func PrintFleet(w io.Writer, eng *engine.Engine, base fleet.Config, quick bool) 
 	if len(violations) > 0 {
 		return fmt.Errorf("fleet: %d resilience violation(s)", len(violations))
 	}
+	if scale > 1 {
+		return PrintFleetScale(w, eng, base.Seed, scale)
+	}
 	return nil
 }
 
@@ -205,18 +379,25 @@ func PrintFleet(w io.Writer, eng *engine.Engine, base fleet.Config, quick bool) 
 // crash cells will experience: per replica, every crash window
 // (onset, recovery) inside the horizon, drawn exactly as the replicas
 // draw them (next onset is spaced from recovery, not from the previous
-// onset). The crash cells apply the plan to replica 0 only; the other
-// replicas' streams are shown for exploration with -replicas > 1
-// sweeps. The debugging window into the fleet fault plan (cidump
-// -fleet).
-func PrintFleetPlan(w io.Writer, seed uint64, replicas int, horizonCycles int64) {
+// onset), each replica labeled with its failure-domain zone and
+// whether a migration drain would save its queue. The crash cells
+// apply the plan to replica 0 only; the other replicas' streams are
+// shown for exploration with -replicas > 1 sweeps. With zones > 1 the
+// zone-outage schedules (FleetZonePlan, zone 0 only — the `ciexp
+// fleet` zone cell) are shown too. The debugging window into the
+// fleet fault plan (cidump -fleet).
+func PrintFleetPlan(w io.Writer, seed uint64, replicas, zones int, horizonCycles int64, migrate bool) {
+	if zones <= 0 {
+		zones = 1
+	}
 	plan := FleetCrashPlan(seed)
-	fmt.Fprintf(w, "fleet crash plan (seed %d, horizon %.1f ms): mean gap %.1f ms, down %.1f ms\n",
+	fmt.Fprintf(w, "fleet crash plan (seed %d, horizon %.1f ms): mean gap %.1f ms, down %.1f ms, migration %s\n",
 		seed, float64(horizonCycles)/2.6e6,
-		float64(plan.CrashMeanGapCycles)/2.6e6, float64(plan.CrashDownCycles)/2.6e6)
+		float64(plan.CrashMeanGapCycles)/2.6e6, float64(plan.CrashDownCycles)/2.6e6,
+		map[bool]string{true: "on (queued work drains at crash)", false: "off (queued work dies into retries)"}[migrate])
 	for i := 0; i < replicas; i++ {
 		inj := faults.New(plan, fmt.Sprintf("fleet/replica%d", i))
-		fmt.Fprintf(w, "replica %d:", i)
+		fmt.Fprintf(w, "replica %d (zone %d):", i, i%zones)
 		t, n := int64(0), 0
 		for {
 			gap, down, ok := inj.NextCrash()
@@ -233,4 +414,33 @@ func PrintFleetPlan(w io.Writer, seed uint64, replicas int, horizonCycles int64)
 		}
 		fmt.Fprintln(w)
 	}
+	if zones <= 1 {
+		return
+	}
+	zplan := FleetZonePlan(seed)
+	fmt.Fprintf(w, "zone outage plan (%d zones, zone 0 only): mean gap %.1f ms, down %.1f ms\n",
+		zones, float64(zplan.ZoneCrashMeanGapCycles)/2.6e6, float64(zplan.ZoneCrashDownCycles)/2.6e6)
+	inj := faults.New(zplan, "fleet/zone0")
+	fmt.Fprintf(w, "zone 0 (replicas")
+	for i := 0; i < replicas; i++ {
+		if i%zones == 0 {
+			fmt.Fprintf(w, " %d", i)
+		}
+	}
+	fmt.Fprintf(w, "):")
+	t, n := int64(0), 0
+	for {
+		gap, down, ok := inj.NextZoneCrash()
+		if !ok || t+gap >= horizonCycles {
+			break
+		}
+		t += gap
+		fmt.Fprintf(w, " [%.2f–%.2f ms]", float64(t)/2.6e6, float64(t+down)/2.6e6)
+		t += down
+		n++
+	}
+	if n == 0 {
+		fmt.Fprintf(w, " (no zone outages inside the horizon)")
+	}
+	fmt.Fprintln(w)
 }

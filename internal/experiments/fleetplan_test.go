@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The `cidump -fleet` schedule dump is golden-tested: the plan is
+// drawn from seeded injector streams, so its text is a pure function
+// of (seed, replicas, zones, horizon, migrate) and any drift means
+// either the stream layout or the rendering changed — both worth a
+// deliberate -update.
+func TestPrintFleetPlanGolden(t *testing.T) {
+	var buf bytes.Buffer
+	PrintFleetPlan(&buf, 1, 8, 4, 26_000_000, true)
+	golden := filepath.Join("testdata", "fleet_plan.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("fleet plan drifted from golden file (rerun with -update if intended):\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+// The zone and migration columns are structural, not incidental: every
+// replica line carries its failure domain, the header reflects the
+// migration mode, and the zone-outage schedule appears exactly when
+// zones > 1.
+func TestPrintFleetPlanZoneColumns(t *testing.T) {
+	var zoned bytes.Buffer
+	PrintFleetPlan(&zoned, 1, 8, 4, 26_000_000, true)
+	out := zoned.String()
+	if !strings.Contains(out, "migration on") {
+		t.Errorf("migrate=true plan lacks the migration column:\n%s", out)
+	}
+	for _, want := range []string{"replica 0 (zone 0):", "replica 5 (zone 1):", "zone outage plan (4 zones"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("zoned plan lacks %q:\n%s", want, out)
+		}
+	}
+
+	var flat bytes.Buffer
+	PrintFleetPlan(&flat, 1, 4, 1, 26_000_000, false)
+	if s := flat.String(); strings.Contains(s, "zone outage plan") || !strings.Contains(s, "migration off") {
+		t.Errorf("flat plan should omit the zone schedule and note migration off:\n%s", s)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/ci/ciruntime"
 	"repro/internal/engine"
 	"repro/internal/overload"
 	"repro/internal/shenango"
@@ -76,8 +77,10 @@ func (r RampRow) GoodputFrac() float64 { return r.Res.AchievedLoad / RampSaturat
 
 // MeasureLoadRamp sweeps shenango (CIHosted) across mults × {admission
 // off, on}. One run is one engine cell; rows come back ordered by
-// (mult, admission-off-first).
-func MeasureLoadRamp(eng *engine.Engine, seed uint64, durationCycles int64, mults []float64) ([]RampRow, []CellError) {
+// (mult, admission-off-first). A non-nil quantum factory installs an
+// adaptive handler-interval policy (AIMD / feedback PID) in every
+// cell's CI runtime; nil keeps the paper's fixed interval.
+func MeasureLoadRamp(eng *engine.Engine, seed uint64, durationCycles int64, mults []float64, quantum func() ciruntime.QuantumPolicy) ([]RampRow, []CellError) {
 	if len(mults) == 0 {
 		mults = RampMults
 	}
@@ -90,6 +93,7 @@ func MeasureLoadRamp(eng *engine.Engine, seed uint64, durationCycles int64, mult
 			OfferedLoad:    mult * RampSaturatingLoad,
 			Seed:           seed,
 			DurationCycles: durationCycles,
+			Quantum:        quantum,
 		}
 		if admit {
 			cfg.Overload = RampOverloadConfig()
@@ -116,13 +120,16 @@ func MeasureLoadRamp(eng *engine.Engine, seed uint64, durationCycles int64, mult
 // the SLO against every admission-enabled row with RampExcess(mult) as
 // the unavoidable refusal fraction. A zero SLO checks nothing;
 // violations and failed cells return an error so `ciexp ramp` exits
-// non-zero.
-func PrintRamp(w io.Writer, eng *engine.Engine, seed uint64, durationCycles int64, slo overload.SLO) error {
+// non-zero. A non-nil quantum factory (-quantum-policy aimd|feedback)
+// runs the whole ramp under that adaptive handler-interval policy —
+// the SLO guards must hold regardless of how the interval controller
+// moves the probe quantum.
+func PrintRamp(w io.Writer, eng *engine.Engine, seed uint64, durationCycles int64, slo overload.SLO, quantum func() ciruntime.QuantumPolicy) error {
 	fmt.Fprintf(w, "Load ramp (seed %d): shenango+CI under offered load vs %.2f M req/s capacity\n",
 		seed, RampSaturatingLoad/1e6)
 	fmt.Fprintf(w, "%-6s %-6s %10s %9s %10s %8s %7s %7s %6s\n",
 		"load", "admit", "goodput", "p50(µs)", "p99.9(µs)", "reject", "shed", "miner", "brown")
-	rows, cellErrs := MeasureLoadRamp(eng, seed, durationCycles, nil)
+	rows, cellErrs := MeasureLoadRamp(eng, seed, durationCycles, nil, quantum)
 	var violations []string
 	for _, r := range rows {
 		s := r.Res.Overload

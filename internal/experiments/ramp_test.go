@@ -3,7 +3,9 @@ package experiments
 import (
 	"testing"
 
+	"repro/internal/ci/ciruntime"
 	"repro/internal/engine"
+	"repro/internal/overload"
 )
 
 const rampTestDuration = 26_000_000 // 10 ms of virtual time
@@ -21,7 +23,7 @@ func rampByKey(t *testing.T, rows []RampRow) map[[2]any]RampRow {
 func runRamp(t *testing.T, workers int) []RampRow {
 	t.Helper()
 	eng := &engine.Engine{Pool: engine.NewPool(workers)}
-	rows, cellErrs := MeasureLoadRamp(eng, 7, rampTestDuration, nil)
+	rows, cellErrs := MeasureLoadRamp(eng, 7, rampTestDuration, nil, nil)
 	if len(cellErrs) > 0 {
 		t.Fatalf("ramp cells failed: %v", cellErrs)
 	}
@@ -82,7 +84,7 @@ func TestRampNoAdmissionDiverges(t *testing.T) {
 	// Double the horizon: the tail keeps growing with run length
 	// (unbounded growth), while the admission-enabled tail stays put.
 	eng := &engine.Engine{Pool: engine.NewPool(1)}
-	longRows, cellErrs := MeasureLoadRamp(eng, 7, 2*rampTestDuration, []float64{2.0})
+	longRows, cellErrs := MeasureLoadRamp(eng, 7, 2*rampTestDuration, []float64{2.0}, nil)
 	if len(cellErrs) > 0 {
 		t.Fatalf("long ramp cells failed: %v", cellErrs)
 	}
@@ -97,6 +99,57 @@ func TestRampNoAdmissionDiverges(t *testing.T) {
 	if longOn.Res.P999Us > 1.5*shortOn.Res.P999Us {
 		t.Errorf("admission on: p99.9 grew %.1f -> %.1fµs when the run doubled; expected a flat tail",
 			shortOn.Res.P999Us, longOn.Res.P999Us)
+	}
+}
+
+// Satellite guard for -quantum-policy: the ramp's SLO must hold no
+// matter which handler-interval controller drives the CI runtime. Each
+// adaptive policy (AIMD, feedback PID) is swept with admission on and
+// judged against the same p99.9/reject guard as the fixed quantum; the
+// run must also actually differ from the fixed-quantum run, proving
+// the factory reached the poll loop rather than being dropped on the
+// floor, and the soak's quick script must stay violation-free under
+// the adaptive interval too.
+func TestRampQuantumPoliciesHoldSLO(t *testing.T) {
+	slo := overload.SLO{P999Us: 500, MaxRejectFrac: 0.1}
+	eng := &engine.Engine{Pool: engine.NewPool(0)}
+	fixed := runRamp(t, 1)
+	policies := map[string]func() ciruntime.QuantumPolicy{
+		"aimd":     func() ciruntime.QuantumPolicy { return &ciruntime.AIMD{} },
+		"feedback": func() ciruntime.QuantumPolicy { return &ciruntime.FeedbackPID{} },
+	}
+	for name, factory := range policies {
+		rows, cellErrs := MeasureLoadRamp(eng, 7, rampTestDuration, nil, factory)
+		if len(cellErrs) > 0 {
+			t.Fatalf("%s: ramp cells failed: %v", name, cellErrs)
+		}
+		if len(rows) != len(fixed) {
+			t.Fatalf("%s: got %d rows, want %d", name, len(rows), len(fixed))
+		}
+		differs := false
+		for i, r := range rows {
+			if r != fixed[i] {
+				differs = true
+			}
+			if !r.Admission {
+				continue
+			}
+			if err := slo.Check(r.Res.P999Us, r.Res.Overload.RejectFrac(), RampExcess(r.Mult)); err != nil {
+				t.Errorf("%s at %.1fx: SLO violated under adaptive quantum: %v", name, r.Mult, err)
+			}
+		}
+		if !differs {
+			t.Errorf("%s: sweep byte-identical to the fixed quantum — policy never reached the poll loop", name)
+		}
+		soakRows, soakErrs := RunSoak(eng, 7, rampTestDuration, soakQuickPhases, slo, factory)
+		if len(soakErrs) > 0 {
+			t.Fatalf("%s: soak cells failed: %v", name, soakErrs)
+		}
+		for _, r := range soakRows {
+			if len(r.Violations) > 0 {
+				t.Errorf("%s soak phase %d (%.1fx): %v", name, r.Phase, r.Mult, r.Violations)
+			}
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/ci/ciruntime"
 	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/mtcp"
@@ -57,8 +58,9 @@ type SoakRow struct {
 // the admission plane on, checking per phase: the run's own invariants
 // (shenango's conservation oracle plus the overload plane's accounting
 // oracle via RunChecked), determinism under the composed fault plan,
-// and the SLO with the phase's unavoidable excess.
-func RunSoak(eng *engine.Engine, seed uint64, phaseDuration int64, phases []SoakPhase, slo overload.SLO) ([]SoakRow, []CellError) {
+// and the SLO with the phase's unavoidable excess. A non-nil quantum
+// factory runs every phase under that adaptive handler-interval policy.
+func RunSoak(eng *engine.Engine, seed uint64, phaseDuration int64, phases []SoakPhase, slo overload.SLO, quantum func() ciruntime.QuantumPolicy) ([]SoakRow, []CellError) {
 	if len(phases) == 0 {
 		phases = SoakPhases
 	}
@@ -70,6 +72,7 @@ func RunSoak(eng *engine.Engine, seed uint64, phaseDuration int64, phases []Soak
 			Seed:           seed + uint64(i),
 			DurationCycles: phaseDuration,
 			Overload:       RampOverloadConfig(),
+			Quantum:        quantum,
 		}
 		if p.FaultRate > 0 {
 			cfg.FaultPlan = faults.Uniform(seed+uint64(i), p.FaultRate)
@@ -135,7 +138,7 @@ func soakMTCP(seed uint64, duration int64) []string {
 // PrintSoak runs the scripted soak and renders the per-phase table,
 // then the mtcp companion verdict. Any violated guard in any phase
 // returns an error, so `ciexp soak` exits non-zero.
-func PrintSoak(w io.Writer, eng *engine.Engine, seed uint64, phaseDuration int64, slo overload.SLO, quick bool) error {
+func PrintSoak(w io.Writer, eng *engine.Engine, seed uint64, phaseDuration int64, slo overload.SLO, quick bool, quantum func() ciruntime.QuantumPolicy) error {
 	phases := SoakPhases
 	if quick {
 		phases = soakQuickPhases
@@ -144,7 +147,7 @@ func PrintSoak(w io.Writer, eng *engine.Engine, seed uint64, phaseDuration int64
 		seed, len(phases), float64(phaseDuration)/2.6e6)
 	fmt.Fprintf(w, "%-6s %-6s %-7s %10s %10s %8s %6s  %s\n",
 		"phase", "load", "faults", "goodput", "p99.9(µs)", "reject", "brown", "guards")
-	rows, cellErrs := RunSoak(eng, seed, phaseDuration, phases, slo)
+	rows, cellErrs := RunSoak(eng, seed, phaseDuration, phases, slo, quantum)
 	bad := 0
 	for _, r := range rows {
 		s := r.Res.Overload

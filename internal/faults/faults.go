@@ -66,6 +66,24 @@ type Plan struct {
 	GraySlowMeanGapCycles int64
 	GraySlowCycles        int64   // slow-window length (default 13_000_000 ≈ 5 ms)
 	GraySlowFactor        float64 // service slowdown multiple (default 8)
+
+	// Correlated zone outages: every replica sharing a failure domain
+	// experiences the same seeded window (one injector stream per zone,
+	// not per replica), modelling rack/AZ-scale correlated failures.
+	// Composable with the per-replica crash and gray classes above —
+	// each class draws from its own stream, so enabling one never
+	// perturbs another's schedule.
+
+	// Whole-zone crash: every replica in the zone dies at the onset and
+	// restarts cold after the down window. Zero gap disables.
+	ZoneCrashMeanGapCycles int64
+	ZoneCrashDownCycles    int64 // down time per outage (default 2_600_000 ≈ 1 ms)
+
+	// Whole-zone gray-slow: every replica in the zone serves at
+	// 1/ZoneGrayFactor speed for ZoneGrayCycles. Zero gap disables.
+	ZoneGrayMeanGapCycles int64
+	ZoneGrayCycles        int64   // slow-window length (default 13_000_000 ≈ 5 ms)
+	ZoneGrayFactor        float64 // service slowdown multiple (default 8)
 }
 
 // Enabled reports whether the plan can inject any fault at all.
@@ -75,7 +93,8 @@ func (p *Plan) Enabled() bool {
 	}
 	return p.DropProb > 0 || p.CorruptProb > 0 || p.ReorderProb > 0 ||
 		p.StallProb > 0 || p.ServerStallMeanGapCycles > 0 || p.OverrunProb > 0 ||
-		p.CrashMeanGapCycles > 0 || p.GraySlowMeanGapCycles > 0
+		p.CrashMeanGapCycles > 0 || p.GraySlowMeanGapCycles > 0 ||
+		p.ZoneCrashMeanGapCycles > 0 || p.ZoneGrayMeanGapCycles > 0
 }
 
 // Uniform returns a plan that applies rate to every Bernoulli fault
@@ -112,6 +131,10 @@ type Counters struct {
 	CrashDownCyc int64
 	GraySlows    int64
 	GraySlowCyc  int64
+	ZoneCrashes  int64
+	ZoneDownCyc  int64
+	ZoneGrays    int64
+	ZoneGrayCyc  int64
 }
 
 // Injector draws faults from one subsystem's deterministic stream.
@@ -271,6 +294,47 @@ func (in *Injector) NextGraySlow() (gap, duration int64, factor float64, ok bool
 		factor = 8
 	}
 	in.GraySlowCyc += duration
+	return gap, duration, factor, true
+}
+
+// NextZoneCrash returns the gap until the next whole-zone crash onset
+// and the outage's down time. ok is false when the plan has no zone
+// crashes. The injector is expected to be derived per zone (one shared
+// stream per failure domain), so every replica in the zone replays the
+// identical correlated schedule.
+func (in *Injector) NextZoneCrash() (gap, down int64, ok bool) {
+	if in == nil || in.plan.ZoneCrashMeanGapCycles <= 0 {
+		return 0, 0, false
+	}
+	in.ZoneCrashes++
+	gap = in.rng.Exp(float64(in.plan.ZoneCrashMeanGapCycles))
+	down = in.plan.ZoneCrashDownCycles
+	if down <= 0 {
+		down = 2_600_000
+	}
+	in.ZoneDownCyc += down
+	return gap, down, true
+}
+
+// NextZoneGraySlow returns the gap until the next whole-zone gray
+// onset, its duration, and the service slowdown factor. ok is false
+// when the plan has no zone gray windows. Like NextZoneCrash, the
+// stream is meant to be shared by every replica of one zone.
+func (in *Injector) NextZoneGraySlow() (gap, duration int64, factor float64, ok bool) {
+	if in == nil || in.plan.ZoneGrayMeanGapCycles <= 0 {
+		return 0, 0, 1, false
+	}
+	in.ZoneGrays++
+	gap = in.rng.Exp(float64(in.plan.ZoneGrayMeanGapCycles))
+	duration = in.plan.ZoneGrayCycles
+	if duration <= 0 {
+		duration = 13_000_000
+	}
+	factor = in.plan.ZoneGrayFactor
+	if factor <= 1 {
+		factor = 8
+	}
+	in.ZoneGrayCyc += duration
 	return gap, duration, factor, true
 }
 

@@ -197,6 +197,132 @@ func TestPlanCompositionCommutes(t *testing.T) {
 	}
 }
 
+// zoneCrashSchedule mirrors crashSchedule for the zone-outage class.
+func zoneCrashSchedule(p *Plan, subsystem string, horizon int64) ([]int64, Counters) {
+	in := New(p, subsystem)
+	var onsets []int64
+	var at int64
+	for {
+		gap, down, ok := in.NextZoneCrash()
+		if !ok {
+			break
+		}
+		at += gap
+		if at > horizon {
+			break
+		}
+		onsets = append(onsets, at)
+		at += down
+	}
+	if in == nil {
+		return onsets, Counters{}
+	}
+	return onsets, in.Counters
+}
+
+// TestZoneOutageClasses pins the correlated zone-outage classes: a
+// zone stream is deterministic, shared by name (every replica of one
+// zone derives the identical schedule), independent across zones, and
+// composable with the per-replica crash classes without perturbing
+// either schedule.
+func TestZoneOutageClasses(t *testing.T) {
+	const seed, horizon = 13, 80_000_000
+	zoneOnly := &Plan{Seed: seed, ZoneCrashMeanGapCycles: 7_000_000, ZoneCrashDownCycles: 2_000_000}
+	composed := &Plan{
+		Seed:                   seed,
+		CrashMeanGapCycles:     3_000_000,
+		CrashDownCycles:        1_000_000,
+		ZoneCrashMeanGapCycles: 7_000_000,
+		ZoneCrashDownCycles:    2_000_000,
+		ZoneGrayMeanGapCycles:  9_000_000,
+	}
+
+	// Zone schedule identical solo vs composed with per-replica crashes.
+	solo, soloC := zoneCrashSchedule(zoneOnly, "fleet/zone0", horizon)
+	comp, compC := zoneCrashSchedule(composed, "fleet/zone0", horizon)
+	if len(solo) == 0 {
+		t.Fatal("zone-crash plan produced no onsets over the horizon")
+	}
+	if len(solo) != len(comp) {
+		t.Fatalf("zone schedule length differs: solo %d vs composed %d", len(solo), len(comp))
+	}
+	for i := range solo {
+		if solo[i] != comp[i] {
+			t.Fatalf("zone onset %d differs: solo %d vs composed %d", i, solo[i], comp[i])
+		}
+	}
+	if soloC.ZoneCrashes != compC.ZoneCrashes || soloC.ZoneDownCyc != compC.ZoneDownCyc {
+		t.Errorf("zone counters differ: solo %+v vs composed %+v", soloC, compC)
+	}
+
+	// ...and the per-replica crash schedule is equally undisturbed by
+	// the zone classes joining the plan.
+	crashOnly := &Plan{Seed: seed, CrashMeanGapCycles: 3_000_000, CrashDownCycles: 1_000_000}
+	a, _ := crashSchedule(crashOnly, "fleet/replica0", horizon)
+	b, _ := crashSchedule(composed, "fleet/replica0", horizon)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("replica crash schedule perturbed by zone classes: %d vs %d onsets", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replica crash onset %d moved when zone classes were composed in", i)
+		}
+	}
+
+	// Same zone name -> same schedule (that is what correlates a zone's
+	// replicas); different zones draw independent streams.
+	again, _ := zoneCrashSchedule(composed, "fleet/zone0", horizon)
+	other, _ := zoneCrashSchedule(composed, "fleet/zone1", horizon)
+	if len(again) != len(comp) {
+		t.Fatal("zone schedule not deterministic across derivations")
+	}
+	for i := range again {
+		if again[i] != comp[i] {
+			t.Fatal("zone schedule not deterministic across derivations")
+		}
+	}
+	identical := len(other) == len(comp)
+	if identical {
+		for i := range other {
+			if other[i] != comp[i] {
+				identical = false
+				break
+			}
+		}
+	}
+	if identical {
+		t.Error("zone0 and zone1 drew identical outage schedules; streams not separated")
+	}
+
+	// Zone gray windows: deterministic, defaulted, counted.
+	in := New(composed, "fleet/zone2")
+	gap, dur, factor, ok := in.NextZoneGraySlow()
+	if !ok || gap <= 0 || dur != 13_000_000 || factor != 8 {
+		t.Errorf("zone gray draw = (%d, %d, %g, %t); want defaults 13M cycles at factor 8", gap, dur, factor, ok)
+	}
+	if in.ZoneGrays != 1 || in.ZoneGrayCyc != 13_000_000 {
+		t.Errorf("zone gray counters = %+v", in.Counters)
+	}
+
+	// Nil and zone-free plans draw nothing.
+	var nilIn *Injector
+	if _, _, ok := nilIn.NextZoneCrash(); ok {
+		t.Error("nil injector produced a zone crash")
+	}
+	if _, _, _, ok := nilIn.NextZoneGraySlow(); ok {
+		t.Error("nil injector produced a zone gray window")
+	}
+	if _, _, ok := New(crashOnly, "fleet/zone0").NextZoneCrash(); ok {
+		t.Error("zone-free plan produced a zone crash")
+	}
+	if !(&Plan{Seed: 1, ZoneCrashMeanGapCycles: 1}).Enabled() {
+		t.Error("zone-crash-only plan reports disabled")
+	}
+	if !(&Plan{Seed: 1, ZoneGrayMeanGapCycles: 1}).Enabled() {
+		t.Error("zone-gray-only plan reports disabled")
+	}
+}
+
 func TestSpikesPositiveAndCounted(t *testing.T) {
 	in := New(&Plan{Seed: 3, StallProb: 1, OverrunProb: 1}, "vm")
 	for i := 0; i < 50; i++ {

@@ -38,11 +38,29 @@ type balancer struct {
 	tenants       []*overload.Controller
 	tenantRejects []int64
 
+	// Failure-domain bookkeeping: zoneOf labels each backend, zoneOpen
+	// counts each zone's currently-ejected backends (maintained by the
+	// breaker state-change hook), and a zone with at least half its
+	// backends ejected is treated as suffering a correlated outage —
+	// its survivors are deprioritized too.
+	zoneOf   []int
+	zoneSize []int
+	zoneOpen []int
+
+	// drainPending marks backends whose breaker opened since the last
+	// migration barrier; the serial phase drains their queues.
+	drainPending []bool
+
+	// pick scratch, reused across calls to keep the serial phase
+	// allocation-light.
+	routable, zHealthy, zFailing []int
+
 	rrNext     int
 	nextHealth int64
 
-	probes, probeFailures    int64
-	tenantRejected, unrouted int64
+	probes, probeFailures     int64
+	tenantRejected, unrouted  int64
+	migrated, migrationFailed int64
 }
 
 func newBalancer(c Config) *balancer {
@@ -51,8 +69,14 @@ func newBalancer(c Config) *balancer {
 		rng: sim.NewRNG(c.Seed ^ 0x6c62), // "lb"
 	}
 	b.bk = make([]backend, c.Replicas)
+	b.zoneOf = make([]int, c.Replicas)
+	b.zoneSize = make([]int, c.Zones)
+	b.zoneOpen = make([]int, c.Zones)
+	b.drainPending = make([]bool, c.Replicas)
 	for i := range b.bk {
 		i := i
+		b.zoneOf[i] = i % c.Zones
+		b.zoneSize[b.zoneOf[i]]++
 		b.bk[i].hc = overload.New(&overload.Config{
 			Name:         fmt.Sprintf("fleet/lb%d", i),
 			WindowCycles: 5 * HealthIntervalCycles,
@@ -69,6 +93,11 @@ func newBalancer(c Config) *balancer {
 			OnStateChange: func(from, to overload.State, now int64) {
 				if to == overload.Open {
 					b.bk[i].ejections++
+					b.zoneOpen[b.zoneOf[i]]++
+					b.drainPending[i] = true
+				}
+				if from == overload.Open {
+					b.zoneOpen[b.zoneOf[i]]--
 				}
 				if from == overload.HalfOpen && to == overload.Closed {
 					b.bk[i].readmits++
@@ -130,6 +159,22 @@ func (b *balancer) estDelay(i int) int64 {
 	return int64(float64(b.bk[i].outstanding) * meanDemandCycles)
 }
 
+// takeDrain consumes backend i's pending-drain mark (set when its
+// breaker opened), returning whether a migration drain is due.
+func (b *balancer) takeDrain(i int) bool {
+	d := b.drainPending[i]
+	b.drainPending[i] = false
+	return d
+}
+
+// zoneDown reports whether zone z looks like a correlated outage: at
+// least half its backends are ejected. Its surviving backends are
+// deprioritized too — in a real failure domain the survivors share
+// the failing power/network and are the next to go.
+func (b *balancer) zoneDown(z int) bool {
+	return b.zoneOpen[z]*2 >= b.zoneSize[z]
+}
+
 // usable reports whether backend i may receive the attempt now:
 // Closed always, HalfOpen only by consuming one of its bounded
 // real-request probe slots, Open never.
@@ -171,32 +216,51 @@ func (b *balancer) pick(f *fleetState, a *attempt) (int, bool) {
 			order[i], order[best] = order[best], order[i]
 		}
 	case P2CDeadline:
-		i := int(b.rng.Intn(int64(n)))
-		j := int(b.rng.Intn(int64(n)))
-		if n > 1 {
-			for j == i {
-				j = int(b.rng.Intn(int64(n)))
-			}
-		}
-		remaining := a.reqArrival + b.cfg.DeadlineCycles - a.arrival
-		di, dj := b.estDelay(i), b.estDelay(j)
-		first, second := i, j
-		if dj < di {
-			first, second = j, i
-			di, dj = dj, di
-		}
-		// Deadline awareness: if the lighter pick cannot fit the
-		// remaining budget but the heavier one can (it is half-open
-		// fresh, say), prefer the one that fits.
-		if di > remaining && dj <= remaining {
-			first, second = second, first
-		}
-		order = append(order, first, second)
+		// Candidates are sampled over routable (non-Open) backends
+		// only, and always with exactly two draws: the second draw
+		// ranges over m-1 slots and is shifted past the first, so no
+		// rejection loop and no draw is ever spent on an ejected
+		// backend. Ejection windows therefore never shift the seeded
+		// stream's alignment and cross-policy runs stay comparable.
+		routable := b.routable[:0]
 		for k := 0; k < n; k++ {
-			if k != i && k != j {
-				order = append(order, k)
+			if b.bk[k].hc.BreakerState() != overload.Open {
+				routable = append(routable, k)
 			}
 		}
+		b.routable = routable
+		if m := len(routable); m >= 2 {
+			ii := int(b.rng.Intn(int64(m)))
+			jj := int(b.rng.Intn(int64(m - 1)))
+			if jj >= ii {
+				jj++
+			}
+			i, j := routable[ii], routable[jj]
+			remaining := a.reqArrival + b.cfg.DeadlineCycles - a.arrival
+			di, dj := b.estDelay(i), b.estDelay(j)
+			first, second := i, j
+			if dj < di {
+				first, second = j, i
+				di, dj = dj, di
+			}
+			// Deadline awareness: if the lighter pick cannot fit the
+			// remaining budget but the heavier one can (it is half-open
+			// fresh, say), prefer the one that fits.
+			if di > remaining && dj <= remaining {
+				first, second = second, first
+			}
+			order = append(order, first, second)
+			for _, k := range routable {
+				if k != i && k != j {
+					order = append(order, k)
+				}
+			}
+		} else if m == 1 {
+			order = append(order, routable[0])
+		}
+	}
+	if b.cfg.Zones > 1 {
+		order = b.preferSurvivingZones(order)
 	}
 	for _, i := range order {
 		if i == a.exclude && len(order) > 1 {
@@ -207,6 +271,30 @@ func (b *balancer) pick(f *fleetState, a *attempt) (int, bool) {
 		}
 	}
 	return 0, false
+}
+
+// preferSurvivingZones stably partitions the policy's candidate order
+// so backends in surviving zones come before backends in zones under
+// correlated outage, preserving the policy's own ranking within each
+// class. All three policies therefore steer around a zone outage
+// while keeping their discipline intact.
+func (b *balancer) preferSurvivingZones(order []int) []int {
+	healthy := b.zHealthy[:0]
+	failing := b.zFailing[:0]
+	for _, i := range order {
+		if b.zoneDown(b.zoneOf[i]) {
+			failing = append(failing, i)
+		} else {
+			healthy = append(healthy, i)
+		}
+	}
+	b.zHealthy, b.zFailing = healthy, failing
+	if len(healthy) == 0 || len(failing) == 0 {
+		return order
+	}
+	copy(order, healthy)
+	copy(order[len(healthy):], failing)
+	return order
 }
 
 // noteRouted records one attempt handed to backend i.
@@ -228,6 +316,8 @@ func (b *balancer) fill(res *Result) {
 	res.ProbeFailures = b.probeFailures
 	res.TenantRejected = b.tenantRejected
 	res.LBUnrouted = b.unrouted
+	res.Migrated = b.migrated
+	res.MigrationFailed = b.migrationFailed
 	for i := range b.bk {
 		res.PerReplica[i].Ejections = b.bk[i].ejections
 		res.PerReplica[i].Readmissions = b.bk[i].readmits

@@ -353,6 +353,21 @@ func (cl *clients) maybeRetry(rq *request, o *outcome) {
 	heap.Push(&cl.retryQ, scheduled{at: a.arrival, att: a})
 }
 
+// takeCancel removes a pending cancellation for the attempt, if one
+// is queued, and reports whether it was found. The migration drain
+// consults it so an attempt whose hedge twin already completed is
+// cancelled at the source instead of re-routed — migration can never
+// double-serve a request.
+func (cl *clients) takeCancel(attID int64) bool {
+	for i := range cl.cancels {
+		if cl.cancels[i].attID == attID {
+			cl.cancels = append(cl.cancels[:i], cl.cancels[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // flushCancels delivers queued hedge cancellations into replica
 // cancel boxes for the next step.
 func (cl *clients) flushCancels(replicas []*replica) {

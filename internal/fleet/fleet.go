@@ -135,6 +135,24 @@ type Config struct {
 	Faults        *faults.Plan
 	CrashReplicas int
 
+	// Zones is the number of failure domains (default 1). Replica i
+	// lives in zone i % Zones. The fault plan's zone classes
+	// (ZoneCrashMeanGapCycles / ZoneGrayMeanGapCycles) draw one
+	// correlated outage schedule per zone, applied to every replica in
+	// it, and the balancer prefers candidates from surviving zones.
+	// OutageZones limits how many zones (0..OutageZones-1) are subject
+	// to the plan's zone classes (default: all), mirroring
+	// CrashReplicas for the per-replica classes.
+	Zones       int
+	OutageZones int
+
+	// Migrate enables cross-replica work migration: queued-but-
+	// unstarted attempts on a crashed or ejected replica are drained at
+	// the next barrier and re-routed through the balancer with their
+	// original deadlines and tenant accounting intact, instead of dying
+	// into the retry path.
+	Migrate bool
+
 	// MisbehavingTenant, when >= 0, marks one tenant that offers
 	// MisbehaveFactor (default 4) times its fair share and retries
 	// without backoff. Per-tenant rate isolation at the balancer keeps
@@ -179,6 +197,15 @@ func (c Config) withDefaults() Config {
 	if c.Faults.Enabled() && c.CrashReplicas <= 0 {
 		c.CrashReplicas = c.Replicas
 	}
+	if c.Zones <= 0 {
+		c.Zones = 1
+	}
+	if c.Zones > c.Replicas {
+		c.Zones = c.Replicas
+	}
+	if c.OutageZones <= 0 || c.OutageZones > c.Zones {
+		c.OutageZones = c.Zones
+	}
 	if c.MisbehaveFactor <= 1 {
 		c.MisbehaveFactor = 4
 	}
@@ -201,11 +228,15 @@ type TenantStats struct {
 
 // ReplicaStats is one replica's view of the run.
 type ReplicaStats struct {
+	Zone                                int
 	Admitted, Served, Expired, Rejected int64
 	Refused                             int64 // attempts that arrived while the replica was down
 	Crashes                             int64
 	CrashKilled                         int64 // admitted attempts killed by a crash
 	GraySlows                           int64
+	ZoneCrashes, ZoneGrays              int64 // correlated zone-outage windows experienced
+	MigratedOut                         int64 // queued attempts drained off this replica
+	StrandedQueued                      int64 // queued attempts a crash killed instead of migrating
 	Ejections, Readmissions             int64
 }
 
@@ -219,6 +250,8 @@ type Result struct {
 		Policy            Policy
 		Seed              uint64
 		LoadFactor        float64
+		Zones             int
+		Migrate           bool
 	}
 
 	// Request-level conservation: Injected = Served + ServedLate +
@@ -246,8 +279,17 @@ type Result struct {
 	TenantRejected                                 int64 // attempts shed by per-tenant rate gates
 	LBUnrouted                                     int64 // attempts with no admitting replica
 
-	// Fault accounting.
-	Crashes, GraySlows int64
+	// Migration accounting: Migrated attempts were drained off a dying
+	// replica and re-routed; MigrationFailed ones found no admitting
+	// replica and fell back into the retry path as failures. Both sum
+	// to the replicas' MigratedOut drain count.
+	Migrated, MigrationFailed int64
+
+	// Fault accounting. ZoneCrashes/ZoneGrays count correlated
+	// per-replica outage windows from the plan's zone classes,
+	// separately from the independent per-replica classes.
+	Crashes, GraySlows     int64
+	ZoneCrashes, ZoneGrays int64
 
 	// Latency of completed requests (injection → first completion).
 	P50Us, P99Us, P999Us, MaxUs float64
@@ -287,6 +329,11 @@ func (r *Result) Fingerprint() uint64 {
 	return h
 }
 
+// drainEnd bounds the run: up to 16 deadlines past the horizon so
+// every attempt reaches a terminal state; whatever is left is
+// InFlightEnd. Zone outage schedules are drawn out to the same bound.
+func (c Config) drainEnd() int64 { return c.HorizonCycles + 16*c.DeadlineCycles }
+
 // Run executes one fleet soak on the pool's workers. A nil pool runs
 // serially.
 func Run(cfg Config, pool *engine.Pool) *Result {
@@ -295,9 +342,7 @@ func Run(cfg Config, pool *engine.Pool) *Result {
 	runner := engine.NewShardRunner(pool, c.Replicas)
 	defer runner.Close()
 
-	// Drain for up to 16 deadlines past the horizon so every attempt
-	// reaches a terminal state; whatever is left is InFlightEnd.
-	drainEnd := c.HorizonCycles + 16*c.DeadlineCycles
+	drainEnd := c.drainEnd()
 	for t := int64(0); t < drainEnd; t += EpochCycles {
 		f.serialPhase(t)
 		runner.Step(func(i int) { f.replicas[i].step(t, t+EpochCycles) })
@@ -323,17 +368,68 @@ type fleetState struct {
 
 func newFleetState(c Config) *fleetState {
 	f := &fleetState{cfg: c}
+	zoneCrash, zoneGray := zoneSchedules(c)
 	f.replicas = make([]*replica, c.Replicas)
 	for i := range f.replicas {
 		var inj *faults.Injector
 		if i < c.CrashReplicas {
 			inj = faults.New(c.Faults, fmt.Sprintf("fleet/replica%d", i))
 		}
-		f.replicas[i] = newReplica(i, c, inj)
+		z := i % c.Zones
+		f.replicas[i] = newReplica(i, z, c, inj, zoneCrash[z], zoneGray[z])
 	}
 	f.lb = newBalancer(c)
 	f.cl = newClients(c)
 	return f
+}
+
+// zoneWindow is one scheduled correlated outage for a whole zone:
+// factor 0 is a crash window (the zone's replicas go down for dur),
+// factor > 0 is a gray window (their service demands stretch by it).
+type zoneWindow struct {
+	at, dur int64
+	factor  float64
+}
+
+// zoneSchedules pre-draws each zone's correlated outage windows from
+// its own injector stream ("fleet/zone<z>"), out to the run's drain
+// bound. Drawing the whole schedule up front keeps the parallel phase
+// free of shared RNG state: replicas in a zone share the read-only
+// window slice and consume it with private cursors, so reports stay
+// byte-identical at any worker count. Onsets are spaced from the end
+// of the previous window, like the per-replica classes.
+func zoneSchedules(c Config) (crash, gray [][]zoneWindow) {
+	crash = make([][]zoneWindow, c.Zones)
+	gray = make([][]zoneWindow, c.Zones)
+	end := c.drainEnd()
+	for z := 0; z < c.Zones && z < c.OutageZones; z++ {
+		inj := faults.New(c.Faults, fmt.Sprintf("fleet/zone%d", z))
+		for t := int64(0); ; {
+			gap, down, ok := inj.NextZoneCrash()
+			if !ok {
+				break
+			}
+			t += gap
+			if t >= end {
+				break
+			}
+			crash[z] = append(crash[z], zoneWindow{at: t, dur: down})
+			t += down
+		}
+		for t := int64(0); ; {
+			gap, dur, factor, ok := inj.NextZoneGraySlow()
+			if !ok {
+				break
+			}
+			t += gap
+			if t >= end {
+				break
+			}
+			gray[z] = append(gray[z], zoneWindow{at: t, dur: dur, factor: factor})
+			t += dur
+		}
+	}
+	return crash, gray
 }
 
 // serialPhase runs one epoch's barrier work at epoch start t: deliver
@@ -341,6 +437,7 @@ func newFleetState(c Config) *fleetState {
 // route every attempt due this epoch into replica inboxes.
 func (f *fleetState) serialPhase(t int64) {
 	f.lb.healthTick(f, t)
+	f.migrateDrained(t)
 	var due []attempt
 	if t < f.cfg.HorizonCycles {
 		due = f.cl.arrivals(t, t+EpochCycles)
@@ -358,6 +455,65 @@ func (f *fleetState) serialPhase(t int64) {
 		f.route(&due[i])
 	}
 	f.cl.flushCancels(f.replicas)
+}
+
+// migrateDrained is the migration barrier phase: queued-but-unstarted
+// attempts on a freshly-ejected backend, plus attempts a crash parked
+// in its replica's migrate box during the last epoch, are drained in
+// replica-index order and re-routed through the balancer. The attempt
+// keeps its identity — original deadline base, tenant, demand — so
+// tenant accounting and the conservation identities are untouched: a
+// migrated attempt is the same attempt, admitted once at the source
+// (never started there) and once at the target. An attempt whose
+// hedge twin already completed has a cancellation pending; migration
+// honors it at the source instead of re-routing a dead twin, so a
+// request can never be double-served through migration.
+func (f *fleetState) migrateDrained(t int64) {
+	for i, r := range f.replicas {
+		drain := f.lb.takeDrain(i)
+		if !f.cfg.Migrate {
+			continue
+		}
+		if drain && len(r.q) > 0 {
+			r.migrateOut = append(r.migrateOut, r.q...)
+			r.q = r.q[:0]
+			r.qDemand = 0
+		}
+		for _, a := range r.migrateOut {
+			f.lb.bk[i].outstanding--
+			if f.cl.takeCancel(a.id) {
+				r.cancelledNotStarted++
+				f.deliver(outcome{att: a, at: t, status: stCancelled})
+				continue
+			}
+			r.migratedOut++
+			r.migratedNotStarted++
+			f.rerouteMigrated(a, i, t)
+		}
+		r.migrateOut = r.migrateOut[:0]
+	}
+}
+
+// rerouteMigrated re-routes one drained attempt at barrier time t,
+// excluding its dying source. The tenant rate gate is skipped — the
+// attempt was already admitted once and re-charging it would punish
+// tenants for infrastructure failures. A failed migration (no
+// admitting replica anywhere) becomes an attempt failure and feeds the
+// normal retry path.
+func (f *fleetState) rerouteMigrated(a attempt, from int, t int64) {
+	a.arrival = t
+	a.exclude = from
+	r, ok := f.lb.pick(f, &a)
+	if !ok {
+		f.lb.migrationFailed++
+		f.deliver(outcome{att: a, at: t, status: stFailed})
+		return
+	}
+	a.replica = r
+	f.lb.migrated++
+	f.lb.noteRouted(r)
+	f.cl.bindReplica(a.reqID, a.id, r)
+	f.replicas[r].inbox = append(f.replicas[r].inbox, a)
 }
 
 // route sends one attempt through the tenant rate gate and the
@@ -426,12 +582,16 @@ func (f *fleetState) result(c Config) *Result {
 	res.Cfg.Policy = c.Policy
 	res.Cfg.Seed = c.Seed
 	res.Cfg.LoadFactor = c.LoadFactor
+	res.Cfg.Zones = c.Zones
+	res.Cfg.Migrate = c.Migrate
 
 	for _, r := range f.replicas {
 		st := r.stats()
 		res.PerReplica = append(res.PerReplica, st)
 		res.Crashes += st.Crashes
 		res.GraySlows += st.GraySlows
+		res.ZoneCrashes += st.ZoneCrashes
+		res.ZoneGrays += st.ZoneGrays
 		res.AttemptInFlight += r.inFlight()
 		if err := r.checkInvariants(); err != nil {
 			res.InvariantErrs = append(res.InvariantErrs, err.Error())

@@ -1,11 +1,14 @@
 package fleet
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
 	"repro/internal/engine"
 	"repro/internal/faults"
+	"repro/internal/overload"
+	"repro/internal/sim"
 )
 
 // testConfig is a moderately loaded cluster with every resilience
@@ -61,20 +64,58 @@ func TestFleetConservation(t *testing.T) {
 	}
 }
 
-func TestFleetWorkerCountByteIdentity(t *testing.T) {
-	cfg := testConfig()
-	base := Run(cfg, engine.NewPool(1))
-	for _, workers := range []int{2, 4, 8} {
-		got := Run(cfg, engine.NewPool(workers))
-		if !reflect.DeepEqual(base, got) {
-			t.Fatalf("workers=%d result diverges from serial:\nserial: %+v\ngot:    %+v", workers, base, got)
-		}
-		if base.Fingerprint() != got.Fingerprint() {
-			t.Fatalf("workers=%d fingerprint %x != serial %x", workers, got.Fingerprint(), base.Fingerprint())
-		}
+// zoneConfig composes every failure class at once: independent
+// per-replica crashes, correlated whole-zone crash and gray windows
+// over 4 zones, hedging, and migration.
+func zoneConfig() Config {
+	return Config{
+		Replicas:      8,
+		Tenants:       4,
+		Zones:         4,
+		Migrate:       true,
+		Policy:        P2CDeadline,
+		Seed:          42,
+		HorizonCycles: 26_000_000,
+		LoadFactor:    0.9,
+		Faults: &faults.Plan{
+			Seed:                   42,
+			CrashMeanGapCycles:     9_000_000,
+			CrashDownCycles:        1_300_000,
+			ZoneCrashMeanGapCycles: 10_000_000,
+			ZoneCrashDownCycles:    2_600_000,
+			ZoneGrayMeanGapCycles:  12_000_000,
+			ZoneGrayCycles:         2_600_000,
+			ZoneGrayFactor:         8,
+		},
+		CrashReplicas:    2,
+		HedgeDelayCycles: 260_000,
 	}
-	if nilPool := Run(cfg, nil); !reflect.DeepEqual(base, nilPool) {
-		t.Fatal("nil-pool run diverges from serial")
+}
+
+func TestFleetWorkerCountByteIdentity(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"base", testConfig()},
+		{"zones+migration", zoneConfig()},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			base := Run(tc.cfg, engine.NewPool(1))
+			for _, workers := range []int{2, 4, 8} {
+				got := Run(tc.cfg, engine.NewPool(workers))
+				if !reflect.DeepEqual(base, got) {
+					t.Fatalf("workers=%d result diverges from serial:\nserial: %+v\ngot:    %+v", workers, base, got)
+				}
+				if base.Fingerprint() != got.Fingerprint() {
+					t.Fatalf("workers=%d fingerprint %x != serial %x", workers, got.Fingerprint(), base.Fingerprint())
+				}
+			}
+			if nilPool := Run(tc.cfg, nil); !reflect.DeepEqual(base, nilPool) {
+				t.Fatal("nil-pool run diverges from serial")
+			}
+		})
 	}
 }
 
@@ -251,6 +292,240 @@ func TestFleetPolicies(t *testing.T) {
 			for i, st := range res.PerReplica {
 				if st.Admitted == 0 {
 					t.Errorf("policy %v starved replica %d", pol, i)
+				}
+			}
+		})
+	}
+}
+
+// Migration must save queued work from a crash-looping replica: the
+// drain re-routes it instead of failing it into the retry path, no
+// queued attempt is ever stranded, and total attempt failures drop
+// against the no-migration run.
+func TestFleetMigrationSavesQueuedWork(t *testing.T) {
+	base := Config{
+		Replicas:      4,
+		Tenants:       4,
+		Policy:        P2CDeadline,
+		Seed:          7,
+		HorizonCycles: 26_000_000,
+		LoadFactor:    1.2,
+		Faults: &faults.Plan{
+			Seed:               7,
+			CrashMeanGapCycles: 6_000_000,
+			CrashDownCycles:    2_600_000,
+		},
+		CrashReplicas: 1,
+	}
+	noMig := Run(base, engine.NewPool(2))
+	if err := noMig.Conservation(); err != nil {
+		t.Fatal(err)
+	}
+	var stranded int64
+	for _, st := range noMig.PerReplica {
+		stranded += st.StrandedQueued
+	}
+	if stranded == 0 {
+		t.Fatal("no-migration run stranded no queued attempts; the scenario is not exercising the drain")
+	}
+
+	mig := base
+	mig.Migrate = true
+	res := Run(mig, engine.NewPool(2))
+	if err := res.Conservation(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrated == 0 {
+		t.Fatal("migration enabled but no attempt was migrated")
+	}
+	for i, st := range res.PerReplica {
+		if st.StrandedQueued != 0 {
+			t.Errorf("replica %d stranded %d queued attempts with migration on", i, st.StrandedQueued)
+		}
+	}
+	if res.AttemptFailed >= noMig.AttemptFailed {
+		t.Errorf("migration did not reduce attempt failures: %d with vs %d without",
+			res.AttemptFailed, noMig.AttemptFailed)
+	}
+	if amp := res.Amplification(); amp > 1.15+1e-9 {
+		t.Fatalf("retry amplification %.3f exceeds 1.15 with migration on", amp)
+	}
+}
+
+// Correlated zone outages must hit every replica of a zone in
+// lockstep, compose with the independent per-replica classes, and
+// keep the conservation oracle green.
+func TestFleetZoneOutage(t *testing.T) {
+	cfg := zoneConfig()
+	res := Run(cfg, engine.NewPool(2))
+	if err := res.Conservation(); err != nil {
+		t.Fatal(err)
+	}
+	if res.ZoneCrashes == 0 {
+		t.Fatal("zone crash plan injected no zone crash windows")
+	}
+	if res.ZoneGrays == 0 {
+		t.Fatal("zone gray plan injected no zone gray windows")
+	}
+	if res.Crashes == 0 {
+		t.Fatal("composing zone classes suppressed the per-replica crash class")
+	}
+	if res.Migrated == 0 {
+		t.Fatal("zone outages migrated no queued work")
+	}
+	for i, st := range res.PerReplica {
+		if want := i % cfg.Zones; st.Zone != want {
+			t.Errorf("replica %d labeled zone %d, want %d", i, st.Zone, want)
+		}
+	}
+	// Replicas sharing a zone consume the same pre-drawn window
+	// schedule, so their zone-outage counts match exactly.
+	for i := cfg.Zones; i < cfg.Replicas; i++ {
+		tw := res.PerReplica[i%cfg.Zones]
+		if res.PerReplica[i].ZoneCrashes != tw.ZoneCrashes || res.PerReplica[i].ZoneGrays != tw.ZoneGrays {
+			t.Errorf("replica %d zone windows (%d crash, %d gray) diverge from zone twin (%d, %d)",
+				i, res.PerReplica[i].ZoneCrashes, res.PerReplica[i].ZoneGrays, tw.ZoneCrashes, tw.ZoneGrays)
+		}
+	}
+}
+
+// With a zone mostly down, the balancer must steer traffic to
+// surviving zones: the down zone's healthy sibling is deprioritized
+// (a half-ejected failure domain is suspect), so it admits far less
+// than replicas in untouched zones. Without zone labels the same
+// sibling takes a full share.
+func TestFleetZonePreference(t *testing.T) {
+	base := Config{
+		Replicas:      8,
+		Tenants:       2,
+		Zones:         4,
+		Policy:        RoundRobin,
+		Seed:          13,
+		HorizonCycles: 26_000_000,
+		LoadFactor:    0.7,
+		Faults: &faults.Plan{
+			Seed:               13,
+			CrashMeanGapCycles: 1_000_000,
+			CrashDownCycles:    5_200_000,
+		},
+		CrashReplicas: 1, // replica 0 crash-loops; zone 0 = {0, 4}
+	}
+	res := Run(base, engine.NewPool(2))
+	if err := res.Conservation(); err != nil {
+		t.Fatal(err)
+	}
+	sibling := res.PerReplica[4].Admitted // healthy, but in the failing zone
+	other := res.PerReplica[2].Admitted   // healthy zone
+	if sibling*2 >= other {
+		t.Errorf("zone preference did not deprioritize the failing zone's sibling: %d admitted vs %d in a healthy zone",
+			sibling, other)
+	}
+
+	flat := base
+	flat.Zones = 1
+	res = Run(flat, engine.NewPool(2))
+	if err := res.Conservation(); err != nil {
+		t.Fatal(err)
+	}
+	sibling = res.PerReplica[4].Admitted
+	other = res.PerReplica[2].Admitted
+	if sibling*2 < other {
+		t.Errorf("without zone labels replica 4 should take a full share: %d admitted vs %d", sibling, other)
+	}
+}
+
+// P2C candidate sampling must consume exactly two RNG draws per pick
+// while two or more backends are routable, zero draws when fewer —
+// and never a draw for an ejected (Open) backend — so ejection
+// windows cannot shift the seeded stream.
+func TestFleetP2CSamplingStream(t *testing.T) {
+	trip := func(b *balancer, i int) {
+		for k := int64(0); k < 6; k++ {
+			b.bk[i].hc.Observe(k*HealthIntervalCycles, 0, true)
+			b.bk[i].hc.Poll(k*HealthIntervalCycles, 0)
+		}
+		if b.bk[i].hc.BreakerState() != overload.Open {
+			t.Fatalf("backend %d breaker did not open under forced failures", i)
+		}
+	}
+	pickN := func(b *balancer, n int, wantAvoid int) {
+		for k := 0; k < n; k++ {
+			a := attempt{exclude: -1, arrival: int64(k), reqArrival: int64(k)}
+			r, ok := b.pick(nil, &a)
+			if !ok {
+				t.Fatal("pick found no backend")
+			}
+			if wantAvoid >= 0 && r == wantAvoid {
+				t.Fatalf("pick chose ejected backend %d", r)
+			}
+		}
+	}
+	cfg := Config{Replicas: 4, Policy: P2CDeadline, Seed: 99}.withDefaults()
+
+	b := newBalancer(cfg)
+	twin := sim.NewRNG(cfg.Seed ^ 0x6c62)
+	trip(b, 0)
+	pickN(b, 40, 0) // 3 routable: exactly 2 draws per pick
+	for k := 0; k < 2*40; k++ {
+		twin.Uint64()
+	}
+	if got, want := b.rng.Uint64(), twin.Uint64(); got != want {
+		t.Fatalf("with an ejected backend the p2c stream drifted: next draw %x, want %x", got, want)
+	}
+
+	b = newBalancer(cfg)
+	twin = sim.NewRNG(cfg.Seed ^ 0x6c62)
+	trip(b, 0)
+	trip(b, 1)
+	trip(b, 2)
+	pickN(b, 40, 0) // 1 routable: no draws at all
+	if got, want := b.rng.Uint64(), twin.Uint64(); got != want {
+		t.Fatalf("single-routable picks consumed RNG draws: next draw %x, want %x", got, want)
+	}
+}
+
+// Hedge × migration interaction, swept over crash timing: a hedged
+// attempt whose primary is migrated off a dying replica must resolve
+// first-wins with exactly one served disposition per request —
+// AttemptServed = Served + ServedLate + HedgeDuplicates holds in
+// every scenario, and nothing queued is ever stranded.
+func TestFleetHedgeMigrationInteraction(t *testing.T) {
+	for _, gap := range []int64{2_000_000, 4_000_000, 6_000_000, 9_000_000} {
+		gap := gap
+		t.Run(fmt.Sprintf("crashGap=%d", gap), func(t *testing.T) {
+			cfg := Config{
+				Replicas:      4,
+				Tenants:       2,
+				Policy:        P2CDeadline,
+				Seed:          21,
+				HorizonCycles: 26_000_000,
+				LoadFactor:    1.0,
+				Migrate:       true,
+				Faults: &faults.Plan{
+					Seed:               21,
+					CrashMeanGapCycles: gap,
+					CrashDownCycles:    2_600_000,
+				},
+				CrashReplicas:    2,
+				HedgeDelayCycles: 130_000,
+			}
+			res := Run(cfg, engine.NewPool(2))
+			if err := res.Conservation(); err != nil {
+				t.Fatal(err)
+			}
+			if res.Hedges == 0 {
+				t.Fatal("no hedges under an aggressive hedge delay")
+			}
+			if res.Migrated == 0 {
+				t.Fatal("no attempts migrated under a crash-looping plan")
+			}
+			if got := res.Served + res.ServedLate + res.HedgeDuplicates; got != res.AttemptServed {
+				t.Fatalf("served-once identity broken: served=%d + late=%d + dup=%d != attempt-served=%d",
+					res.Served, res.ServedLate, res.HedgeDuplicates, res.AttemptServed)
+			}
+			for i, st := range res.PerReplica {
+				if st.StrandedQueued != 0 {
+					t.Errorf("replica %d stranded %d queued attempts", i, st.StrandedQueued)
 				}
 			}
 		})

@@ -33,14 +33,27 @@ func (r *Result) Conservation() error {
 			r.AttemptFailed, r.AttemptCancelled, r.AttemptInFlight, r.Attempts)
 	}
 
+	// Served-exactly-once: every completed request has exactly one
+	// winning served attempt; every other served attempt of a done
+	// request is a hedge duplicate. Migration preserves attempt
+	// identity, so a migrated attempt racing its hedge twin cannot
+	// create a second win.
+	if got := r.Served + r.ServedLate + r.HedgeDuplicates; got != r.AttemptServed {
+		return fmt.Errorf("fleet: served-once broken: served=%d + late=%d + dup=%d != attempt-served=%d",
+			r.Served, r.ServedLate, r.HedgeDuplicates, r.AttemptServed)
+	}
+
 	// Cross-checks against the replicas' own overload controllers.
 	var served, expired, rejected, refused, killed int64
+	var migratedOut, stranded int64
 	for _, st := range r.PerReplica {
 		served += st.Served
 		expired += st.Expired
 		rejected += st.Rejected
 		refused += st.Refused
 		killed += st.CrashKilled
+		migratedOut += st.MigratedOut
+		stranded += st.StrandedQueued
 	}
 	if served != r.AttemptServed {
 		return fmt.Errorf("fleet: served cross-check broken: replicas completed %d, clients settled %d",
@@ -54,9 +67,24 @@ func (r *Result) Conservation() error {
 		return fmt.Errorf("fleet: rejected cross-check broken: replica=%d + tenant=%d + unrouted=%d != settled %d",
 			rejected, r.TenantRejected, r.LBUnrouted, r.AttemptRejected)
 	}
-	if got := refused + killed; got != r.AttemptFailed {
-		return fmt.Errorf("fleet: failed cross-check broken: refused=%d + crash-killed=%d != settled %d",
-			refused, killed, r.AttemptFailed)
+	if got := refused + killed + r.MigrationFailed; got != r.AttemptFailed {
+		return fmt.Errorf("fleet: failed cross-check broken: refused=%d + crash-killed=%d + migration-failed=%d != settled %d",
+			refused, killed, r.MigrationFailed, r.AttemptFailed)
+	}
+
+	// Migration disposition: every attempt drained off a replica was
+	// either re-routed or failed, exactly once. (Drained attempts
+	// whose hedge twin already won are cancelled at the source and
+	// never enter the drain count.)
+	if got := r.Migrated + r.MigrationFailed; got != migratedOut {
+		return fmt.Errorf("fleet: migration disposition broken: migrated=%d + failed=%d != drained %d",
+			r.Migrated, r.MigrationFailed, migratedOut)
+	}
+	// With migration on, a crash may only kill in-service work; a
+	// queued-but-unstarted attempt dying with its replica means the
+	// drain stranded it.
+	if r.Cfg.Migrate && stranded != 0 {
+		return fmt.Errorf("fleet: migration stranded %d queued attempts", stranded)
 	}
 
 	if r.HedgeDuplicates > r.Hedges+r.Retries {

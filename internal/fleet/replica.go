@@ -56,6 +56,7 @@ type outcome struct {
 // phases read them only at barriers.
 type replica struct {
 	id   int
+	zone int
 	cfg  Config
 	ctrl *overload.Controller
 	inj  *faults.Injector
@@ -70,6 +71,12 @@ type replica struct {
 	busy      bool
 	busyUntil int64
 
+	// migrateOut parks queued-but-unstarted attempts a crash diverted
+	// (when Config.Migrate is on) until the next barrier's migration
+	// phase drains them. The serial phase also appends an ejected
+	// replica's queue here before re-routing.
+	migrateOut []attempt
+
 	nextPoll int64
 
 	// fault windows: next onset timestamps (-1 = none pending).
@@ -81,21 +88,36 @@ type replica struct {
 	grayFactor  float64
 	grayUntil   int64
 
-	crashes, graySlows int64
-	refused            int64
-	crashKilled        int64
+	// correlated zone outage windows, shared read-only with the zone's
+	// other replicas and consumed via private cursors.
+	zoneCrash      []zoneWindow
+	zoneGray       []zoneWindow
+	zcIdx, zgIdx   int
+	zoneGrayUntil  int64
+	zoneGrayFactor float64
+
+	crashes, graySlows     int64
+	zoneCrashes, zoneGrays int64
+	refused                int64
+	crashKilled            int64
 	// admitted-but-never-started attempts removed from the queue by a
-	// crash or a hedge cancellation; they feed the overload plane's
-	// admission identity alongside the still-queued count.
+	// crash, a hedge cancellation, or a migration drain; they feed the
+	// overload plane's admission identity alongside the still-queued
+	// count.
 	killedNotStarted    int64
 	cancelledNotStarted int64
+	migratedNotStarted  int64
+	migratedOut         int64
 }
 
-func newReplica(id int, cfg Config, inj *faults.Injector) *replica {
+func newReplica(id, zone int, cfg Config, inj *faults.Injector, zoneCrash, zoneGray []zoneWindow) *replica {
 	r := &replica{
-		id:  id,
-		cfg: cfg,
-		inj: inj,
+		id:        id,
+		zone:      zone,
+		cfg:       cfg,
+		inj:       inj,
+		zoneCrash: zoneCrash,
+		zoneGray:  zoneGray,
 		ctrl: overload.New(&overload.Config{
 			Name:           fmt.Sprintf("fleet/replica%d", id),
 			DeadlineCycles: cfg.DeadlineCycles,
@@ -129,9 +151,10 @@ func (r *replica) oldestSojourn(t int64) int64 {
 	return t - r.q[0].arrival
 }
 
-// inFlight counts admitted attempts not yet terminal.
+// inFlight counts admitted attempts not yet terminal, including work
+// parked for migration that never reached a barrier.
 func (r *replica) inFlight() int64 {
-	n := int64(len(r.q))
+	n := int64(len(r.q) + len(r.migrateOut))
 	if r.busy {
 		n++
 	}
@@ -198,7 +221,7 @@ func (r *replica) admit(a attempt, at int64) {
 func (r *replica) advance(t int64) {
 	for {
 		ev := t
-		kind := 0 // 0 none, 1 completion, 2 crash, 3 gray, 4 poll
+		kind := 0 // 0 none, 1 completion, 2 crash, 3 gray, 4 poll, 5 zone crash, 6 zone gray
 		if r.busy && r.busyUntil < ev {
 			ev, kind = r.busyUntil, 1
 		}
@@ -207,6 +230,12 @@ func (r *replica) advance(t int64) {
 		}
 		if r.nextGrayAt >= 0 && r.nextGrayAt < ev {
 			ev, kind = r.nextGrayAt, 3
+		}
+		if r.zcIdx < len(r.zoneCrash) && r.zoneCrash[r.zcIdx].at < ev {
+			ev, kind = r.zoneCrash[r.zcIdx].at, 5
+		}
+		if r.zgIdx < len(r.zoneGray) && r.zoneGray[r.zgIdx].at < ev {
+			ev, kind = r.zoneGray[r.zgIdx].at, 6
 		}
 		if r.nextPoll < ev {
 			ev, kind = r.nextPoll, 4
@@ -232,38 +261,65 @@ func (r *replica) advance(t int64) {
 		case 4:
 			r.ctrl.Poll(ev, r.oldestSojourn(ev))
 			r.nextPoll = ev + PollIntervalCycles
+		case 5:
+			w := r.zoneCrash[r.zcIdx]
+			r.zcIdx++
+			r.zoneCrashes++
+			r.failover(ev, ev+w.dur)
+		case 6:
+			w := r.zoneGray[r.zgIdx]
+			r.zgIdx++
+			r.zoneGrays++
+			if until := ev + w.dur; until > r.zoneGrayUntil {
+				r.zoneGrayUntil = until
+			}
+			r.zoneGrayFactor = w.factor
 		}
 	}
 }
 
-// crash kills all admitted work: the in-service attempt and every
-// queued attempt fail at the crash instant (explicitly accounted,
-// never silently lost), the replica goes down for the drawn window,
-// and the next onset is scheduled past recovery.
+// crash is a per-replica crash onset: shared failover handling, then
+// the next onset is scheduled past recovery from the injector.
 func (r *replica) crash(at int64) {
 	r.crashes++
+	r.failover(at, at+r.crashDown)
+	if gap, down, ok := r.inj.NextCrash(); ok {
+		r.nextCrashAt, r.crashDown = r.downUntil+gap, down
+	} else {
+		r.nextCrashAt = -1
+	}
+}
+
+// failover handles a crash instant (replica class or zone class): the
+// in-service attempt always dies at the crash (explicitly accounted,
+// never silently lost); queued-but-unstarted attempts either die with
+// it or — with migration on — park in migrateOut for the next
+// barrier's drain. The replica goes down until at least `until`
+// (overlapping windows extend, never shorten, the outage).
+func (r *replica) failover(at, until int64) {
 	if r.busy {
 		r.emit(outcome{att: r.cur, at: at, status: stFailed})
 		r.ctrl.Observe(at, at-r.cur.arrival, true)
 		r.crashKilled++
 		r.busy = false
 	}
-	for _, a := range r.q {
-		r.emit(outcome{att: a, at: at, status: stFailed})
+	if r.cfg.Migrate {
+		r.migrateOut = append(r.migrateOut, r.q...)
+	} else {
+		for _, a := range r.q {
+			r.emit(outcome{att: a, at: at, status: stFailed})
+		}
+		r.crashKilled += int64(len(r.q))
+		r.killedNotStarted += int64(len(r.q))
 	}
-	r.crashKilled += int64(len(r.q))
-	r.killedNotStarted += int64(len(r.q))
 	r.q = r.q[:0]
 	r.qDemand = 0
 
-	r.downUntil = at + r.crashDown
+	if until > r.downUntil {
+		r.downUntil = until
+	}
 	// The restarted process polls fresh from recovery.
 	r.nextPoll = r.downUntil + PollIntervalCycles
-	if gap, down, ok := r.inj.NextCrash(); ok {
-		r.nextCrashAt, r.crashDown = r.downUntil+gap, down
-	} else {
-		r.nextCrashAt = -1
-	}
 }
 
 // startNext begins service of the queue head at time now, expiring
@@ -281,6 +337,11 @@ func (r *replica) startNext(now int64) {
 		if now < r.grayUntil {
 			d = int64(float64(d) * r.grayFactor)
 		}
+		// An overlapping correlated zone slowdown compounds with the
+		// replica's own gray window.
+		if now < r.zoneGrayUntil {
+			d = int64(float64(d) * r.zoneGrayFactor)
+		}
 		r.cur = a
 		r.busy = true
 		r.busyUntil = now + d
@@ -293,20 +354,28 @@ func (r *replica) emit(o outcome) { r.outbox = append(r.outbox, o) }
 func (r *replica) stats() ReplicaStats {
 	s := r.ctrl.Snapshot()
 	return ReplicaStats{
-		Admitted:    s.Admitted,
-		Served:      s.Completed,
-		Expired:     s.Expired,
-		Rejected:    s.Rejected + s.Shed,
-		Refused:     r.refused,
-		Crashes:     r.crashes,
-		CrashKilled: r.crashKilled,
-		GraySlows:   r.graySlows,
+		Zone:           r.zone,
+		Admitted:       s.Admitted,
+		Served:         s.Completed,
+		Expired:        s.Expired,
+		Rejected:       s.Rejected + s.Shed,
+		Refused:        r.refused,
+		Crashes:        r.crashes,
+		CrashKilled:    r.crashKilled,
+		GraySlows:      r.graySlows,
+		ZoneCrashes:    r.zoneCrashes,
+		ZoneGrays:      r.zoneGrays,
+		MigratedOut:    r.migratedOut,
+		StrandedQueued: r.killedNotStarted,
 	}
 }
 
 // checkInvariants runs the overload plane's accounting oracle with
 // the replica's independent count of admitted-never-started attempts:
-// still queued at run end, or killed unstarted by a crash.
+// still queued (or parked for migration) at run end, killed unstarted
+// by a crash, cancelled unstarted by a hedge twin, or drained off by
+// migration.
 func (r *replica) checkInvariants() error {
-	return r.ctrl.Invariants(int64(len(r.q)) + r.killedNotStarted + r.cancelledNotStarted)
+	return r.ctrl.Invariants(int64(len(r.q)+len(r.migrateOut)) +
+		r.killedNotStarted + r.cancelledNotStarted + r.migratedNotStarted)
 }

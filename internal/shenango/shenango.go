@@ -384,6 +384,18 @@ func (s *state) schedulePoll() {
 			if overrun {
 				s.overruns++
 			}
+			// The admission plane is the "external actor" of the
+			// QuantumPolicy contract: a backed-off poll period is itself
+			// queue delay, so once the plane starts rejecting while the
+			// adapted interval sits above the registered base, the two
+			// controllers are fighting — snap the handler back to base
+			// instead of letting backoff starve admission. Intervals
+			// below base (the feedback controller compensating lateness)
+			// are left alone; they reduce delay rather than add it.
+			if nRejected > 0 && next > s.cfg.IntervalCycles {
+				s.quantum.Reset(s.cfg.IntervalCycles)
+				next = s.cfg.IntervalCycles
+			}
 			s.curInterval = next
 			if sc := s.cfg.Obs; sc != nil && next != prev {
 				sc.Instant("shenango", "adapt-interval", 0, t,

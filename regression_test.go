@@ -60,7 +60,7 @@ type overloadBaselineRow struct {
 
 func measureOverloadBaseline(t *testing.T) []overloadBaselineRow {
 	t.Helper()
-	rows, errs := experiments.MeasureLoadRamp(engine.New(0), 1, overloadRampCycles, nil)
+	rows, errs := experiments.MeasureLoadRamp(engine.New(0), 1, overloadRampCycles, nil, nil)
 	if len(errs) > 0 {
 		t.Fatalf("ramp cells failed: %v", errs)
 	}
@@ -218,11 +218,108 @@ func measureFleetBaseline(t *testing.T) []fleetBaselineRow {
 	return out
 }
 
+// Zone-outage and scale cells: the migration + zone layer's accounting
+// at the standard seed. The zone pair re-runs `ciexp fleet`'s headline
+// (1-of-4 zones crash-looping at 1.2x with migration on) and enforces
+// CheckFleetZone's gates unconditionally — goodput floor, zero
+// stranded attempts, amplification ceiling — baseline or not. The
+// scale cell is a shrunk (scale 2) FleetScaleConfig soak whose
+// serial-vs-pool fingerprint identity is likewise enforced
+// unconditionally; the canonical 10M-request run stays behind
+// `ciexp -scale 42 fleet`.
+const (
+	fleetZoneBaselineKey   = "fleet/zone"
+	fleetZoneBaselineHash  = "seed=1,replicas=8,zones=4,migrate=1,dur=26000000,v1"
+	fleetScaleBaselineKey  = "fleet/scale"
+	fleetScaleBaselineHash = "seed=1,replicas=64,zones=4,scale=2,v1"
+	fleetScaleTestScale    = 2
+)
+
+type fleetZoneBaselineRow struct {
+	Outage          bool
+	Injected        int64
+	Served          int64
+	Migrated        int64
+	MigrationFailed int64
+	ZoneCrashes     int64
+	Ejections       int64
+}
+
+func measureFleetZoneBaseline(t *testing.T) []fleetZoneBaselineRow {
+	t.Helper()
+	noOutage, outage, errs := experiments.MeasureFleetZone(engine.New(0), fleetBaselineConfig())
+	if len(errs) > 0 {
+		t.Fatalf("zone cells failed: %v", errs)
+	}
+	for _, v := range experiments.CheckFleetZone(noOutage, outage) {
+		t.Errorf("zone gate violation: %s", v)
+	}
+	var out []fleetZoneBaselineRow
+	for _, p := range []struct {
+		outage bool
+		res    *fleet.Result
+	}{{false, noOutage}, {true, outage}} {
+		out = append(out, fleetZoneBaselineRow{
+			Outage: p.outage, Injected: p.res.Injected, Served: p.res.Served,
+			Migrated: p.res.Migrated, MigrationFailed: p.res.MigrationFailed,
+			ZoneCrashes: p.res.ZoneCrashes, Ejections: p.res.Ejections,
+		})
+	}
+	return out
+}
+
+func measureFleetScaleBaseline(t *testing.T) fleetZoneBaselineRow {
+	t.Helper()
+	cfg := experiments.FleetScaleConfig(1, fleetScaleTestScale)
+	serial := fleet.Run(cfg, nil)
+	if err := serial.Conservation(); err != nil {
+		t.Errorf("scale soak conservation: %v", err)
+	}
+	if parallel := fleet.Run(cfg, engine.NewPool(4)); parallel.Fingerprint() != serial.Fingerprint() {
+		t.Errorf("scale soak diverges across worker counts: %x != serial %x",
+			parallel.Fingerprint(), serial.Fingerprint())
+	}
+	return fleetZoneBaselineRow{
+		Outage: true, Injected: serial.Injected, Served: serial.Served,
+		Migrated: serial.Migrated, MigrationFailed: serial.MigrationFailed,
+		ZoneCrashes: serial.ZoneCrashes, Ejections: serial.Ejections,
+	}
+}
+
+// compareFleetZoneRow gates one measured row against its baseline twin:
+// injected counts exactly (the arrival process is untouched by
+// serving-side changes), the serving/migration counts inside bands.
+func compareFleetZoneRow(t *testing.T, tag string, g, w fleetZoneBaselineRow) {
+	t.Helper()
+	if g.Injected != w.Injected {
+		t.Errorf("%s: injected %d vs baseline %d — workload generator changed, regenerate the baseline",
+			tag, g.Injected, w.Injected)
+	}
+	if !countInBand(g.Served, w.Served, 64, 0.10) {
+		t.Errorf("%s: served %d vs baseline %d (band ±10%%)", tag, g.Served, w.Served)
+	}
+	if !countInBand(g.Migrated, w.Migrated, 64, 0.25) {
+		t.Errorf("%s: migrated %d vs baseline %d (band ±25%%)", tag, g.Migrated, w.Migrated)
+	}
+	if !countInBand(g.MigrationFailed, w.MigrationFailed, 16, 0.25) {
+		t.Errorf("%s: migration-failed %d vs baseline %d (band ±25%%)", tag, g.MigrationFailed, w.MigrationFailed)
+	}
+	if g.ZoneCrashes != w.ZoneCrashes {
+		t.Errorf("%s: zone crashes %d vs baseline %d — the pre-drawn zone schedule changed, regenerate the baseline",
+			tag, g.ZoneCrashes, w.ZoneCrashes)
+	}
+	if !countInBand(g.Ejections, w.Ejections, 2, 0.25) {
+		t.Errorf("%s: ejections %d vs baseline %d (band ±25%%)", tag, g.Ejections, w.Ejections)
+	}
+}
+
 func TestFleetRegressionBaseline(t *testing.T) {
 	got := measureFleetBaseline(t)
 	if len(got) == 0 {
 		t.Fatal("no fleet rows measured")
 	}
+	zone := measureFleetZoneBaseline(t)
+	scale := measureFleetScaleBaseline(t)
 
 	if *updateBaseline {
 		store, err := engine.OpenStore(baselinePath)
@@ -232,10 +329,17 @@ func TestFleetRegressionBaseline(t *testing.T) {
 		if err := store.Put(fleetBaselineKey, fleetBaselineHash, got); err != nil {
 			t.Fatal(err)
 		}
+		if err := store.Put(fleetZoneBaselineKey, fleetZoneBaselineHash, zone); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Put(fleetScaleBaselineKey, fleetScaleBaselineHash, scale); err != nil {
+			t.Fatal(err)
+		}
 		if err := store.Save(); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("fleet baseline rewritten: %s cell %q", baselinePath, fleetBaselineKey)
+		t.Logf("fleet baselines rewritten: %s cells %q, %q, %q",
+			baselinePath, fleetBaselineKey, fleetZoneBaselineKey, fleetScaleBaselineKey)
 		return
 	}
 
@@ -243,6 +347,32 @@ func TestFleetRegressionBaseline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+
+	zcell, ok := store.Cell(fleetZoneBaselineKey)
+	if !ok {
+		t.Fatalf("baseline lacks cell %q; regenerate with -update-baseline", fleetZoneBaselineKey)
+	}
+	var wantZone []fleetZoneBaselineRow
+	if err := json.Unmarshal(zcell.Data, &wantZone); err != nil {
+		t.Fatalf("baseline cell %q: %v", fleetZoneBaselineKey, err)
+	}
+	if len(zone) != len(wantZone) {
+		t.Fatalf("zone pair has %d rows, baseline %d — regenerate it", len(zone), len(wantZone))
+	}
+	for i, g := range zone {
+		compareFleetZoneRow(t, fmt.Sprintf("zone outage=%t", g.Outage), g, wantZone[i])
+	}
+
+	scell, ok := store.Cell(fleetScaleBaselineKey)
+	if !ok {
+		t.Fatalf("baseline lacks cell %q; regenerate with -update-baseline", fleetScaleBaselineKey)
+	}
+	var wantScale fleetZoneBaselineRow
+	if err := json.Unmarshal(scell.Data, &wantScale); err != nil {
+		t.Fatalf("baseline cell %q: %v", fleetScaleBaselineKey, err)
+	}
+	compareFleetZoneRow(t, "scale soak", scale, wantScale)
+
 	cell, ok := store.Cell(fleetBaselineKey)
 	if !ok {
 		t.Fatalf("baseline lacks cell %q; regenerate with -update-baseline", fleetBaselineKey)
